@@ -1,0 +1,79 @@
+// Command socbench regenerates the paper's §IV-C case study: the
+// heterogeneous many-core SoC model (control core + bus + memory + DMA +
+// accelerator pipelines + stream NoC) run twice — once with
+// sync-on-every-access FIFOs, once with Smart FIFOs — at identical timing
+// accuracy, reporting the wall-time gain. The paper measured 38.0 s →
+// 21.9 s, a 42.3% gain; the claim to check here is a substantial gain at
+// zero timing difference ("dates equal: true").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/soc"
+)
+
+func main() {
+	var (
+		pipelines = flag.Int("pipelines", 8, "accelerator pipelines")
+		jobs      = flag.Int("jobs", 10, "job rounds")
+		words     = flag.Int("words", 4096, "words per job")
+		depth     = flag.Int("depth", 16, "accelerator FIFO depth")
+		useNoC    = flag.Bool("noc", true, "route odd pipelines through the NoC")
+		packet    = flag.Int("packet", 16, "NoC packet length (words)")
+		quantum   = flag.Int64("quantum-ns", 500, "memory-mapped side quantum (ns)")
+		dma       = flag.Bool("dma", true, "include the memory-to-memory DMA pipeline")
+		reps      = flag.Int("reps", 1, "repetitions (best wall time kept)")
+	)
+	flag.Parse()
+
+	cfg := soc.Config{
+		Pipelines:    *pipelines,
+		Jobs:         *jobs,
+		WordsPerJob:  *words,
+		FIFODepth:    *depth,
+		UseNoC:       *useNoC,
+		NoCPacketLen: *packet,
+		Quantum:      sim.Time(*quantum) * sim.NS,
+		WithDMA:      *dma,
+	}
+
+	run := func(m soc.FIFOMode) soc.Result {
+		cfg.Mode = m
+		r := soc.Run(cfg)
+		for i := 1; i < *reps; i++ {
+			r2 := soc.Run(cfg)
+			if r2.Wall < r.Wall {
+				r = r2
+			}
+		}
+		return r
+	}
+
+	fmt.Printf("Case study SoC: %d pipelines, %d jobs x %d words, FIFO depth %d, NoC %v, DMA %v\n\n",
+		*pipelines, *jobs, *words, *depth, *useNoC, *dma)
+	sync := run(soc.SyncFIFOs)
+	smart := run(soc.SmartFIFOs)
+	for _, r := range []soc.Result{sync, smart} {
+		fmt.Printf("%-6s  wall %12v  ctx switches %10d  sim end %v\n",
+			r.Mode, r.Wall, r.Stats.ContextSwitches, r.SimEnd)
+	}
+	gain := 100 * (1 - float64(smart.Wall)/float64(sync.Wall))
+	fmt.Printf("\nwall-time gain: %.1f%%  (paper: 42.3%% on the industrial model)\n", gain)
+
+	datesEqual := fmt.Sprint(smart.JobDates) == fmt.Sprint(sync.JobDates)
+	sumsEqual := fmt.Sprint(smart.Checksums) == fmt.Sprint(sync.Checksums)
+	fmt.Printf("job completion dates identical: %v\n", datesEqual)
+	fmt.Printf("checksums identical:            %v\n", sumsEqual)
+	if smart.NoC.PacketsInjected > 0 {
+		fmt.Printf("NoC: %d packets, %d flit-hops\n", smart.NoC.PacketsInjected, smart.NoC.FlitsForwarded)
+	}
+	fmt.Printf("monitor max FIFO levels: %v\n", smart.MaxLevels)
+	if !datesEqual || !sumsEqual {
+		fmt.Fprintln(os.Stderr, "socbench: ACCURACY VIOLATION: the two builds disagree")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+// Command tracecheck is the standalone §IV-A oracle: it reads two dated
+// trace files (format: "date<TAB>process<TAB>message", as written by the
+// trace package), reorders both by date and compares them. Exit status 0
+// means the traces are identical after reordering — the model behaviour
+// and timing match; 1 means they differ; 2 means usage or I/O error.
+//
+// Usage:
+//
+//	tracecheck reference.trace decoupled.trace
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <a.trace> <b.trace>")
+		os.Exit(2)
+	}
+	a, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(2)
+	}
+	b, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(2)
+	}
+	if d := trace.Diff(a, b); d != "" {
+		fmt.Printf("traces differ:\n%s\n", d)
+		os.Exit(1)
+	}
+	fmt.Printf("traces identical after reordering (%d entries)\n", a.Len())
+}
+
+func load(path string) (*trace.Recorder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}

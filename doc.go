@@ -1,0 +1,16 @@
+// Package repro reproduces "Fast and Accurate TLM Simulations using
+// Temporal Decoupling for FIFO-based Communications" (Helmstetter, Cornet,
+// Galilée, Moy, Vivet — DATE 2013) in Go.
+//
+// The repository contains a SystemC-like discrete-event kernel
+// (internal/sim), temporal-decoupling utilities (internal/td), regular and
+// sync-wrapped FIFOs (internal/fifo), the paper's Smart FIFO
+// (internal/core), the §IV-A trace-equivalence validation framework
+// (internal/trace), the §IV-B three-module benchmark (internal/pipeline,
+// internal/workload) and the §IV-C heterogeneous SoC case study
+// (internal/bus, internal/noc, internal/accel, internal/soc).
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every figure of the evaluation section.
+package repro

@@ -1,0 +1,102 @@
+// Monitor: the rationale for the Smart FIFO's third interface (§III-C).
+// Embedded software polls a FIFO's fill level for debug and dynamic
+// performance tuning. The demo runs a producer/consumer pair where the
+// consumer's speed is *tuned at run time* by a controller thread that
+// watches the fill level through the monitor interface — and shows that
+// the level observed through a Smart FIFO with heavily decoupled processes
+// matches the level of a regular FIFO in the non-decoupled build, date for
+// date.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fifo"
+	"repro/internal/sim"
+)
+
+// model runs the tuned producer/consumer system and returns the sampled
+// (date, level, consumerPeriod) tuples.
+func model(smart bool) []string {
+	k := sim.NewKernel("monitor")
+	var f fifo.Channel[int]
+	if smart {
+		f = core.NewSmart[int](k, "stream", 32)
+	} else {
+		f = fifo.New[int](k, "stream", 32)
+	}
+	delay := func(p *sim.Process, d sim.Time) {
+		if smart {
+			p.Inc(d)
+		} else {
+			p.Wait(d)
+		}
+	}
+
+	const n = 600
+	k.Thread("producer", func(p *sim.Process) {
+		for i := 0; i < n; i++ {
+			f.Write(i)
+			// Bursty source: fast for 40 words, then a pause.
+			if (i+1)%40 == 0 {
+				delay(p, 400*sim.NS)
+			} else {
+				delay(p, 10*sim.NS)
+			}
+		}
+	})
+
+	// The consumer's period is a "register" the controller tunes.
+	consumerPeriod := 20 * sim.NS
+	k.Thread("consumer", func(p *sim.Process) {
+		for i := 0; i < n; i++ {
+			f.Read()
+			delay(p, consumerPeriod)
+		}
+	})
+
+	var samples []string
+	k.Thread("controller", func(p *sim.Process) {
+		// Embedded software: always synchronized, low polling rate.
+		p.Wait(5 * sim.NS)
+		for i := 0; i < 40; i++ {
+			lvl := f.Size()
+			switch {
+			case lvl > 24: // congested: speed the consumer up
+				consumerPeriod = 10 * sim.NS
+			case lvl < 8: // draining: relax it
+				consumerPeriod = 20 * sim.NS
+			}
+			samples = append(samples, fmt.Sprintf("t=%-8v level=%-2d consumer=%v", k.Now(), lvl, consumerPeriod))
+			p.Wait(250 * sim.NS)
+		}
+	})
+
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	return samples
+}
+
+func main() {
+	ref := model(false)
+	smart := model(true)
+	fmt.Println("controller samples (regular FIFO, no decoupling | Smart FIFO, decoupled):")
+	same := true
+	for i := range ref {
+		marker := "  ==  "
+		if ref[i] != smart[i] {
+			marker = "  !!  "
+			same = false
+		}
+		fmt.Printf("  %s%s%s\n", ref[i], marker, smart[i])
+	}
+	fmt.Println()
+	if same {
+		fmt.Println("every monitored level and every tuning decision is identical:")
+		fmt.Println("the Smart FIFO's get_size rules reconstruct the real FIFO state")
+		fmt.Println("at the controller's date, even with decoupled producer/consumer.")
+	} else {
+		fmt.Println("MISMATCH: monitor semantics diverged (this should not happen).")
+	}
+}

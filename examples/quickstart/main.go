@@ -1,0 +1,83 @@
+// Quickstart: the paper's Fig. 1 example — a writer and a reader
+// communicating through a bounded FIFO, with timing annotations.
+//
+// The program runs the model three ways and prints the dated traces:
+//
+//  1. reference — regular FIFO, wait() per annotation (paper Fig. 2);
+//  2. naive decoupling — regular FIFO, inc() with no synchronization: the
+//     reader's dates are wrong (paper Fig. 3);
+//  3. Smart FIFO — inc() with the paper's channel: no context switch per
+//     annotation, and every date matches the reference exactly.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fifo"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// run builds the Fig. 1 model. mkFIFO picks the channel; decoupled picks
+// inc() vs wait().
+func run(title string, decoupled bool, smart bool) *trace.Recorder {
+	k := sim.NewKernel(title)
+	rec := trace.NewRecorder()
+
+	var f fifo.Channel[int]
+	if smart {
+		f = core.NewSmart[int](k, "fifo", 4)
+	} else {
+		f = fifo.New[int](k, "fifo", 4)
+	}
+	delay := func(p *sim.Process, d sim.Time) {
+		if decoupled {
+			p.Inc(d)
+		} else {
+			p.Wait(d)
+		}
+	}
+
+	k.Thread("writer", func(p *sim.Process) {
+		for i := 1; i <= 3; i++ {
+			f.Write(i)
+			rec.Logf(p, "wrote %d", i)
+			delay(p, 20*sim.NS)
+		}
+		rec.Logf(p, "writer done")
+	})
+	k.Thread("reader", func(p *sim.Process) {
+		for i := 1; i <= 3; i++ {
+			v := f.Read()
+			rec.Logf(p, "read %d", v)
+			delay(p, 15*sim.NS)
+		}
+		rec.Logf(p, "reader done")
+	})
+
+	k.Run(sim.RunForever)
+	fmt.Printf("--- %s (%d context switches) ---\n", title, k.Stats().ContextSwitches)
+	for _, e := range rec.Entries() {
+		fmt.Printf("  %v\n", e)
+	}
+	return rec
+}
+
+func main() {
+	ref := run("reference: regular FIFO + wait (Fig. 2)", false, false)
+	naive := run("naive: regular FIFO + inc, no sync (Fig. 3)", true, false)
+	smart := run("Smart FIFO + inc (paper §III)", true, true)
+
+	fmt.Println()
+	if d := trace.Diff(ref, naive); d != "" {
+		fmt.Println("naive decoupling vs reference: TIMING BROKEN, as the paper warns:")
+		fmt.Println(" ", d)
+	}
+	if d := trace.Diff(ref, smart); d != "" {
+		fmt.Println("Smart FIFO vs reference: UNEXPECTED DIFFERENCE:", d)
+	} else {
+		fmt.Println("Smart FIFO vs reference: traces identical after date reordering —")
+		fmt.Println("same behaviour, same timing, fewer context switches.")
+	}
+}

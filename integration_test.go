@@ -1,0 +1,150 @@
+package repro
+
+// Capstone integration test: every subsystem in one model. An ISS control
+// core (firmware from the assembler) programs a DMA engine and two
+// accelerator chains through the bus; one chain crosses the NoC through
+// packetizing network interfaces; completion is signalled through the
+// interrupt controller; the control firmware sleeps on WFI. The whole
+// model runs with Smart FIFOs and with sync-on-access FIFOs and must
+// produce identical checksums and identical accelerator job dates — the
+// paper's accuracy claim over the complete stack.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/fifo"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+const integrationFirmware = `
+	; bases: gen0 0x200, sink0 0x210, gen1 0x220, sink1 0x230, irq 0x400
+	ldi  r1, 0x200
+	ldi  r2, 0x210
+	ldi  r3, 0x220
+	ldi  r4, 0x230
+	ldi  r7, 0x400
+	ldi  r5, 1
+	ldi  r6, 3        ; enable lines 0 and 1
+	st   r6, 1(r7)
+	ldi  r8, 64       ; words per job (multiple of the NoC packet)
+	; start both chains, consumers first
+	st   r8, 1(r2)
+	st   r5, 0(r2)
+	st   r8, 1(r4)
+	st   r5, 0(r4)
+	st   r8, 1(r1)
+	st   r5, 0(r1)
+	st   r8, 1(r3)
+	st   r5, 0(r3)
+	ldi  r9, 0        ; accumulated done mask
+wait:
+	wfi
+	ld   r10, 0(r7)   ; pending
+	beq  r10, r0, wait
+	st   r10, 0(r7)   ; ack
+	or   r9, r9, r10
+	ldi  r11, 3
+	bne  r9, r11, wait
+	; read both jobs-done counters into r12/r13
+	ld   r12, 3(r2)
+	ld   r13, 3(r4)
+	halt
+`
+
+type integrationResult struct {
+	sums     [2]uint64
+	dates    string
+	switches uint64
+	halted   bool
+	r12, r13 uint32
+}
+
+func runIntegration(t *testing.T, smart bool) integrationResult {
+	t.Helper()
+	k := sim.NewKernel("integration")
+	b := bus.NewBus(k, "bus", sim.NS)
+	irq := bus.NewIRQController(k, "irq")
+	newCh := func(name string) fifo.Channel[uint32] {
+		if smart {
+			return core.NewSmart[uint32](k, name, 8)
+		}
+		return fifo.NewSync[uint32](k, name, 8)
+	}
+
+	// Chain 0: gen → sink directly.
+	c0 := newCh("c0")
+	gen0 := accel.New(k, "gen0", accel.Config{Kind: accel.Generator, Out: c0, WordLat: 3 * sim.NS, Seed: 21})
+	sink0 := accel.New(k, "sink0", accel.Config{Kind: accel.Sink, In: c0, WordLat: 4 * sim.NS, IRQ: irq, IRQLine: 0})
+
+	// Chain 1: gen → NoC (2x1 mesh) → sink.
+	mesh := noc.NewMesh(k, "noc", noc.Config{Width: 2, Height: 1, Cycle: sim.NS, FIFODepth: 4})
+	toNoC := newCh("toNoC")
+	fromNoC := newCh("fromNoC")
+	mesh.AttachNI("ni.in", 0, 0, toNoC, nil, noc.NIConfig{PacketLen: 8, Cycle: sim.NS, Dst: 1})
+	mesh.AttachNI("ni.out", 1, 0, nil, fromNoC, noc.NIConfig{PacketLen: 8, Cycle: sim.NS})
+	gen1 := accel.New(k, "gen1", accel.Config{Kind: accel.Generator, Out: toNoC, WordLat: 2 * sim.NS, Seed: 22})
+	sink1 := accel.New(k, "sink1", accel.Config{Kind: accel.Sink, In: fromNoC, WordLat: 3 * sim.NS, IRQ: irq, IRQLine: 1})
+
+	b.Map("gen0", 0x200, accel.NumRegs, gen0.Regs())
+	b.Map("sink0", 0x210, accel.NumRegs, sink0.Regs())
+	b.Map("gen1", 0x220, accel.NumRegs, gen1.Regs())
+	b.Map("sink1", 0x230, accel.NumRegs, sink1.Regs())
+	b.Map("irq", 0x400, bus.IRQNumRegs, irq)
+
+	c := cpu.New(k, "cpu0", cpu.Config{
+		Program: cpu.MustAssemble(integrationFirmware),
+		Bus:     b,
+		CPI:     2 * sim.NS,
+		Quantum: 300 * sim.NS,
+		IRQ:     irq,
+	})
+
+	k.Run(sim.RunForever)
+	res := integrationResult{
+		sums:     [2]uint64{sink0.Checksum(), sink1.Checksum()},
+		dates:    fmt.Sprint(sink0.JobDates(), sink1.JobDates()),
+		switches: k.Stats().ContextSwitches,
+		halted:   c.Halted(),
+		r12:      c.Reg(12),
+		r13:      c.Reg(13),
+	}
+	k.Shutdown()
+	return res
+}
+
+func TestIntegrationFullStack(t *testing.T) {
+	smart := runIntegration(t, true)
+	sync := runIntegration(t, false)
+	if !smart.halted || !sync.halted {
+		t.Fatalf("firmware did not halt: smart=%v sync=%v", smart.halted, sync.halted)
+	}
+	if smart.r12 != 1 || smart.r13 != 1 {
+		t.Errorf("firmware read jobs done %d/%d, want 1/1", smart.r12, smart.r13)
+	}
+	if smart.sums != sync.sums {
+		t.Errorf("checksums differ: smart %x sync %x", smart.sums, sync.sums)
+	}
+	if smart.sums[0] == 0 || smart.sums[1] == 0 {
+		t.Error("zero checksum: a chain moved no data")
+	}
+	if smart.dates != sync.dates {
+		t.Errorf("job dates differ:\nsmart %s\nsync  %s", smart.dates, sync.dates)
+	}
+	if smart.switches >= sync.switches {
+		t.Errorf("smart switches (%d) not below sync (%d)", smart.switches, sync.switches)
+	}
+}
+
+func TestIntegrationDeterministic(t *testing.T) {
+	a := runIntegration(t, true)
+	b := runIntegration(t, true)
+	if a.dates != b.dates || a.switches != b.switches || a.sums != b.sums {
+		t.Error("two identical integration runs differ")
+	}
+}

@@ -1,0 +1,268 @@
+// Package accel models the hardware accelerators of the case-study SoC
+// (paper §IV-C): stream kernels implemented as temporally decoupled thread
+// processes, fully annotated with per-word timings, communicating through
+// FIFO channels and controlled by memory-mapped register files.
+//
+// Each accelerator is controlled by embedded software through its register
+// file: the controller programs a job (word count), sets the start bit and
+// polls the status register; the live FIFO-level registers expose the
+// monitor interface of the attached channels ("knowing the FIFO filling
+// levels can be used for debug and dynamic performance tuning").
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/fifo"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Register indices within an accelerator's register file.
+const (
+	// RegCtrl starts a job when written with 1.
+	RegCtrl = 0
+	// RegWords holds the job length in words (input words).
+	RegWords = 1
+	// RegStatus reads 1 while a job is running, 0 when idle.
+	RegStatus = 2
+	// RegJobsDone counts completed jobs.
+	RegJobsDone = 3
+	// RegInLevel reads the input FIFO fill level (live monitor access).
+	RegInLevel = 4
+	// RegOutLevel reads the output FIFO fill level (live monitor access).
+	RegOutLevel = 5
+	// NumRegs is the register file size.
+	NumRegs = 6
+)
+
+// Kind selects the stream kernel an accelerator runs.
+type Kind int
+
+const (
+	// Generator produces pseudo-random words (no input).
+	Generator Kind = iota
+	// Scale multiplies each word by Factor.
+	Scale
+	// FIR applies a small finite-impulse-response filter.
+	FIR
+	// Decimate forwards one word out of Factor.
+	Decimate
+	// Sink consumes words into a running checksum (no output).
+	Sink
+)
+
+// String names the kind.
+func (kd Kind) String() string {
+	switch kd {
+	case Generator:
+		return "generator"
+	case Scale:
+		return "scale"
+	case FIR:
+		return "fir"
+	case Decimate:
+		return "decimate"
+	case Sink:
+		return "sink"
+	}
+	return fmt.Sprintf("Kind(%d)", int(kd))
+}
+
+// Config parameterizes an accelerator.
+type Config struct {
+	// Kind selects the kernel.
+	Kind Kind
+	// In and Out are the stream channels; Generator needs no In, Sink no
+	// Out.
+	In, Out fifo.Channel[uint32]
+	// WordLat is the per-word processing latency.
+	WordLat sim.Time
+	// Factor parameterizes Scale (multiplier) and Decimate (keep 1 in
+	// Factor).
+	Factor uint32
+	// Taps are the FIR coefficients (defaults to {1, 2, 3, 2, 1}).
+	Taps []uint32
+	// Seed feeds the Generator.
+	Seed int64
+	// IRQ, if non-nil, receives a Raise(IRQLine) at each job completion
+	// (dated with the accelerator's local clock).
+	IRQ *bus.IRQController
+	// IRQLine is the interrupt line to raise.
+	IRQLine int
+}
+
+// Accel is one hardware accelerator: a decoupled thread plus its register
+// file.
+type Accel struct {
+	k    *sim.Kernel
+	name string
+	cfg  Config
+
+	regs  *bus.RegisterFile
+	start *sim.Event
+
+	pendingJobs int
+	busy        bool
+	jobsDone    uint32
+	produced    int // total words generated (Generator word index)
+
+	// Checksum accumulates everything a Sink consumed.
+	checksum uint64
+	// JobDates records the accelerator's local date at each job
+	// completion: the timing-accuracy witness compared across FIFO
+	// implementations.
+	jobDates []sim.Time
+
+	proc *sim.Process
+}
+
+// New creates an accelerator and registers its thread process.
+func New(k *sim.Kernel, name string, cfg Config) *Accel {
+	if cfg.Kind != Generator && cfg.In == nil {
+		panic(fmt.Sprintf("accel: %s: kind %v needs an input channel", name, cfg.Kind))
+	}
+	if cfg.Kind != Sink && cfg.Out == nil {
+		panic(fmt.Sprintf("accel: %s: kind %v needs an output channel", name, cfg.Kind))
+	}
+	if cfg.WordLat < 0 {
+		panic(fmt.Sprintf("accel: %s: negative word latency", name))
+	}
+	if cfg.Factor == 0 {
+		cfg.Factor = 2
+	}
+	if len(cfg.Taps) == 0 {
+		cfg.Taps = []uint32{1, 2, 3, 2, 1}
+	}
+	a := &Accel{
+		k:     k,
+		name:  name,
+		cfg:   cfg,
+		regs:  bus.NewRegisterFile(NumRegs, sim.NS),
+		start: sim.NewEvent(k, name+".start"),
+	}
+	a.regs.OnWrite = func(p *sim.Process, idx int, v uint32) bool {
+		if idx == RegCtrl && v == 1 {
+			a.pendingJobs++
+			a.start.Notify()
+			return false
+		}
+		return true
+	}
+	a.regs.OnRead = func(p *sim.Process, idx int) (uint32, bool) {
+		switch idx {
+		case RegStatus:
+			if a.busy || a.pendingJobs > 0 {
+				return 1, true
+			}
+			return 0, true
+		case RegJobsDone:
+			return a.jobsDone, true
+		case RegInLevel:
+			if a.cfg.In == nil {
+				return 0, true
+			}
+			return uint32(a.cfg.In.Size()), true
+		case RegOutLevel:
+			if a.cfg.Out == nil {
+				return 0, true
+			}
+			return uint32(a.cfg.Out.Size()), true
+		}
+		return 0, false
+	}
+	a.proc = k.Thread(name, a.run)
+	return a
+}
+
+// Name returns the accelerator name.
+func (a *Accel) Name() string { return a.name }
+
+// Regs returns the register file to map onto a bus.
+func (a *Accel) Regs() *bus.RegisterFile { return a.regs }
+
+// Checksum returns the Sink checksum.
+func (a *Accel) Checksum() uint64 { return a.checksum }
+
+// JobDates returns the local completion date of every finished job.
+func (a *Accel) JobDates() []sim.Time { return a.jobDates }
+
+// JobsDone returns the number of completed jobs.
+func (a *Accel) JobsDone() uint32 { return a.jobsDone }
+
+// run is the accelerator thread: wait for a start command, stream one
+// job's worth of words through the kernel, raise done, repeat forever (the
+// process parks when the simulation has no more work for it).
+func (a *Accel) run(p *sim.Process) {
+	for {
+		for a.pendingJobs == 0 {
+			// Synchronize before parking: a blocked accelerator
+			// must not hold a stale local date across an idle
+			// period (commands arrive at global time). A start
+			// command may land while we are inside Sync — its
+			// notification would be lost — so re-check the
+			// condition after synchronizing, exactly like the
+			// Smart FIFO's blocking loops.
+			if !p.Synchronized() {
+				p.Sync()
+				continue
+			}
+			p.WaitEvent(a.start)
+		}
+		a.pendingJobs--
+		a.busy = true
+		a.job(p, int(a.regs.Get(RegWords)))
+		a.busy = false
+		a.jobsDone++
+		a.jobDates = append(a.jobDates, p.LocalTime())
+		if a.cfg.IRQ != nil {
+			a.cfg.IRQ.Raise(a.cfg.IRQLine)
+		}
+	}
+}
+
+// job processes n input words (or produces n words for a Generator).
+func (a *Accel) job(p *sim.Process, n int) {
+	switch a.cfg.Kind {
+	case Generator:
+		for i := 0; i < n; i++ {
+			w := workload.WordAt(a.cfg.Seed, a.produced)
+			a.produced++
+			p.Inc(a.cfg.WordLat)
+			a.cfg.Out.Write(w)
+		}
+	case Scale:
+		for i := 0; i < n; i++ {
+			w := a.cfg.In.Read()
+			p.Inc(a.cfg.WordLat)
+			a.cfg.Out.Write(w * a.cfg.Factor)
+		}
+	case FIR:
+		win := make([]uint32, len(a.cfg.Taps))
+		for i := 0; i < n; i++ {
+			copy(win[1:], win)
+			win[0] = a.cfg.In.Read()
+			var acc uint32
+			for j, t := range a.cfg.Taps {
+				acc += t * win[j]
+			}
+			p.Inc(a.cfg.WordLat)
+			a.cfg.Out.Write(acc)
+		}
+	case Decimate:
+		for i := 0; i < n; i++ {
+			w := a.cfg.In.Read()
+			p.Inc(a.cfg.WordLat)
+			if i%int(a.cfg.Factor) == 0 {
+				a.cfg.Out.Write(w)
+			}
+		}
+	case Sink:
+		for i := 0; i < n; i++ {
+			w := a.cfg.In.Read()
+			p.Inc(a.cfg.WordLat)
+			a.checksum = workload.Checksum(a.checksum, w)
+		}
+	}
+}

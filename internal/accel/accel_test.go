@@ -1,0 +1,257 @@
+package accel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/fifo"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// startJob programs and starts an accelerator through its bus-mapped
+// registers, as the control software would.
+func startJob(in *bus.Initiator, base uint32, words uint32) {
+	in.WriteWord(base+accel.RegWords, words)
+	in.WriteWord(base+accel.RegCtrl, 1)
+}
+
+func waitIdle(p *sim.Process, in *bus.Initiator, base uint32, poll sim.Time) {
+	for in.ReadWord(base+accel.RegStatus) != 0 {
+		p.Inc(poll)
+	}
+}
+
+func TestGeneratorToSinkJob(t *testing.T) {
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", sim.NS)
+	ch := core.NewSmart[uint32](k, "ch", 8)
+	gen := accel.New(k, "gen", accel.Config{Kind: accel.Generator, Out: ch, WordLat: 2 * sim.NS, Seed: 5})
+	sink := accel.New(k, "sink", accel.Config{Kind: accel.Sink, In: ch, WordLat: 3 * sim.NS})
+	b.Map("gen", 0x000, accel.NumRegs, gen.Regs())
+	b.Map("sink", 0x100, accel.NumRegs, sink.Regs())
+	const words = 32
+	k.Thread("ctrl", func(p *sim.Process) {
+		in := bus.NewInitiator(p, b, 50*sim.NS)
+		startJob(in, 0x100, words)
+		startJob(in, 0x000, words)
+		waitIdle(p, in, 0x000, 100*sim.NS)
+		waitIdle(p, in, 0x100, 100*sim.NS)
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	if gen.JobsDone() != 1 || sink.JobsDone() != 1 {
+		t.Fatalf("jobs done: gen %d sink %d", gen.JobsDone(), sink.JobsDone())
+	}
+	want := uint64(0)
+	for i := 0; i < words; i++ {
+		want = workload.Checksum(want, workload.WordAt(5, i))
+	}
+	if sink.Checksum() != want {
+		t.Errorf("checksum %x, want %x", sink.Checksum(), want)
+	}
+}
+
+func TestScaleFIRDecimatePipeline(t *testing.T) {
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", sim.NS)
+	c1 := core.NewSmart[uint32](k, "c1", 4)
+	c2 := core.NewSmart[uint32](k, "c2", 4)
+	c3 := core.NewSmart[uint32](k, "c3", 4)
+	c4 := core.NewSmart[uint32](k, "c4", 4)
+	gen := accel.New(k, "gen", accel.Config{Kind: accel.Generator, Out: c1, WordLat: sim.NS, Seed: 9})
+	sc := accel.New(k, "scale", accel.Config{Kind: accel.Scale, In: c1, Out: c2, WordLat: sim.NS, Factor: 3})
+	fir := accel.New(k, "fir", accel.Config{Kind: accel.FIR, In: c2, Out: c3, WordLat: sim.NS, Taps: []uint32{1, 1}})
+	dec := accel.New(k, "dec", accel.Config{Kind: accel.Decimate, In: c3, Out: c4, WordLat: sim.NS, Factor: 4})
+	sink := accel.New(k, "sink", accel.Config{Kind: accel.Sink, In: c4, WordLat: sim.NS})
+	for i, a := range []*accel.Accel{gen, sc, fir, dec, sink} {
+		b.Map(a.Name(), uint32(i*0x100), accel.NumRegs, a.Regs())
+	}
+	const words = 64
+	k.Thread("ctrl", func(p *sim.Process) {
+		in := bus.NewInitiator(p, b, 20*sim.NS)
+		// Start downstream first so everyone is listening.
+		startJob(in, 4*0x100, words/4) // sink gets words/4 after decimation
+		startJob(in, 3*0x100, words)
+		startJob(in, 2*0x100, words)
+		startJob(in, 1*0x100, words)
+		startJob(in, 0*0x100, words)
+		for _, base := range []uint32{0, 0x100, 0x200, 0x300, 0x400} {
+			waitIdle(p, in, base, 200*sim.NS)
+		}
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	// Reference computation.
+	want := uint64(0)
+	win := []uint32{0, 0}
+	outIdx := 0
+	for i := 0; i < words; i++ {
+		w := workload.WordAt(9, i) * 3
+		win[1] = win[0]
+		win[0] = w
+		acc := win[0] + win[1]
+		if i%4 == 0 {
+			_ = outIdx
+			want = workload.Checksum(want, acc)
+		}
+	}
+	if sink.Checksum() != want {
+		t.Errorf("checksum %x, want %x", sink.Checksum(), want)
+	}
+}
+
+func TestMultipleJobsSequence(t *testing.T) {
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", sim.NS)
+	ch := core.NewSmart[uint32](k, "ch", 8)
+	gen := accel.New(k, "gen", accel.Config{Kind: accel.Generator, Out: ch, WordLat: sim.NS, Seed: 2})
+	sink := accel.New(k, "sink", accel.Config{Kind: accel.Sink, In: ch, WordLat: sim.NS})
+	b.Map("gen", 0x000, accel.NumRegs, gen.Regs())
+	b.Map("sink", 0x100, accel.NumRegs, sink.Regs())
+	const jobs, words = 4, 16
+	k.Thread("ctrl", func(p *sim.Process) {
+		in := bus.NewInitiator(p, b, 30*sim.NS)
+		for j := 0; j < jobs; j++ {
+			startJob(in, 0x100, words)
+			startJob(in, 0x000, words)
+			waitIdle(p, in, 0x000, 50*sim.NS)
+			waitIdle(p, in, 0x100, 50*sim.NS)
+		}
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	if gen.JobsDone() != jobs || sink.JobsDone() != jobs {
+		t.Fatalf("jobs done: gen %d sink %d, want %d", gen.JobsDone(), sink.JobsDone(), jobs)
+	}
+	dates := sink.JobDates()
+	for i := 1; i < len(dates); i++ {
+		if dates[i] <= dates[i-1] {
+			t.Errorf("job dates not increasing: %v", dates)
+		}
+	}
+}
+
+func TestFIFOLevelRegisters(t *testing.T) {
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", sim.NS)
+	ch := core.NewSmart[uint32](k, "ch", 8)
+	gen := accel.New(k, "gen", accel.Config{Kind: accel.Generator, Out: ch, WordLat: sim.NS, Seed: 1})
+	b.Map("gen", 0, accel.NumRegs, gen.Regs())
+	var levels []uint32
+	k.Thread("ctrl", func(p *sim.Process) {
+		in := bus.NewInitiator(p, b, 10*sim.NS)
+		in.WriteWord(accel.RegWords, 6)
+		in.WriteWord(accel.RegCtrl, 1)
+		// Nobody drains ch: the level must reach 6 and stay.
+		for i := 0; i < 10; i++ {
+			levels = append(levels, in.ReadWord(accel.RegOutLevel))
+			p.Inc(10 * sim.NS)
+		}
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	last := levels[len(levels)-1]
+	if last != 6 {
+		t.Errorf("final level %d, want 6 (levels: %v)", last, levels)
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] < levels[i-1] {
+			t.Errorf("level decreased without reader: %v", levels)
+		}
+	}
+}
+
+func TestDMARoundTrip(t *testing.T) {
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", sim.NS)
+	mem := bus.NewMemory(1024, sim.NS, sim.NS)
+	b.Map("mem", 0x1000, 1024, mem)
+	ch := core.NewSmart[uint32](k, "ch", 8)
+	rd := accel.NewDMA(k, "dma.rd", accel.DMAConfig{
+		Dir: accel.MemToStream, Channel: ch, Bus: b, Quantum: 100 * sim.NS, WordLat: 2 * sim.NS, ChunkWords: 8,
+	})
+	wr := accel.NewDMA(k, "dma.wr", accel.DMAConfig{
+		Dir: accel.StreamToMem, Channel: ch, Bus: b, Quantum: 100 * sim.NS, WordLat: 2 * sim.NS, ChunkWords: 8,
+	})
+	b.Map("dma.rd", 0x000, accel.DMANumRegs, rd.Regs())
+	b.Map("dma.wr", 0x100, accel.DMANumRegs, wr.Regs())
+	const words = 48
+	for i := uint32(0); i < words; i++ {
+		mem.Poke(i, i*i+1)
+	}
+	k.Thread("ctrl", func(p *sim.Process) {
+		in := bus.NewInitiator(p, b, 50*sim.NS)
+		// Writer DMA: stream → mem at offset 512.
+		in.WriteWord(0x100+accel.DMARegWords, words)
+		in.WriteWord(0x100+accel.DMARegAddr, 0x1000+512)
+		in.WriteWord(0x100+accel.DMARegCtrl, 1)
+		// Reader DMA: mem offset 0 → stream.
+		in.WriteWord(0x000+accel.DMARegWords, words)
+		in.WriteWord(0x000+accel.DMARegAddr, 0x1000)
+		in.WriteWord(0x000+accel.DMARegCtrl, 1)
+		for in.ReadWord(0x100+accel.DMARegStatus) != 0 {
+			p.Inc(100 * sim.NS)
+		}
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	if rd.JobsDone() != 1 || wr.JobsDone() != 1 {
+		t.Fatalf("jobs: rd %d wr %d", rd.JobsDone(), wr.JobsDone())
+	}
+	for i := uint32(0); i < words; i++ {
+		if got := mem.Peek(512 + i); got != i*i+1 {
+			t.Fatalf("mem[512+%d] = %d, want %d", i, got, i*i+1)
+		}
+	}
+}
+
+// TestSmartVsSyncSameJobDates: the §IV-C accuracy statement at accelerator
+// scale — smart and sync FIFO versions produce identical job completion
+// dates.
+func TestSmartVsSyncSameJobDates(t *testing.T) {
+	run := func(smart bool) ([]sim.Time, uint64) {
+		k := sim.NewKernel("t")
+		b := bus.NewBus(k, "bus", sim.NS)
+		var c1, c2 fifo.Channel[uint32]
+		if smart {
+			c1 = core.NewSmart[uint32](k, "c1", 4)
+			c2 = core.NewSmart[uint32](k, "c2", 4)
+		} else {
+			c1 = fifo.NewSync[uint32](k, "c1", 4)
+			c2 = fifo.NewSync[uint32](k, "c2", 4)
+		}
+		gen := accel.New(k, "gen", accel.Config{Kind: accel.Generator, Out: c1, WordLat: 3 * sim.NS, Seed: 4})
+		sc := accel.New(k, "scale", accel.Config{Kind: accel.Scale, In: c1, Out: c2, WordLat: 2 * sim.NS, Factor: 7})
+		sink := accel.New(k, "sink", accel.Config{Kind: accel.Sink, In: c2, WordLat: 4 * sim.NS})
+		for i, a := range []*accel.Accel{gen, sc, sink} {
+			b.Map(a.Name(), uint32(i*0x100), accel.NumRegs, a.Regs())
+		}
+		const jobs, words = 3, 40
+		k.Thread("ctrl", func(p *sim.Process) {
+			in := bus.NewInitiator(p, b, 40*sim.NS)
+			for j := 0; j < jobs; j++ {
+				for _, base := range []uint32{0x200, 0x100, 0x000} {
+					startJob(in, base, words)
+				}
+				for _, base := range []uint32{0x000, 0x100, 0x200} {
+					waitIdle(p, in, base, 80*sim.NS)
+				}
+			}
+		})
+		k.Run(sim.RunForever)
+		k.Shutdown()
+		return sink.JobDates(), sink.Checksum()
+	}
+	smartDates, smartSum := run(true)
+	syncDates, syncSum := run(false)
+	if smartSum != syncSum {
+		t.Errorf("checksums differ: smart %x sync %x", smartSum, syncSum)
+	}
+	if fmt.Sprint(smartDates) != fmt.Sprint(syncDates) {
+		t.Errorf("job dates differ:\nsmart %v\nsync  %v", smartDates, syncDates)
+	}
+}

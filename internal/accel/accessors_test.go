@@ -1,0 +1,46 @@
+package accel_test
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[accel.Kind]string{
+		accel.Generator: "generator",
+		accel.Scale:     "scale",
+		accel.FIR:       "fir",
+		accel.Decimate:  "decimate",
+		accel.Sink:      "sink",
+		accel.Kind(99):  "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if accel.MemToStream.String() != "mem-to-stream" || accel.StreamToMem.String() != "stream-to-mem" {
+		t.Error("Direction strings wrong")
+	}
+}
+
+func TestAccelConstructorChecks(t *testing.T) {
+	for name, f := range map[string]func(){
+		"scale-no-input": func() {
+			accel.New(nil, "x", accel.Config{Kind: accel.Scale})
+		},
+		"gen-no-output": func() {
+			accel.New(nil, "x", accel.Config{Kind: accel.Generator})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

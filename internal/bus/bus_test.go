@@ -1,0 +1,175 @@
+package bus_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/sim"
+)
+
+func TestRoutingAndLatency(t *testing.T) {
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", 2*sim.NS)
+	mem := bus.NewMemory(64, 3*sim.NS, 4*sim.NS)
+	b.Map("mem", 0x100, 64, mem)
+	k.Thread("init", func(p *sim.Process) {
+		b.BTransport(p, &bus.Transaction{Cmd: bus.Write, Addr: 0x110, Data: []uint32{7, 8}})
+		// 2ns bus + 2×4ns memory write.
+		if p.LocalTime() != 10*sim.NS {
+			t.Errorf("after write: local %v, want 10ns", p.LocalTime())
+		}
+		got := make([]uint32, 2)
+		b.BTransport(p, &bus.Transaction{Cmd: bus.Read, Addr: 0x110, Data: got})
+		if got[0] != 7 || got[1] != 8 {
+			t.Errorf("read back %v", got)
+		}
+		// +2ns bus + 2×3ns read.
+		if p.LocalTime() != 18*sim.NS {
+			t.Errorf("after read: local %v, want 18ns", p.LocalTime())
+		}
+	})
+	k.Run(sim.RunForever)
+	if b.Accesses() != 2 {
+		t.Errorf("Accesses = %d, want 2", b.Accesses())
+	}
+	if mem.Peek(0x10) != 7 {
+		t.Errorf("memory word 0x10 = %d", mem.Peek(0x10))
+	}
+}
+
+func TestUnmappedPanics(t *testing.T) {
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", 0)
+	b.Map("mem", 0, 16, bus.NewMemory(16, 0, 0))
+	caught := false
+	k.Thread("init", func(p *sim.Process) {
+		defer func() {
+			if recover() != nil {
+				caught = true
+			}
+		}()
+		b.BTransport(p, &bus.Transaction{Cmd: bus.Read, Addr: 0x999, Data: []uint32{0}})
+	})
+	k.Run(sim.RunForever)
+	if !caught {
+		t.Error("unmapped access did not panic")
+	}
+}
+
+func TestSplitBurstPanics(t *testing.T) {
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", 0)
+	b.Map("a", 0, 4, bus.NewMemory(4, 0, 0))
+	b.Map("b", 4, 4, bus.NewMemory(4, 0, 0))
+	caught := false
+	k.Thread("init", func(p *sim.Process) {
+		defer func() {
+			if recover() != nil {
+				caught = true
+			}
+		}()
+		b.BTransport(p, &bus.Transaction{Cmd: bus.Read, Addr: 2, Data: make([]uint32, 4)})
+	})
+	k.Run(sim.RunForever)
+	if !caught {
+		t.Error("window-crossing burst did not panic")
+	}
+}
+
+func TestOverlappingMapPanics(t *testing.T) {
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", 0)
+	b.Map("a", 0, 16, bus.NewMemory(16, 0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping Map did not panic")
+		}
+	}()
+	b.Map("b", 8, 16, bus.NewMemory(16, 0, 0))
+}
+
+func TestRegisterFileCallbacks(t *testing.T) {
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", sim.NS)
+	rf := bus.NewRegisterFile(4, sim.NS)
+	var startedAt sim.Time = -1
+	rf.OnWrite = func(p *sim.Process, idx int, v uint32) bool {
+		if idx == 0 && v == 1 {
+			startedAt = p.LocalTime()
+			return false // start bit does not store
+		}
+		return true
+	}
+	rf.OnRead = func(p *sim.Process, idx int) (uint32, bool) {
+		if idx == 3 {
+			return 0xdead, true // live status register
+		}
+		return 0, false
+	}
+	b.Map("regs", 0x200, 4, rf)
+	k.Thread("init", func(p *sim.Process) {
+		b.BTransport(p, &bus.Transaction{Cmd: bus.Write, Addr: 0x201, Data: []uint32{42}})
+		b.BTransport(p, &bus.Transaction{Cmd: bus.Write, Addr: 0x200, Data: []uint32{1}})
+		got := []uint32{0}
+		b.BTransport(p, &bus.Transaction{Cmd: bus.Read, Addr: 0x203, Data: got})
+		if got[0] != 0xdead {
+			t.Errorf("status read %#x, want 0xdead", got[0])
+		}
+	})
+	k.Run(sim.RunForever)
+	if rf.Get(1) != 42 {
+		t.Errorf("reg1 = %d, want 42", rf.Get(1))
+	}
+	if rf.Get(0) != 0 {
+		t.Error("start bit stored despite callback veto")
+	}
+	if startedAt != 4*sim.NS { // 2 transactions × (1ns bus + 1ns reg)
+		t.Errorf("start at %v, want 4ns", startedAt)
+	}
+}
+
+func TestInitiatorQuantumDecoupling(t *testing.T) {
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", sim.NS)
+	mem := bus.NewMemory(1024, sim.NS, sim.NS)
+	b.Map("mem", 0, 1024, mem)
+	k.Thread("cpu", func(p *sim.Process) {
+		in := bus.NewInitiator(p, b, 100*sim.NS)
+		for i := uint32(0); i < 50; i++ {
+			in.WriteWord(i, i*3)
+		}
+		for i := uint32(0); i < 50; i++ {
+			if in.ReadWord(i) != i*3 {
+				t.Errorf("word %d corrupted", i)
+			}
+		}
+	})
+	k.Run(sim.RunForever)
+	// 100 accesses × 2ns = 200ns of annotations with a 100ns quantum:
+	// only a couple of context switches, not one per access.
+	if cs := k.Stats().ContextSwitches; cs > 5 {
+		t.Errorf("ContextSwitches = %d; quantum keeper not decoupling", cs)
+	}
+	if k.Now() < 100*sim.NS {
+		t.Errorf("Now = %v; time did not advance past a quantum", k.Now())
+	}
+}
+
+func TestCascadedBuses(t *testing.T) {
+	k := sim.NewKernel("t")
+	top := bus.NewBus(k, "top", sim.NS)
+	sub := bus.NewBus(k, "sub", sim.NS)
+	mem := bus.NewMemory(16, 0, 0)
+	sub.Map("mem", 0, 16, mem)
+	top.Map("sub", 0x1000, 16, sub)
+	k.Thread("init", func(p *sim.Process) {
+		top.BTransport(p, &bus.Transaction{Cmd: bus.Write, Addr: 0x1002, Data: []uint32{5}})
+		if p.LocalTime() != 2*sim.NS { // two bus hops
+			t.Errorf("local %v, want 2ns", p.LocalTime())
+		}
+	})
+	k.Run(sim.RunForever)
+	if mem.Peek(2) != 5 {
+		t.Errorf("mem[2] = %d", mem.Peek(2))
+	}
+}

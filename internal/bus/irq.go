@@ -1,0 +1,135 @@
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// IRQ controller register indices.
+const (
+	// IRQRegPending reads the pending-and-enabled mask as observable at
+	// the caller's date; writing acknowledges (clears) the written bits.
+	IRQRegPending = 0
+	// IRQRegEnable reads/writes the enable mask.
+	IRQRegEnable = 1
+	// IRQNumRegs is the register file size.
+	IRQNumRegs = 2
+)
+
+// IRQController is a level-latched interrupt controller: devices Raise
+// lines at their local dates, software waits on Event and acknowledges
+// through the bus. It gives the case-study SoC an alternative to status
+// polling.
+//
+// Like the Smart FIFO, the controller is temporal-decoupling aware: a
+// device may raise an interrupt with a local date ahead of the global
+// date. The pending bit becomes *observable* (through IRQRegPending and
+// Event) only at the raise date, so interrupt timing matches a
+// non-decoupled model exactly.
+type IRQController struct {
+	k    *sim.Kernel
+	name string
+
+	pending   uint32 // raised, not yet acknowledged (internal view)
+	raiseDate [32]sim.Time
+	enable    uint32
+
+	ev *sim.Event
+}
+
+// NewIRQController creates a controller with all lines disabled.
+func NewIRQController(k *sim.Kernel, name string) *IRQController {
+	return &IRQController{k: k, name: name, ev: sim.NewEvent(k, name+".irq")}
+}
+
+// Name returns the controller name.
+func (c *IRQController) Name() string { return c.name }
+
+// Event is notified when an enabled line becomes pending (delayed to the
+// raise date, §III-B style).
+func (c *IRQController) Event() *sim.Event { return c.ev }
+
+// Raise latches line at the calling process's local date (the global date
+// outside any process). Raising an already-pending line keeps the earlier
+// date.
+func (c *IRQController) Raise(line int) {
+	if line < 0 || line >= 32 {
+		panic(fmt.Sprintf("bus: %s: bad IRQ line %d", c.name, line))
+	}
+	bit := uint32(1) << line
+	if c.pending&bit != 0 {
+		return
+	}
+	at := c.k.Now()
+	if p := c.k.Current(); p != nil {
+		at = p.LocalTime()
+	}
+	c.pending |= bit
+	c.raiseDate[line] = at
+	c.rearm()
+}
+
+// visiblePending returns the pending-and-enabled bits observable at date t.
+func (c *IRQController) visiblePending(t sim.Time) uint32 {
+	var v uint32
+	for line := 0; line < 32; line++ {
+		bit := uint32(1) << line
+		if c.pending&c.enable&bit != 0 && c.raiseDate[line] <= t {
+			v |= bit
+		}
+	}
+	return v
+}
+
+// rearm (re)schedules the interrupt event for the earliest enabled pending
+// raise date, replacing any stale pending notification.
+func (c *IRQController) rearm() {
+	c.ev.CancelNotify()
+	var earliest sim.Time = -1
+	for line := 0; line < 32; line++ {
+		bit := uint32(1) << line
+		if c.pending&c.enable&bit == 0 {
+			continue
+		}
+		if earliest < 0 || c.raiseDate[line] < earliest {
+			earliest = c.raiseDate[line]
+		}
+	}
+	if earliest < 0 {
+		return
+	}
+	if earliest <= c.k.Now() {
+		c.ev.NotifyDelta()
+		return
+	}
+	c.ev.NotifyAt(earliest)
+}
+
+// BTransport implements Target: pending (read/ack) and enable registers.
+func (c *IRQController) BTransport(p *sim.Process, t *Transaction) {
+	if int(t.Addr)+len(t.Data) > IRQNumRegs {
+		panic(fmt.Sprintf("bus: %s: access beyond IRQ registers", c.name))
+	}
+	p.Inc(sim.NS)
+	for i := range t.Data {
+		switch int(t.Addr) + i {
+		case IRQRegPending:
+			if t.Cmd == Read {
+				t.Data[i] = c.visiblePending(p.LocalTime())
+			} else {
+				c.pending &^= t.Data[i] // acknowledge
+				c.rearm()
+			}
+		case IRQRegEnable:
+			if t.Cmd == Read {
+				t.Data[i] = c.enable
+			} else {
+				c.enable = t.Data[i]
+				c.rearm()
+			}
+		}
+	}
+}
+
+var _ Target = (*IRQController)(nil)

@@ -1,0 +1,123 @@
+package bus_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/sim"
+)
+
+func TestIRQRaiseAndAck(t *testing.T) {
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", 0)
+	c := bus.NewIRQController(k, "irq")
+	b.Map("irq", 0x100, bus.IRQNumRegs, c)
+	var wokenAt sim.Time = -1
+	k.Thread("cpu", func(p *sim.Process) {
+		in := bus.NewInitiator(p, b, 100*sim.NS)
+		in.WriteWord(0x100+bus.IRQRegEnable, 0b10) // enable line 1 only
+		p.WaitEvent(c.Event())
+		wokenAt = k.Now()
+		pend := in.ReadWord(0x100 + bus.IRQRegPending)
+		if pend != 0b10 {
+			t.Errorf("pending = %#b, want 0b10 (line 0 disabled)", pend)
+		}
+		in.WriteWord(0x100+bus.IRQRegPending, 0b10) // ack
+		if in.ReadWord(0x100+bus.IRQRegPending) != 0 {
+			t.Error("pending not cleared by ack")
+		}
+	})
+	k.Thread("dev", func(p *sim.Process) {
+		p.Wait(20 * sim.NS)
+		c.Raise(0) // disabled: no event
+		p.Wait(20 * sim.NS)
+		c.Raise(1)
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	if wokenAt != 40*sim.NS {
+		t.Errorf("woken at %v, want 40ns", wokenAt)
+	}
+}
+
+func TestIRQDecoupledRaiseDateRespected(t *testing.T) {
+	// A device raising with a future local date: the interrupt must be
+	// observable only at that date.
+	k := sim.NewKernel("t")
+	c := bus.NewIRQController(k, "irq")
+	var wokenAt sim.Time = -1
+	k.Thread("cpu", func(p *sim.Process) {
+		// Enable directly (testbench shortcut through a transaction).
+		c.BTransport(p, &bus.Transaction{Cmd: bus.Write, Addr: bus.IRQRegEnable, Data: []uint32{1}})
+		p.WaitEvent(c.Event())
+		wokenAt = k.Now()
+	})
+	k.Thread("dev", func(p *sim.Process) {
+		p.Inc(75 * sim.NS) // decoupled: raise dated 75ns at global 0
+		c.Raise(0)
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	if wokenAt != 75*sim.NS {
+		t.Errorf("woken at %v, want 75ns (raise date)", wokenAt)
+	}
+}
+
+func TestIRQEnableAfterRaise(t *testing.T) {
+	// Enabling a line that is already pending fires the event.
+	k := sim.NewKernel("t")
+	c := bus.NewIRQController(k, "irq")
+	var wokenAt sim.Time = -1
+	k.Thread("dev", func(p *sim.Process) {
+		c.Raise(3)
+	})
+	k.Thread("cpu", func(p *sim.Process) {
+		p.Wait(50 * sim.NS)
+		c.BTransport(p, &bus.Transaction{Cmd: bus.Write, Addr: bus.IRQRegEnable, Data: []uint32{1 << 3}})
+		p.WaitEvent(c.Event())
+		wokenAt = k.Now()
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	if wokenAt < 50*sim.NS {
+		t.Errorf("woken at %v, want >= 50ns", wokenAt)
+	}
+	if wokenAt == -1 {
+		t.Fatal("never woken after late enable")
+	}
+}
+
+func TestIRQVisibilityBeforeRaiseDate(t *testing.T) {
+	k := sim.NewKernel("t")
+	c := bus.NewIRQController(k, "irq")
+	k.Thread("dev", func(p *sim.Process) {
+		p.Inc(60 * sim.NS)
+		c.Raise(0)
+	})
+	k.Thread("poller", func(p *sim.Process) {
+		c.BTransport(p, &bus.Transaction{Cmd: bus.Write, Addr: bus.IRQRegEnable, Data: []uint32{1}})
+		p.Wait(30 * sim.NS)
+		got := []uint32{9}
+		c.BTransport(p, &bus.Transaction{Cmd: bus.Read, Addr: bus.IRQRegPending, Data: got})
+		if got[0] != 0 {
+			t.Errorf("pending visible at 30ns (%#x), raise dated 60ns", got[0])
+		}
+		p.Wait(40 * sim.NS)
+		c.BTransport(p, &bus.Transaction{Cmd: bus.Read, Addr: bus.IRQRegPending, Data: got})
+		if got[0] != 1 {
+			t.Errorf("pending not visible at 70ns: %#x", got[0])
+		}
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+}
+
+func TestIRQBadLinePanics(t *testing.T) {
+	c := bus.NewIRQController(sim.NewKernel("t"), "irq")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for line 32")
+		}
+	}()
+	c.Raise(32)
+}

@@ -1,0 +1,60 @@
+package core
+
+import "repro/internal/sim"
+
+// Burst access: the packetization extension of §IV-C. The case study's
+// network interfaces move whole packets between accelerators and the NoC;
+// doing that word by word with an annotation per word is exactly the
+// pattern the Smart FIFO makes cheap, so the extension is a burst API with
+// one per-word period applied with Inc (no context switch per word).
+
+// WriteBurst writes vals in order, advancing the writer's local clock by
+// per between consecutive words: word i is written at the date of word 0
+// plus i*per (later if the FIFO back-pressures). It blocks like Write when
+// the FIFO is internally full.
+func (f *SmartFIFO[T]) WriteBurst(vals []T, per sim.Time) {
+	p := f.caller("WriteBurst")
+	for i, v := range vals {
+		if i > 0 {
+			p.Inc(per)
+		}
+		f.Write(v)
+	}
+}
+
+// ReadBurst fills dst in order, advancing the reader's local clock by per
+// between consecutive words. It blocks like Read when the FIFO is
+// internally empty.
+func (f *SmartFIFO[T]) ReadBurst(dst []T, per sim.Time) {
+	p := f.caller("ReadBurst")
+	for i := range dst {
+		if i > 0 {
+			p.Inc(per)
+		}
+		dst[i] = f.Read()
+	}
+}
+
+// TryReadBurst pops up to len(dst) externally available words without
+// blocking, advancing the caller's local clock by per between words. It
+// returns the number of words read. Safe from method processes; used by
+// the NoC network interfaces to packetize.
+func (f *SmartFIFO[T]) TryReadBurst(dst []T, per sim.Time) int {
+	p := f.caller("TryReadBurst")
+	n := 0
+	for i := range dst {
+		if i > 0 {
+			if f.IsEmpty() {
+				break
+			}
+			p.Inc(per)
+		}
+		v, ok := f.TryRead()
+		if !ok {
+			break
+		}
+		dst[i] = v
+		n++
+	}
+	return n
+}

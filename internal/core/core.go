@@ -1,0 +1,419 @@
+// Package core implements the paper's contribution: the Smart FIFO
+// (Helmstetter et al., DATE 2013, §III), a bounded FIFO channel that makes
+// temporal decoupling work for FIFO-based communications with zero timing
+// error and no user-chosen quantum.
+//
+// # Idea
+//
+// A regular FIFO under temporal decoupling either corrupts timing (no
+// synchronization, Fig. 3) or costs one context switch per access
+// (sync-on-every-access, the TDless baseline). The Smart FIFO instead
+// timestamps every cell: each cell records its last data-insertion date
+// and its last freeing date. A blocking read advances the *reader's local
+// clock* to the insertion date of the data it pops instead of context
+// switching; a blocking write symmetrically advances the *writer's local
+// clock* to the freeing date of the cell it fills. Context switches happen
+// only when the FIFO is internally full or empty.
+//
+// # Interfaces (paper Fig. 4)
+//
+// The Smart FIFO exposes three interfaces:
+//
+//   - writer side: Write, TryWrite, IsFull, NotFull — high-rate, requires
+//     non-decreasing local dates across accesses;
+//   - reader side: Read, TryRead, IsEmpty, NotEmpty — ditto;
+//   - monitor: Size, Depth — low-rate, any synchronized process.
+//
+// Each side must be accessed by a single process (time must go forward on
+// each side independently); use Arbiter when several processes share a
+// side. The access discipline is checked at run time.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fifo"
+	"repro/internal/sim"
+)
+
+// cell is one hardware FIFO slot plus the two timestamps of §III-A: the
+// last data-insertion date and the last freeing date. Together they let
+// the channel answer, for any query date, whether the *real* FIFO cell was
+// occupied at that date (see Size).
+type cell[T any] struct {
+	data       T
+	busy       bool
+	insertDate sim.Time // date the current/last data became available
+	freeDate   sim.Time // date the cell was last freed
+}
+
+// Stats counts Smart FIFO activity, for the Fig. 5 analysis.
+type Stats struct {
+	// Writes and Reads count completed accesses.
+	Writes, Reads uint64
+	// WriterBlocks and ReaderBlocks count accesses that had to context
+	// switch because the FIFO was internally full (resp. empty).
+	WriterBlocks, ReaderBlocks uint64
+	// WriterAdvances and ReaderAdvances count accesses whose only cost
+	// was a local-clock advance — the context switches the Smart FIFO
+	// saved relative to a regular FIFO under the same timing.
+	WriterAdvances, ReaderAdvances uint64
+}
+
+// SmartFIFO is a bounded FIFO channel for temporally decoupled models. It
+// contains as many cells as the hardware FIFO it models. Writes may block
+// (hardware FIFOs are bounded), so both directions carry timestamps.
+type SmartFIFO[T any] struct {
+	k    *sim.Kernel
+	name string
+
+	cells     []cell[T]
+	firstBusy int // index of the oldest busy cell
+	firstFree int // index of the oldest free cell
+	nBusy     int
+
+	// Internal blocking events: a parked (synchronized) writer waits on
+	// cellFreed, a parked reader on cellFilled.
+	cellFreed  *sim.Event
+	cellFilled *sim.Event
+
+	// External events for the non-blocking interface (§III-B). Their
+	// notifications are delayed to the date the external state actually
+	// changes (insertion/freeing date), not the internal-change date.
+	notEmpty *sim.Event
+	notFull  *sim.Event
+
+	// Access-discipline state: local dates must not decrease on a side.
+	lastWriteDate sim.Time
+	lastReadDate  sim.Time
+
+	stats  Stats
+	fault  Fault
+	policy BlockPolicy
+}
+
+// BlockPolicy selects how a blocking access behaves when the channel is
+// internally full (write) or empty (read). This is the §III-A
+// design-choice ablation, and it shows the paper's choice is load-bearing:
+//
+// With SyncThenWait (the paper's step 1), a process synchronizes before
+// parking, so the global date catches up with it first. That bounds how
+// far the channel's *internal* state can run ahead of the global date: a
+// cell can be freed-and-refilled at most one generation beyond what a
+// synchronized observer has seen, which is exactly the precondition of
+// the one-generation timestamps that IsEmpty/IsFull/Size interpret
+// (§III-B/C store only the *last* insertion and freeing date per cell).
+//
+// With WaitOnly, a blocked process keeps its decoupling offset. For pure
+// Kahn usage (blocking Read/Write only) the dates stay exact — the data
+// path never needs more than the latest stamps. But an entire stream can
+// then execute internally at one global instant, cycling each cell
+// through many generations, and the monitor/non-blocking interfaces lose
+// history they cannot reconstruct: Size and the delayed events become
+// wrong (TestWaitOnlyBreaksMonitor demonstrates it). WaitOnly exists for
+// this ablation; models must use SyncThenWait.
+type BlockPolicy int
+
+const (
+	// SyncThenWait is the paper's step 1: "synchronize the writer
+	// process and wait until a cell is available".
+	SyncThenWait BlockPolicy = iota
+	// WaitOnly parks the decoupled process directly on the internal
+	// event, keeping its local offset. Exact for Kahn-only traffic;
+	// unsound for the monitor and non-blocking interfaces. Ablation
+	// only.
+	WaitOnly
+)
+
+// String names the policy.
+func (b BlockPolicy) String() string {
+	if b == WaitOnly {
+		return "wait-only"
+	}
+	return "sync-then-wait"
+}
+
+// SetBlockPolicy selects the blocking behavior (default SyncThenWait).
+func (f *SmartFIFO[T]) SetBlockPolicy(p BlockPolicy) { f.policy = p }
+
+// NewSmart creates a Smart FIFO with the given depth (cells), which must be
+// positive.
+func NewSmart[T any](k *sim.Kernel, name string, depth int) *SmartFIFO[T] {
+	if depth <= 0 {
+		panic(fmt.Sprintf("core: %s: non-positive depth %d", name, depth))
+	}
+	return &SmartFIFO[T]{
+		k:          k,
+		name:       name,
+		cells:      make([]cell[T], depth),
+		cellFreed:  sim.NewEvent(k, name+".cell_freed"),
+		cellFilled: sim.NewEvent(k, name+".cell_filled"),
+		notEmpty:   sim.NewEvent(k, name+".not_empty"),
+		notFull:    sim.NewEvent(k, name+".not_full"),
+	}
+}
+
+// Name returns the channel name.
+func (f *SmartFIFO[T]) Name() string { return f.name }
+
+// Depth returns the capacity in cells.
+func (f *SmartFIFO[T]) Depth() int { return len(f.cells) }
+
+// Kernel returns the owning kernel.
+func (f *SmartFIFO[T]) Kernel() *sim.Kernel { return f.k }
+
+// Stats returns a copy of the activity counters.
+func (f *SmartFIFO[T]) Stats() Stats { return f.stats }
+
+// NotEmpty is the external readable-event (§III-B): it is notified at the
+// date the FIFO becomes externally non-empty, i.e. at the *insertion date*
+// of the first available datum, not at the (possibly earlier) global date
+// of the internal state change.
+func (f *SmartFIFO[T]) NotEmpty() *sim.Event { return f.notEmpty }
+
+// NotFull is the external writable-event, notified at the freeing date of
+// the first available cell.
+func (f *SmartFIFO[T]) NotFull() *sim.Event { return f.notFull }
+
+func (f *SmartFIFO[T]) caller(op string) *sim.Process {
+	p := f.k.Current()
+	if p == nil {
+		panic(fmt.Sprintf("core: %s: %s outside a process", f.name, op))
+	}
+	return p
+}
+
+// checkSideOrder enforces the §III requirement that two successive accesses
+// on the same side cannot have decreasing local dates.
+func (f *SmartFIFO[T]) checkSideOrder(p *sim.Process, last *sim.Time, side string) {
+	t := p.LocalTime()
+	if t < *last {
+		panic(fmt.Sprintf(
+			"core: %s: %s access by %q at local date %v after an access at %v; "+
+				"each side needs non-decreasing dates (add an Arbiter if several processes share a side)",
+			f.name, side, p.Name(), t, *last))
+	}
+	*last = t
+}
+
+// Write appends v (§III-A). If every cell is internally busy the calling
+// thread synchronizes and parks (one context switch). Otherwise, if the
+// first free cell's freeing date is in the caller's local future, the
+// caller's local clock advances to it — the real FIFO had no free cell
+// before that date — and the write costs no context switch at all.
+func (f *SmartFIFO[T]) Write(v T) {
+	p := f.caller("Write")
+	f.checkSideOrder(p, &f.lastWriteDate, "write")
+	for f.nBusy == len(f.cells) {
+		f.stats.WriterBlocks++
+		if f.policy == SyncThenWait && !p.Synchronized() {
+			// Let the global date catch up first; a reader may
+			// free a cell in the meantime, so re-check.
+			p.Sync()
+			continue
+		}
+		// WaitOnly keeps the caller decoupled across the park; its
+		// absolute local date must survive the global time that
+		// passes while parked.
+		local := p.LocalTime()
+		p.WaitEvent(f.cellFreed)
+		p.SetLocalDate(local)
+	}
+	c := &f.cells[f.firstFree]
+	if f.fault != FaultNoWriterAdvance {
+		if c.freeDate > p.LocalTime() {
+			f.stats.WriterAdvances++
+		}
+		p.AdvanceLocalTo(c.freeDate)
+	}
+	wasAllFree := f.nBusy == 0
+	c.data = v
+	c.busy = true
+	c.insertDate = p.LocalTime()
+	if f.fault == FaultInsertDateNow {
+		c.insertDate = f.k.Now()
+	}
+	f.firstFree = (f.firstFree + 1) % len(f.cells)
+	f.nBusy++
+	f.stats.Writes++
+	f.lastWriteDate = p.LocalTime()
+	// Wake a blocked reader, if any.
+	f.cellFilled.NotifyDelta()
+	// External view (§III-B): the FIFO becomes non-empty at the
+	// insertion date.
+	if wasAllFree {
+		f.notifyAtOrDelta(f.notEmpty, c.insertDate)
+	}
+	// If the *next* free cell's freeing date is in the future, a
+	// synchronized writer still sees the FIFO as full until that date.
+	if f.nBusy < len(f.cells) {
+		if nc := &f.cells[f.firstFree]; nc.freeDate > f.k.Now() {
+			f.notifyAtOrDelta(f.notFull, nc.freeDate)
+		}
+	}
+}
+
+// Read pops the oldest value (§III-A), symmetric to Write: park only when
+// internally empty; otherwise advance the reader's local clock to the
+// datum's insertion date if that date is in the local future.
+func (f *SmartFIFO[T]) Read() T {
+	p := f.caller("Read")
+	f.checkSideOrder(p, &f.lastReadDate, "read")
+	for f.nBusy == 0 {
+		f.stats.ReaderBlocks++
+		if f.policy == SyncThenWait && !p.Synchronized() {
+			p.Sync()
+			continue
+		}
+		local := p.LocalTime()
+		p.WaitEvent(f.cellFilled)
+		p.SetLocalDate(local)
+	}
+	c := &f.cells[f.firstBusy]
+	if f.fault != FaultNoReaderAdvance {
+		if c.insertDate > p.LocalTime() {
+			f.stats.ReaderAdvances++
+		}
+		p.AdvanceLocalTo(c.insertDate)
+	}
+	wasAllBusy := f.nBusy == len(f.cells)
+	v := c.data
+	var zero T
+	c.data = zero
+	c.busy = false
+	c.freeDate = p.LocalTime()
+	f.firstBusy = (f.firstBusy + 1) % len(f.cells)
+	f.nBusy--
+	f.stats.Reads++
+	f.lastReadDate = p.LocalTime()
+	// Wake a blocked writer, if any.
+	f.cellFreed.NotifyDelta()
+	// External view: the FIFO becomes non-full at the freeing date.
+	if wasAllBusy {
+		f.notifyAtOrDelta(f.notFull, c.freeDate)
+	}
+	// §III-B, notification case 2: the next datum exists internally but
+	// becomes externally visible only at its (future) insertion date.
+	if f.nBusy > 0 {
+		if nc := &f.cells[f.firstBusy]; nc.insertDate > f.k.Now() {
+			f.notifyAtOrDelta(f.notEmpty, nc.insertDate)
+		}
+	}
+	return v
+}
+
+// notifyAtOrDelta schedules e at absolute date at, or at the next delta
+// cycle if at is not in the future. Unlike plain sc_event earliest-wins
+// semantics, the pending notification is replaced: the FIFO recomputes the
+// authoritative next-availability date at every state change, and an
+// earlier stale notification would be both spurious and — worse — would
+// swallow the recomputed one, stranding event-driven consumers.
+func (f *SmartFIFO[T]) notifyAtOrDelta(e *sim.Event, at sim.Time) {
+	if f.fault == FaultNotifyNow {
+		e.CancelNotify()
+		e.NotifyDelta()
+		return
+	}
+	now := f.k.Now()
+	e.CancelNotify()
+	if at <= now {
+		e.NotifyDelta()
+		return
+	}
+	e.NotifyAt(at)
+}
+
+// IsEmpty implements the §III-B two-test rule, evaluated at the caller's
+// local date t: the FIFO is externally empty iff either all cells are
+// internally free, or the insertion date of the first busy cell is after
+// t. It runs in constant time ("two tests instead of one for a regular
+// FIFO"). It must be called from the reader-side process or a synchronized
+// process; under that discipline the two tests are exact.
+func (f *SmartFIFO[T]) IsEmpty() bool {
+	p := f.caller("IsEmpty")
+	if f.fault == FaultEmptyIgnoresDates {
+		return f.nBusy == 0
+	}
+	if f.nBusy == 0 {
+		return true
+	}
+	return f.cells[f.firstBusy].insertDate > p.LocalTime()
+}
+
+// IsFull is the symmetric two-test rule for the writer side: externally
+// full iff all cells are internally busy, or the freeing date of the first
+// free cell is after the caller's local date.
+func (f *SmartFIFO[T]) IsFull() bool {
+	p := f.caller("IsFull")
+	if f.nBusy == len(f.cells) {
+		return true
+	}
+	return f.cells[f.firstFree].freeDate > p.LocalTime()
+}
+
+// TryRead pops the oldest value if the FIFO is externally non-empty at the
+// caller's local date. Unlike Read it never blocks, so it is safe from
+// method processes (§III-B usage pattern: if IsEmpty, NextTrigger on
+// NotEmpty, else TryRead).
+func (f *SmartFIFO[T]) TryRead() (T, bool) {
+	if f.IsEmpty() {
+		var zero T
+		return zero, false
+	}
+	return f.Read(), true
+}
+
+// TryWrite appends v if the FIFO is externally non-full at the caller's
+// local date. Never blocks; safe from method processes.
+func (f *SmartFIFO[T]) TryWrite(v T) bool {
+	if f.IsFull() {
+		return false
+	}
+	f.Write(v)
+	return true
+}
+
+// Size implements the monitor interface (§III-C): the number of cells the
+// *real* FIFO holds at the caller's date. The caller is synchronized first
+// (thread callers only; method callers are synchronized by construction),
+// then every cell is interpreted with the four-rule table of §III-C:
+//
+//   - an internal busy cell is really busy if its insertion date is in the
+//     past, or its previous freeing date is in the future (it was freed and
+//     refilled since the query date);
+//   - an internal free cell is really busy if its freeing date is in the
+//     future and its previous insertion date is in the past.
+//
+// Size is O(depth) — slower than a regular FIFO's counter, which is fine
+// for the low-rate monitor use the paper targets (a few accesses per
+// second).
+func (f *SmartFIFO[T]) Size() int {
+	p := f.caller("Size")
+	if !p.IsMethod() {
+		p.Sync()
+	}
+	now := p.LocalTime()
+	if f.fault == FaultSizeIgnoresDates {
+		return f.nBusy
+	}
+	n := 0
+	for i := range f.cells {
+		c := &f.cells[i]
+		if c.busy {
+			if c.insertDate <= now || c.freeDate > now {
+				n++
+			}
+		} else {
+			if c.freeDate > now && c.insertDate <= now {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// InternalSize returns the number of internally busy cells, ignoring
+// timestamps. Exposed for tests and benchmarks; models must use Size.
+func (f *SmartFIFO[T]) InternalSize() int { return f.nBusy }
+
+var _ fifo.Channel[int] = (*SmartFIFO[int])(nil)

@@ -1,0 +1,69 @@
+package core_test
+
+// Mechanized version of the paper's §IV-A mutation testing: for every
+// injectable fault, at least one validation scenario must diverge from the
+// reference trace (or crash). A fault that survives the whole suite means
+// the suite is too weak.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// mutationScenarios is the §IV-A suite used for fault detection.
+var mutationScenarios = map[string]Scenario{
+	"fig1-deep":        scenarioFig1(4, 12, 20*sim.NS, 15*sim.NS),
+	"fig1-backpressed": scenarioFig1(1, 12, 0, 25*sim.NS),
+	"pipeline":         scenarioPipeline(2, 4, 8, 5*sim.NS, 20*sim.NS, 10*sim.NS),
+	"monitor":          scenarioMonitor(3),
+	"event-consumer":   scenarioEventConsumer(4),
+	"packetizer":       scenarioPacketizer(32, 5, 4),
+	"random":           scenarioRandom(7),
+}
+
+// runSmartSafe runs scenario s in smart mode with fault ft, converting a
+// model panic (some faults break internal invariants) into a detection.
+func runSmartSafe(s Scenario, ft core.Fault) (rec *trace.Recorder, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	rec = runMode(s, ModeSmart, 1, ft)
+	return rec, false
+}
+
+func TestMutationsAreCaught(t *testing.T) {
+	for _, ft := range core.AllFaults {
+		t.Run(ft.String(), func(t *testing.T) {
+			for name, s := range mutationScenarios {
+				ref := runMode(s, ModeReference, 1, core.FaultNone)
+				smart, panicked := runSmartSafe(s, ft)
+				if panicked || trace.Diff(ref, smart) != "" {
+					t.Logf("fault %v caught by scenario %q (panicked=%v)", ft, name, panicked)
+					return
+				}
+			}
+			t.Errorf("fault %v not caught by any validation scenario", ft)
+		})
+	}
+}
+
+// TestNoFaultFalsePositive double-checks that the detector itself is sound:
+// with FaultNone, no scenario may diverge.
+func TestNoFaultFalsePositive(t *testing.T) {
+	for name, s := range mutationScenarios {
+		ref := runMode(s, ModeReference, 1, core.FaultNone)
+		smart, panicked := runSmartSafe(s, core.FaultNone)
+		if panicked {
+			t.Errorf("scenario %q panicked without fault", name)
+			continue
+		}
+		if d := trace.Diff(ref, smart); d != "" {
+			t.Errorf("scenario %q diverges without fault:\n%s", name, d)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core_test
+
+// Ablation of the §III-A blocking design choice: the paper synchronizes a
+// process before parking it on a full/empty FIFO; WaitOnly parks it
+// directly, keeping its decoupling offset. Both must be timing-exact; they
+// may differ in context-switch counts.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// runSmartPolicy runs scenario s in smart mode under the given blocking
+// policy.
+func runSmartPolicy(s Scenario, pol core.BlockPolicy) *trace.Recorder {
+	e := &Env{
+		K:      sim.NewKernel("policy"),
+		Rec:    trace.NewRecorder(),
+		Mode:   ModeSmart,
+		policy: pol,
+	}
+	s(e)
+	e.K.Run(sim.RunForever)
+	e.K.Shutdown()
+	return e.Rec
+}
+
+// TestWaitOnlyKahnExact: for pure Kahn traffic (blocking reads and writes
+// only), skipping the pre-block synchronization still yields exact dates —
+// the data path only ever needs the latest cell stamps.
+func TestWaitOnlyKahnExact(t *testing.T) {
+	kahnScenarios := map[string]Scenario{
+		"fig1-deep":        scenarioFig1(4, 12, 20*sim.NS, 15*sim.NS),
+		"fig1-backpressed": scenarioFig1(1, 12, 0, 25*sim.NS),
+		"pipeline":         scenarioPipeline(2, 4, 8, 5*sim.NS, 20*sim.NS, 10*sim.NS),
+		"mixed-sync":       scenarioMixedSync(3),
+	}
+	for name, s := range kahnScenarios {
+		ref := runMode(s, ModeReference, 1, core.FaultNone)
+		got := runSmartPolicy(s, core.WaitOnly)
+		if d := trace.Diff(ref, got); d != "" {
+			t.Errorf("Kahn scenario %q under wait-only:\n%s", name, d)
+		}
+	}
+}
+
+// TestWaitOnlyBreaksMonitor demonstrates that the paper's sync-before-park
+// is *required* by the non-Kahn interfaces: without it, whole streams
+// execute internally at one global instant, cells cycle through several
+// generations, and the one-generation timestamps can no longer reconstruct
+// the real occupancy at a monitor's query date.
+func TestWaitOnlyBreaksMonitor(t *testing.T) {
+	s := scenarioMonitor(3)
+	ref := runMode(s, ModeReference, 1, core.FaultNone)
+	got := runSmartPolicy(s, core.WaitOnly)
+	if trace.Diff(ref, got) == "" {
+		t.Error("monitor scenario unexpectedly exact under wait-only; " +
+			"the sync-before-park ablation should show the design choice is load-bearing")
+	}
+}
+
+// TestPolicySwitchCounts: WaitOnly never does more context switches than
+// SyncThenWait (it skips the pre-block sync), and blocking-heavy workloads
+// show a real difference.
+func TestPolicySwitchCounts(t *testing.T) {
+	count := func(pol core.BlockPolicy) uint64 {
+		k := sim.NewKernel("pol")
+		f := core.NewSmart[int](k, "f", 1)
+		f.SetBlockPolicy(pol)
+		const n = 200
+		k.Thread("writer", func(p *sim.Process) {
+			for i := 0; i < n; i++ {
+				f.Write(i)
+				p.Inc(3 * sim.NS)
+			}
+		})
+		k.Thread("reader", func(p *sim.Process) {
+			for i := 0; i < n; i++ {
+				f.Read()
+				p.Inc(7 * sim.NS)
+			}
+		})
+		k.Run(sim.RunForever)
+		return k.Stats().ContextSwitches
+	}
+	sync, wait := count(core.SyncThenWait), count(core.WaitOnly)
+	if wait > sync {
+		t.Errorf("wait-only used more switches (%d) than sync-then-wait (%d)", wait, sync)
+	}
+	if wait == sync {
+		t.Logf("note: policies tied at %d switches on this workload", sync)
+	}
+}
+
+// TestPolicyBoundsRunAhead: with SyncThenWait, a writer blocked on a full
+// FIFO is synchronized, so its local offset is bounded; with WaitOnly the
+// offset survives the park. This is the trade-off the paper chose.
+func TestPolicyBoundsRunAhead(t *testing.T) {
+	probe := func(pol core.BlockPolicy) sim.Time {
+		k := sim.NewKernel("pol")
+		f := core.NewSmart[int](k, "f", 1)
+		f.SetBlockPolicy(pol)
+		var offsetAtWake sim.Time = -1
+		k.Thread("writer", func(p *sim.Process) {
+			f.Write(0)
+			p.Inc(100 * sim.NS) // far ahead
+			f.Write(1)          // blocks: FIFO full
+			if offsetAtWake == -1 {
+				offsetAtWake = p.LocalOffset()
+			}
+		})
+		k.Thread("reader", func(p *sim.Process) {
+			p.Wait(10 * sim.NS)
+			f.Read()
+			p.Wait(10 * sim.NS)
+			f.Read()
+		})
+		k.Run(sim.RunForever)
+		k.Shutdown()
+		return offsetAtWake
+	}
+	if got := probe(core.SyncThenWait); got != 0 {
+		t.Errorf("sync-then-wait: offset after blocked write = %v, want 0", got)
+	}
+	if got := probe(core.WaitOnly); got == 0 {
+		t.Error("wait-only: offset after blocked write = 0, expected preserved run-ahead")
+	}
+}

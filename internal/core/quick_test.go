@@ -1,0 +1,230 @@
+package core_test
+
+// Property-based tests (testing/quick) on the Smart FIFO invariants.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// periods converts raw fuzz bytes into per-word periods that are multiples
+// of 10ns (keeping monitor probes at 5ns offsets race-free).
+func periods(raw []byte, n int) []sim.Time {
+	ds := make([]sim.Time, n)
+	for i := range ds {
+		b := byte(7)
+		if len(raw) > 0 {
+			b = raw[i%len(raw)]
+		}
+		ds[i] = sim.Time(b%5) * 10 * sim.NS
+	}
+	return ds
+}
+
+// scenarioQuick is a producer/consumer pair with arbitrary per-word
+// periods plus a monitor, fully determined by the fuzz inputs.
+func scenarioQuick(depth int, wPer, rPer []sim.Time) Scenario {
+	return func(e *Env) {
+		f := e.NewFIFO("fifo", depth)
+		e.K.Thread("writer", func(p *sim.Process) {
+			for i := range wPer {
+				f.Write(i)
+				e.Logf(p, "w%d", i)
+				e.Delay(p, wPer[i])
+			}
+		})
+		e.K.Thread("reader", func(p *sim.Process) {
+			for i := range rPer {
+				v := f.Read()
+				e.Logf(p, "r%d", v)
+				e.Delay(p, rPer[i])
+			}
+		})
+		e.K.Thread("monitor", func(p *sim.Process) {
+			p.Wait(5 * sim.NS)
+			for i := 0; i < 10; i++ {
+				e.Logf(p, "s%d", f.Size())
+				p.Wait(40 * sim.NS)
+			}
+		})
+	}
+}
+
+// TestQuickDualModeEquivalence is the property form of the paper's
+// accuracy claim: for arbitrary depths and rate patterns, the Smart FIFO
+// trace equals the non-decoupled reference trace after date reordering.
+func TestQuickDualModeEquivalence(t *testing.T) {
+	prop := func(depthRaw uint8, wRaw, rRaw []byte) bool {
+		depth := int(depthRaw%8) + 1
+		n := 30
+		s := scenarioQuick(depth, periods(wRaw, n), periods(rRaw, n))
+		ref := runMode(s, ModeReference, 1, core.FaultNone)
+		smart := runMode(s, ModeSmart, 1, core.FaultNone)
+		return trace.Equal(ref, smart)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSizeBounds: the monitor Size is always within [0, depth]
+// whatever the query date and traffic pattern.
+func TestQuickSizeBounds(t *testing.T) {
+	prop := func(depthRaw uint8, wRaw, rRaw []byte, probeRaw uint8) bool {
+		depth := int(depthRaw%8) + 1
+		n := 25
+		wPer, rPer := periods(wRaw, n), periods(rRaw, n)
+		ok := true
+		k := sim.NewKernel("q")
+		f := core.NewSmart[int](k, "fifo", depth)
+		k.Thread("writer", func(p *sim.Process) {
+			for i := 0; i < n; i++ {
+				f.Write(i)
+				p.Inc(wPer[i])
+			}
+		})
+		k.Thread("reader", func(p *sim.Process) {
+			for i := 0; i < n; i++ {
+				f.Read()
+				p.Inc(rPer[i])
+			}
+		})
+		k.Thread("monitor", func(p *sim.Process) {
+			p.Wait(sim.Time(probeRaw%10) * sim.NS)
+			for i := 0; i < 15; i++ {
+				s := f.Size()
+				if s < 0 || s > depth {
+					ok = false
+				}
+				p.Wait(13 * sim.NS)
+			}
+		})
+		k.Run(sim.RunForever)
+		k.Shutdown()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKahnDeterminism: the sequence of values read is the sequence
+// written, for any rates and depth (the FIFO is a Kahn channel).
+func TestQuickKahnDeterminism(t *testing.T) {
+	prop := func(depthRaw uint8, wRaw, rRaw []byte) bool {
+		depth := int(depthRaw%16) + 1
+		n := 40
+		wPer, rPer := periods(wRaw, n), periods(rRaw, n)
+		k := sim.NewKernel("q")
+		f := core.NewSmart[int](k, "fifo", depth)
+		k.Thread("writer", func(p *sim.Process) {
+			for i := 0; i < n; i++ {
+				f.Write(i)
+				p.Inc(wPer[i])
+			}
+		})
+		ok := true
+		k.Thread("reader", func(p *sim.Process) {
+			for i := 0; i < n; i++ {
+				if f.Read() != i {
+					ok = false
+				}
+				p.Inc(rPer[i])
+			}
+		})
+		k.Run(sim.RunForever)
+		k.Shutdown()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDatesMonotonicPerSide: the dates at which reads and writes
+// complete are non-decreasing on each side — the invariant the access
+// discipline (§III) relies on.
+func TestQuickDatesMonotonicPerSide(t *testing.T) {
+	prop := func(depthRaw uint8, wRaw, rRaw []byte) bool {
+		depth := int(depthRaw%8) + 1
+		n := 30
+		wPer, rPer := periods(wRaw, n), periods(rRaw, n)
+		k := sim.NewKernel("q")
+		f := core.NewSmart[int](k, "fifo", depth)
+		ok := true
+		var lastW, lastR sim.Time = -1, -1
+		k.Thread("writer", func(p *sim.Process) {
+			for i := 0; i < n; i++ {
+				f.Write(i)
+				if p.LocalTime() < lastW {
+					ok = false
+				}
+				lastW = p.LocalTime()
+				p.Inc(wPer[i])
+			}
+		})
+		k.Thread("reader", func(p *sim.Process) {
+			for i := 0; i < n; i++ {
+				f.Read()
+				if p.LocalTime() < lastR {
+					ok = false
+				}
+				lastR = p.LocalTime()
+				p.Inc(rPer[i])
+			}
+		})
+		k.Run(sim.RunForever)
+		k.Shutdown()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCausality: a read of datum i never completes before the write
+// of datum i (local dates compared), and a write into a previously used
+// cell never completes before the read that freed it.
+func TestQuickCausality(t *testing.T) {
+	prop := func(depthRaw uint8, wRaw, rRaw []byte) bool {
+		depth := int(depthRaw%4) + 1
+		n := 30
+		wPer, rPer := periods(wRaw, n), periods(rRaw, n)
+		k := sim.NewKernel("q")
+		f := core.NewSmart[int](k, "fifo", depth)
+		wDates := make([]sim.Time, n)
+		rDates := make([]sim.Time, n)
+		k.Thread("writer", func(p *sim.Process) {
+			for i := 0; i < n; i++ {
+				f.Write(i)
+				wDates[i] = p.LocalTime()
+				p.Inc(wPer[i])
+			}
+		})
+		k.Thread("reader", func(p *sim.Process) {
+			for i := 0; i < n; i++ {
+				f.Read()
+				rDates[i] = p.LocalTime()
+				p.Inc(rPer[i])
+			}
+		})
+		k.Run(sim.RunForever)
+		k.Shutdown()
+		for i := 0; i < n; i++ {
+			if rDates[i] < wDates[i] {
+				return false // read before data existed
+			}
+			if i+depth < n && wDates[i+depth] < rDates[i] {
+				return false // cell reused before it was freed
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,314 @@
+package cpu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly text into a program for New. The syntax,
+// one instruction per line:
+//
+//	; comment (also after instructions)
+//	label:
+//	        ldi   r1, 10          ; rd, imm16
+//	        lui   r2, 0x1234      ; rd, imm16 (value << 16)
+//	        mov   r3, r1
+//	        add   r3, r1, r2      ; also sub/and/or/xor/shl/shr/mul
+//	        addi  r3, r3, -1      ; also andi/ori
+//	        ld    r4, 8(r1)       ; rd, offset(ra)
+//	        st    r4, 8(r1)
+//	        beq   r1, r0, label   ; also bne/blt/bge
+//	        jmp   label
+//	        jal   r14, label
+//	        jr    r14
+//	        wfi
+//	        nop
+//	        halt
+//
+// Numbers are decimal or 0x-hex, optionally negative. Branch and jump
+// targets may be labels or signed numeric offsets.
+func Assemble(src string) ([]uint32, error) {
+	type pending struct {
+		pc    int
+		label string
+		line  int
+	}
+	var prog []uint32
+	labels := map[string]int{}
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("cpu: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("cpu: line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = len(prog)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		mnemonic, rest, _ := strings.Cut(line, " ")
+		mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+		var args []string
+		if strings.TrimSpace(rest) != "" {
+			for _, a := range strings.Split(rest, ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+		fail := func(format string, a ...any) ([]uint32, error) {
+			return nil, fmt.Errorf("cpu: line %d: %s: %s", lineNo+1, line, fmt.Sprintf(format, a...))
+		}
+		need := func(n int) error {
+			if len(args) != n {
+				return fmt.Errorf("want %d operands, got %d", n, len(args))
+			}
+			return nil
+		}
+
+		var w uint32
+		switch mnemonic {
+		case "nop":
+			w = enc(opNOP, 0, 0, 0, 0)
+		case "halt":
+			w = enc(opHALT, 0, 0, 0, 0)
+		case "wfi":
+			w = enc(opWFI, 0, 0, 0, 0)
+		case "ldi", "lui":
+			if err := need(2); err != nil {
+				return fail("%v", err)
+			}
+			rd, err := reg(args[0])
+			if err != nil {
+				return fail("%v", err)
+			}
+			imm, err := number(args[1])
+			if err != nil {
+				return fail("%v", err)
+			}
+			op := opLDI
+			if mnemonic == "lui" {
+				op = opLUI
+			}
+			w = enc(op, rd, 0, 0, int(imm))
+		case "mov", "jr":
+			if err := need(1 + b2i(mnemonic == "mov")); err != nil {
+				return fail("%v", err)
+			}
+			r1, err := reg(args[0])
+			if err != nil {
+				return fail("%v", err)
+			}
+			if mnemonic == "jr" {
+				w = enc(opJR, 0, r1, 0, 0)
+				break
+			}
+			r2, err := reg(args[1])
+			if err != nil {
+				return fail("%v", err)
+			}
+			w = enc(opMOV, r1, r2, 0, 0)
+		case "add", "sub", "and", "or", "xor", "shl", "shr", "mul":
+			if err := need(3); err != nil {
+				return fail("%v", err)
+			}
+			rd, e1 := reg(args[0])
+			ra, e2 := reg(args[1])
+			rb, e3 := reg(args[2])
+			if e1 != nil || e2 != nil || e3 != nil {
+				return fail("bad register")
+			}
+			ops := map[string]int{"add": opADD, "sub": opSUB, "and": opAND, "or": opOR,
+				"xor": opXOR, "shl": opSHL, "shr": opSHR, "mul": opMUL}
+			w = enc(ops[mnemonic], rd, ra, rb, 0)
+		case "addi", "andi", "ori":
+			if err := need(3); err != nil {
+				return fail("%v", err)
+			}
+			rd, e1 := reg(args[0])
+			ra, e2 := reg(args[1])
+			if e1 != nil || e2 != nil {
+				return fail("bad register")
+			}
+			imm, err := number(args[2])
+			if err != nil {
+				return fail("%v", err)
+			}
+			ops := map[string]int{"addi": opADDI, "andi": opANDI, "ori": opORI}
+			w = enc(ops[mnemonic], rd, ra, 0, int(imm))
+		case "ld", "st":
+			if err := need(2); err != nil {
+				return fail("%v", err)
+			}
+			rd, err := reg(args[0])
+			if err != nil {
+				return fail("%v", err)
+			}
+			off, ra, err := memOperand(args[1])
+			if err != nil {
+				return fail("%v", err)
+			}
+			op := opLD
+			if mnemonic == "st" {
+				op = opST
+			}
+			w = enc(op, rd, ra, 0, int(off))
+		case "beq", "bne", "blt", "bge":
+			if err := need(3); err != nil {
+				return fail("%v", err)
+			}
+			r1, e1 := reg(args[0])
+			r2, e2 := reg(args[1])
+			if e1 != nil || e2 != nil {
+				return fail("bad register")
+			}
+			ops := map[string]int{"beq": opBEQ, "bne": opBNE, "blt": opBLT, "bge": opBGE}
+			if off, err := number(args[2]); err == nil {
+				w = enc(ops[mnemonic], r1, r2, 0, int(off))
+			} else {
+				fixups = append(fixups, pending{pc: len(prog), label: args[2], line: lineNo + 1})
+				w = enc(ops[mnemonic], r1, r2, 0, 0)
+			}
+		case "jmp", "jal":
+			rd := 0
+			target := ""
+			switch mnemonic {
+			case "jmp":
+				if err := need(1); err != nil {
+					return fail("%v", err)
+				}
+				target = args[0]
+				w = enc(opJMP, 0, 0, 0, 0)
+			case "jal":
+				if err := need(2); err != nil {
+					return fail("%v", err)
+				}
+				var err error
+				rd, err = reg(args[0])
+				if err != nil {
+					return fail("%v", err)
+				}
+				target = args[1]
+				w = enc(opJAL, rd, 0, 0, 0)
+			}
+			if off, err := number(target); err == nil {
+				w |= uint32(off) & 0xffff
+			} else {
+				fixups = append(fixups, pending{pc: len(prog), label: target, line: lineNo + 1})
+			}
+		default:
+			return fail("unknown mnemonic %q", mnemonic)
+		}
+		prog = append(prog, w)
+	}
+
+	for _, f := range fixups {
+		at, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("cpu: line %d: undefined label %q", f.line, f.label)
+		}
+		rel := at - (f.pc + 1)
+		if rel < -0x8000 || rel > 0x7fff {
+			return nil, fmt.Errorf("cpu: line %d: branch to %q out of range (%d)", f.line, f.label, rel)
+		}
+		prog[f.pc] |= uint32(rel) & 0xffff
+	}
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("cpu: empty program")
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble panicking on error, for firmware literals.
+func MustAssemble(src string) []uint32 {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func reg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 15 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func number(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if v < -0x8000 || v > 0xffff {
+		return 0, fmt.Errorf("immediate %d out of 16-bit range", v)
+	}
+	return int32(v), nil
+}
+
+// memOperand parses "offset(rN)" or "(rN)".
+func memOperand(s string) (off int32, ra int, err error) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexByte(s, '(')
+	if i < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q (want offset(rN))", s)
+	}
+	if i > 0 {
+		off, err = number(s[:i])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	ra, err = reg(s[i+1 : len(s)-1])
+	return off, ra, err
+}

@@ -1,0 +1,225 @@
+// Package cpu implements a small instruction-set simulator for the
+// case-study SoC's control cores ("part of this SoC is composed of cores
+// sharing a shared memory", §IV-C): a 32-bit RISC-like machine whose data
+// accesses are TLM transactions on the bus, temporally decoupled with a
+// quantum keeper exactly like the paper's memory-mapped side.
+//
+// The core executes firmware assembled with Assemble from a private
+// instruction ROM (instruction fetch is not simulated as bus traffic —
+// control cores have I-caches; data loads/stores go through the bus with
+// full latency annotation). Every instruction costs CPI of local time;
+// the quantum keeper turns that into a context switch only once per
+// quantum.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/sim"
+	"repro/internal/td"
+)
+
+// Opcodes. The encoding is op[31:24] rd[23:20] ra[19:16] rb[15:12] |
+// imm16[15:0]; immediate and register-b forms never coexist.
+const (
+	opNOP  = 0x00
+	opHALT = 0x01
+	opLDI  = 0x02 // rd = zext(imm16)
+	opLUI  = 0x03 // rd = imm16 << 16
+	opMOV  = 0x04 // rd = ra
+	opADD  = 0x10
+	opSUB  = 0x11
+	opAND  = 0x12
+	opOR   = 0x13
+	opXOR  = 0x14
+	opSHL  = 0x15
+	opSHR  = 0x16
+	opMUL  = 0x17
+	opADDI = 0x20 // rd = ra + sext(imm16)
+	opANDI = 0x21
+	opORI  = 0x22
+	opLD   = 0x30 // rd = mem[ra + sext(imm16)]
+	opST   = 0x31 // mem[ra + sext(imm16)] = rd
+	opBEQ  = 0x40 // if rd == ra: pc += sext(imm16)
+	opBNE  = 0x41
+	opBLT  = 0x42 // signed
+	opBGE  = 0x43
+	opJMP  = 0x44 // pc += sext(imm16)
+	opJAL  = 0x45 // rd = pc+1; pc += sext(imm16)
+	opJR   = 0x46 // pc = ra
+	opWFI  = 0x50 // wait for interrupt (needs Config.IRQ)
+)
+
+func enc(op, rd, ra, rb, imm int) uint32 {
+	return uint32(op)<<24 | uint32(rd&0xf)<<20 | uint32(ra&0xf)<<16 |
+		uint32(rb&0xf)<<12 | uint32(imm&0xffff)
+}
+
+// Config parameterizes a core.
+type Config struct {
+	// Program is the instruction ROM (use Assemble).
+	Program []uint32
+	// Bus carries data loads and stores (word addresses).
+	Bus *bus.Bus
+	// CPI is the local time per instruction.
+	CPI sim.Time
+	// Quantum is the decoupling quantum (0 = synchronize every
+	// instruction, the TDless-style baseline).
+	Quantum sim.Time
+	// IRQ, if non-nil, backs the WFI instruction.
+	IRQ *bus.IRQController
+	// WFITimeout bounds a WFI sleep (lost-wakeup backstop); 0 means
+	// 1us.
+	WFITimeout sim.Time
+}
+
+// CPU is one core instance.
+type CPU struct {
+	k    *sim.Kernel
+	name string
+	cfg  Config
+
+	regs [16]uint32
+	pc   int
+
+	halted  bool
+	retired uint64
+
+	proc *sim.Process
+}
+
+// New creates a core and registers its thread process. Execution begins at
+// pc 0 when the simulation runs.
+func New(k *sim.Kernel, name string, cfg Config) *CPU {
+	if len(cfg.Program) == 0 {
+		panic(fmt.Sprintf("cpu: %s: empty program", name))
+	}
+	if cfg.Bus == nil {
+		panic(fmt.Sprintf("cpu: %s: no bus", name))
+	}
+	if cfg.CPI <= 0 {
+		cfg.CPI = sim.NS
+	}
+	if cfg.WFITimeout <= 0 {
+		cfg.WFITimeout = sim.US
+	}
+	c := &CPU{k: k, name: name, cfg: cfg}
+	c.proc = k.Thread(name, c.run)
+	return c
+}
+
+// Name returns the core name.
+func (c *CPU) Name() string { return c.name }
+
+// Halted reports whether the core executed HALT.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Retired returns the number of executed instructions.
+func (c *CPU) Retired() uint64 { return c.retired }
+
+// Reg returns register r's value (testbench access).
+func (c *CPU) Reg(r int) uint32 { return c.regs[r] }
+
+// setReg writes a register; r0 is hardwired to zero.
+func (c *CPU) setReg(r int, v uint32) {
+	if r != 0 {
+		c.regs[r] = v
+	}
+}
+
+func sext16(v uint32) int32 { return int32(int16(v & 0xffff)) }
+
+// run is the core thread: a classic fetch-decode-execute loop with
+// quantum-kept timing annotation.
+func (c *CPU) run(p *sim.Process) {
+	qk := td.NewQuantumKeeper(p, c.cfg.Quantum)
+	for !c.halted {
+		if c.pc < 0 || c.pc >= len(c.cfg.Program) {
+			panic(fmt.Sprintf("cpu: %s: pc %d outside program (%d words)", c.name, c.pc, len(c.cfg.Program)))
+		}
+		ins := c.cfg.Program[c.pc]
+		op := int(ins >> 24)
+		rd := int(ins >> 20 & 0xf)
+		ra := int(ins >> 16 & 0xf)
+		rb := int(ins >> 12 & 0xf)
+		imm := ins & 0xffff
+		next := c.pc + 1
+		switch op {
+		case opNOP:
+		case opHALT:
+			c.halted = true
+		case opLDI:
+			c.setReg(rd, imm)
+		case opLUI:
+			c.setReg(rd, imm<<16)
+		case opMOV:
+			c.setReg(rd, c.regs[ra])
+		case opADD:
+			c.setReg(rd, c.regs[ra]+c.regs[rb])
+		case opSUB:
+			c.setReg(rd, c.regs[ra]-c.regs[rb])
+		case opAND:
+			c.setReg(rd, c.regs[ra]&c.regs[rb])
+		case opOR:
+			c.setReg(rd, c.regs[ra]|c.regs[rb])
+		case opXOR:
+			c.setReg(rd, c.regs[ra]^c.regs[rb])
+		case opSHL:
+			c.setReg(rd, c.regs[ra]<<(c.regs[rb]&31))
+		case opSHR:
+			c.setReg(rd, c.regs[ra]>>(c.regs[rb]&31))
+		case opMUL:
+			c.setReg(rd, c.regs[ra]*c.regs[rb])
+		case opADDI:
+			c.setReg(rd, uint32(int32(c.regs[ra])+sext16(imm)))
+		case opANDI:
+			c.setReg(rd, c.regs[ra]&imm)
+		case opORI:
+			c.setReg(rd, c.regs[ra]|imm)
+		case opLD:
+			addr := uint32(int32(c.regs[ra]) + sext16(imm))
+			buf := []uint32{0}
+			c.cfg.Bus.BTransport(p, &bus.Transaction{Cmd: bus.Read, Addr: addr, Data: buf})
+			c.setReg(rd, buf[0])
+		case opST:
+			addr := uint32(int32(c.regs[ra]) + sext16(imm))
+			c.cfg.Bus.BTransport(p, &bus.Transaction{Cmd: bus.Write, Addr: addr, Data: []uint32{c.regs[rd]}})
+		case opBEQ:
+			if c.regs[rd] == c.regs[ra] {
+				next = c.pc + 1 + int(sext16(imm))
+			}
+		case opBNE:
+			if c.regs[rd] != c.regs[ra] {
+				next = c.pc + 1 + int(sext16(imm))
+			}
+		case opBLT:
+			if int32(c.regs[rd]) < int32(c.regs[ra]) {
+				next = c.pc + 1 + int(sext16(imm))
+			}
+		case opBGE:
+			if int32(c.regs[rd]) >= int32(c.regs[ra]) {
+				next = c.pc + 1 + int(sext16(imm))
+			}
+		case opJMP:
+			next = c.pc + 1 + int(sext16(imm))
+		case opJAL:
+			c.setReg(rd, uint32(c.pc+1))
+			next = c.pc + 1 + int(sext16(imm))
+		case opJR:
+			next = int(c.regs[ra])
+		case opWFI:
+			if c.cfg.IRQ == nil {
+				panic(fmt.Sprintf("cpu: %s: WFI without an IRQ controller", c.name))
+			}
+			p.Sync()
+			p.WaitEventTimeout(c.cfg.IRQ.Event(), c.cfg.WFITimeout)
+		default:
+			panic(fmt.Sprintf("cpu: %s: illegal opcode %#x at pc %d", c.name, op, c.pc))
+		}
+		_ = rb
+		c.pc = next
+		c.retired++
+		qk.Inc(c.cfg.CPI)
+	}
+}

@@ -1,0 +1,274 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// runCPU assembles src, runs it to halt and returns the core.
+func runCPU(t *testing.T, src string, wire func(k *sim.Kernel, b *bus.Bus) *bus.IRQController) *cpu.CPU {
+	t.Helper()
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", sim.NS)
+	var irq *bus.IRQController
+	if wire != nil {
+		irq = wire(k, b)
+	}
+	prog, err := cpu.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(k, "cpu0", cpu.Config{
+		Program: prog, Bus: b, CPI: sim.NS, Quantum: 100 * sim.NS, IRQ: irq,
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	if !c.Halted() {
+		t.Fatalf("program did not halt (pc stuck?)")
+	}
+	return c
+}
+
+func TestArithmetic(t *testing.T) {
+	c := runCPU(t, `
+		ldi  r1, 6
+		ldi  r2, 7
+		mul  r3, r1, r2     ; 42
+		addi r3, r3, -2     ; 40
+		ldi  r4, 2
+		shl  r5, r3, r4     ; 160
+		sub  r6, r5, r1     ; 154
+		xor  r7, r6, r6     ; 0
+		halt
+	`, nil)
+	for r, want := range map[int]uint32{3: 40, 5: 160, 6: 154, 7: 0} {
+		if got := c.Reg(r); got != want {
+			t.Errorf("r%d = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestFibonacciLoop(t *testing.T) {
+	c := runCPU(t, `
+		ldi  r1, 0      ; fib(0)
+		ldi  r2, 1      ; fib(1)
+		ldi  r3, 10     ; count
+	loop:
+		add  r4, r1, r2
+		mov  r1, r2
+		mov  r2, r4
+		addi r3, r3, -1
+		bne  r3, r0, loop
+		halt
+	`, nil)
+	if got := c.Reg(2); got != 89 { // fib(11)
+		t.Errorf("r2 = %d, want 89", got)
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	c := runCPU(t, `
+		ldi r0, 123
+		ldi r1, 5
+		add r0, r1, r1
+		mov r2, r0
+		halt
+	`, nil)
+	if c.Reg(0) != 0 || c.Reg(2) != 0 {
+		t.Errorf("r0 = %d, r2 = %d; r0 must stay 0", c.Reg(0), c.Reg(2))
+	}
+}
+
+func TestLoadStoreViaBus(t *testing.T) {
+	var mem *bus.Memory
+	c := runCPU(t, `
+		ldi  r1, 0x100     ; memory base
+		ldi  r2, 0
+		ldi  r3, 0         ; sum
+		ldi  r4, 8         ; count
+	loop:
+		ld   r5, 0(r1)
+		add  r3, r3, r5
+		addi r1, r1, 1
+		addi r4, r4, -1
+		bne  r4, r0, loop
+		ldi  r1, 0x100
+		st   r3, 32(r1)    ; store the sum at base+32
+		halt
+	`, func(k *sim.Kernel, b *bus.Bus) *bus.IRQController {
+		mem = bus.NewMemory(64, sim.NS, sim.NS)
+		b.Map("mem", 0x100, 64, mem)
+		for i := uint32(0); i < 8; i++ {
+			mem.Poke(i, i+1) // 1..8, sum 36
+		}
+		return nil
+	})
+	if got := c.Reg(3); got != 36 {
+		t.Errorf("sum = %d, want 36", got)
+	}
+	if got := mem.Peek(32); got != 36 {
+		t.Errorf("stored sum = %d, want 36", got)
+	}
+}
+
+func TestSubroutine(t *testing.T) {
+	c := runCPU(t, `
+		ldi  r1, 4
+		jal  r14, double
+		jal  r14, double
+		halt
+	double:
+		add  r1, r1, r1
+		jr   r14
+	`, nil)
+	if got := c.Reg(1); got != 16 {
+		t.Errorf("r1 = %d, want 16", got)
+	}
+}
+
+func TestQuantumDecouplesExecution(t *testing.T) {
+	run := func(quantum sim.Time) (uint64, uint64) {
+		k := sim.NewKernel("t")
+		b := bus.NewBus(k, "bus", sim.NS)
+		prog := cpu.MustAssemble(`
+			ldi  r1, 500
+		loop:
+			addi r1, r1, -1
+			bne  r1, r0, loop
+			halt
+		`)
+		c := cpu.New(k, "cpu0", cpu.Config{Program: prog, Bus: b, CPI: sim.NS, Quantum: quantum})
+		k.Run(sim.RunForever)
+		return c.Retired(), k.Stats().ContextSwitches
+	}
+	retiredQ, switchesQ := run(200 * sim.NS)
+	retired0, switches0 := run(0)
+	if retiredQ != retired0 {
+		t.Errorf("instruction counts differ: %d vs %d", retiredQ, retired0)
+	}
+	if switchesQ*10 > switches0 {
+		t.Errorf("quantum keeper not decoupling: %d vs %d switches", switchesQ, switches0)
+	}
+}
+
+func TestMMIOControlOfAccelerator(t *testing.T) {
+	// Firmware programs a generator→sink pair through their register
+	// files and spins on the sink's status register — the §IV-C control
+	// core as real software.
+	var sink *accel.Accel
+	c := runCPU(t, `
+		ldi  r1, 0x200     ; generator regs
+		ldi  r2, 0x300     ; sink regs
+		ldi  r3, 32        ; words
+		st   r3, 1(r2)     ; sink.RegWords
+		ldi  r4, 1
+		st   r4, 0(r2)     ; sink.RegCtrl = start
+		st   r3, 1(r1)     ; gen.RegWords
+		st   r4, 0(r1)     ; gen.RegCtrl = start
+	wait:
+		ld   r5, 2(r2)     ; sink.RegStatus
+		bne  r5, r0, wait
+		ld   r6, 3(r2)     ; sink.RegJobsDone
+		halt
+	`, func(k *sim.Kernel, b *bus.Bus) *bus.IRQController {
+		ch := core.NewSmart[uint32](k, "ch", 8)
+		gen := accel.New(k, "gen", accel.Config{Kind: accel.Generator, Out: ch, WordLat: 2 * sim.NS, Seed: 3})
+		sink = accel.New(k, "sink", accel.Config{Kind: accel.Sink, In: ch, WordLat: 3 * sim.NS})
+		b.Map("gen", 0x200, accel.NumRegs, gen.Regs())
+		b.Map("sink", 0x300, accel.NumRegs, sink.Regs())
+		return nil
+	})
+	if sink.JobsDone() != 1 {
+		t.Fatalf("sink jobs done = %d", sink.JobsDone())
+	}
+	if got := c.Reg(6); got != 1 {
+		t.Errorf("firmware read jobs done = %d, want 1", got)
+	}
+}
+
+func TestWFIWakesOnInterrupt(t *testing.T) {
+	var sink *accel.Accel
+	c := runCPU(t, `
+		ldi  r1, 0x200     ; generator regs
+		ldi  r2, 0x300     ; sink regs
+		ldi  r7, 0x400     ; irq controller
+		ldi  r4, 1
+		st   r4, 1(r7)     ; enable line 0
+		ldi  r3, 16
+		st   r3, 1(r2)
+		st   r4, 0(r2)     ; start sink
+		st   r3, 1(r1)
+		st   r4, 0(r1)     ; start generator
+	sleep:
+		wfi
+		ld   r5, 0(r7)     ; pending
+		beq  r5, r0, sleep
+		st   r5, 0(r7)     ; ack
+		ld   r6, 3(r2)     ; sink.RegJobsDone
+		halt
+	`, func(k *sim.Kernel, b *bus.Bus) *bus.IRQController {
+		irq := bus.NewIRQController(k, "irq")
+		ch := core.NewSmart[uint32](k, "ch", 8)
+		gen := accel.New(k, "gen", accel.Config{Kind: accel.Generator, Out: ch, WordLat: 2 * sim.NS, Seed: 3})
+		sink = accel.New(k, "sink", accel.Config{
+			Kind: accel.Sink, In: ch, WordLat: 3 * sim.NS, IRQ: irq, IRQLine: 0,
+		})
+		b.Map("gen", 0x200, accel.NumRegs, gen.Regs())
+		b.Map("sink", 0x300, accel.NumRegs, sink.Regs())
+		b.Map("irq", 0x400, bus.IRQNumRegs, irq)
+		return irq
+	})
+	if c.Reg(6) != 1 || sink.JobsDone() != 1 {
+		t.Errorf("jobs done: reg %d, sink %d; want 1", c.Reg(6), sink.JobsDone())
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad mnemonic":    "frobnicate r1, r2",
+		"bad register":    "ldi r17, 1",
+		"missing operand": "add r1, r2",
+		"undefined label": "jmp nowhere",
+		"dup label":       "a:\na:\nnop",
+		"imm overflow":    "ldi r1, 70000",
+		"bad mem operand": "ld r1, r2",
+		"empty":           "; nothing\n",
+	}
+	for name, src := range cases {
+		if _, err := cpu.Assemble(src); err == nil {
+			t.Errorf("%s: Assemble(%q) succeeded", name, src)
+		}
+	}
+}
+
+func TestAssembleCommentAndLabelForms(t *testing.T) {
+	prog, err := cpu.Assemble(`
+	; leading comment
+	start:  ldi r1, 1   ; trailing comment
+	mid: end: jmp done
+	done: halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 3 {
+		t.Errorf("program has %d words, want 3", len(prog))
+	}
+}
+
+func TestIllegalOpcodePanics(t *testing.T) {
+	k := sim.NewKernel("t")
+	b := bus.NewBus(k, "bus", 0)
+	cpu.New(k, "cpu0", cpu.Config{Program: []uint32{0xff000000}, Bus: b})
+	defer func() {
+		if recover() == nil {
+			t.Error("illegal opcode did not panic")
+		}
+	}()
+	k.Run(sim.RunForever)
+}

@@ -1,0 +1,270 @@
+package fifo_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fifo"
+	"repro/internal/sim"
+)
+
+func TestBasicWriteRead(t *testing.T) {
+	k := sim.NewKernel("t")
+	f := fifo.New[string](k, "f", 2)
+	var got []string
+	k.Thread("p", func(p *sim.Process) {
+		f.Write("a")
+		f.Write("b")
+		got = append(got, f.Read(), f.Read())
+	})
+	k.Run(sim.RunForever)
+	if fmt.Sprint(got) != "[a b]" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBlockingWriteWakesOnRead(t *testing.T) {
+	k := sim.NewKernel("t")
+	f := fifo.New[int](k, "f", 1)
+	var wrote2 sim.Time = -1
+	k.Thread("writer", func(p *sim.Process) {
+		f.Write(1)
+		f.Write(2) // blocks until the reader frees the cell at 30ns
+		wrote2 = k.Now()
+	})
+	k.Thread("reader", func(p *sim.Process) {
+		p.Wait(30 * sim.NS)
+		if f.Read() != 1 {
+			t.Error("wrong first value")
+		}
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	if wrote2 != 30*sim.NS {
+		t.Errorf("second write completed at %v, want 30ns", wrote2)
+	}
+}
+
+func TestBlockingReadWakesOnWrite(t *testing.T) {
+	k := sim.NewKernel("t")
+	f := fifo.New[int](k, "f", 4)
+	var readAt sim.Time = -1
+	k.Thread("reader", func(p *sim.Process) {
+		if f.Read() != 9 {
+			t.Error("wrong value")
+		}
+		readAt = k.Now()
+	})
+	k.Thread("writer", func(p *sim.Process) {
+		p.Wait(12 * sim.NS)
+		f.Write(9)
+	})
+	k.Run(sim.RunForever)
+	if readAt != 12*sim.NS {
+		t.Errorf("read completed at %v, want 12ns", readAt)
+	}
+}
+
+func TestTryVariants(t *testing.T) {
+	k := sim.NewKernel("t")
+	f := fifo.New[int](k, "f", 1)
+	k.Thread("p", func(p *sim.Process) {
+		if _, ok := f.TryRead(); ok {
+			t.Error("TryRead on empty succeeded")
+		}
+		if !f.TryWrite(5) {
+			t.Error("TryWrite on empty failed")
+		}
+		if f.TryWrite(6) {
+			t.Error("TryWrite on full succeeded")
+		}
+		if v, ok := f.TryRead(); !ok || v != 5 {
+			t.Errorf("TryRead = %d,%v", v, ok)
+		}
+	})
+	k.Run(sim.RunForever)
+}
+
+func TestSizeAndFlags(t *testing.T) {
+	k := sim.NewKernel("t")
+	f := fifo.New[int](k, "f", 3)
+	k.Thread("p", func(p *sim.Process) {
+		if !f.IsEmpty() || f.IsFull() || f.Size() != 0 || f.Depth() != 3 {
+			t.Error("fresh FIFO state wrong")
+		}
+		f.Write(1)
+		f.Write(2)
+		if f.Size() != 2 || f.IsEmpty() || f.IsFull() {
+			t.Error("partially filled state wrong")
+		}
+		f.Write(3)
+		if !f.IsFull() {
+			t.Error("full flag wrong")
+		}
+	})
+	k.Run(sim.RunForever)
+}
+
+func TestWrapAround(t *testing.T) {
+	k := sim.NewKernel("t")
+	f := fifo.New[int](k, "f", 3)
+	const n = 50
+	var got []int
+	k.Thread("writer", func(p *sim.Process) {
+		for i := 0; i < n; i++ {
+			f.Write(i)
+			p.Wait(sim.NS)
+		}
+	})
+	k.Thread("reader", func(p *sim.Process) {
+		for i := 0; i < n; i++ {
+			got = append(got, f.Read())
+			p.Wait(2 * sim.NS)
+		}
+	})
+	k.Run(sim.RunForever)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEventsNotified(t *testing.T) {
+	k := sim.NewKernel("t")
+	f := fifo.New[int](k, "f", 1)
+	var events []string
+	k.MethodNoInit("onNE", func(p *sim.Process) {
+		events = append(events, fmt.Sprintf("ne@%v", k.Now()))
+	}, f.NotEmpty())
+	k.MethodNoInit("onNF", func(p *sim.Process) {
+		events = append(events, fmt.Sprintf("nf@%v", k.Now()))
+	}, f.NotFull())
+	k.Thread("p", func(p *sim.Process) {
+		p.Wait(5 * sim.NS)
+		f.Write(1)
+		p.Wait(5 * sim.NS)
+		f.Read()
+	})
+	k.Run(sim.RunForever)
+	if fmt.Sprint(events) != "[ne@5ns nf@10ns]" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestZeroDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for depth 0")
+		}
+	}()
+	fifo.New[int](sim.NewKernel("t"), "f", 0)
+}
+
+func TestAccessOutsideProcessPanics(t *testing.T) {
+	k := sim.NewKernel("t")
+	f := fifo.New[int](k, "f", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for Write outside a process")
+		}
+	}()
+	f.Write(1)
+}
+
+func TestSyncFIFOSynchronizesCaller(t *testing.T) {
+	k := sim.NewKernel("t")
+	f := fifo.NewSync[int](k, "f", 4)
+	k.Thread("writer", func(p *sim.Process) {
+		p.Inc(40 * sim.NS)
+		f.Write(1) // must sync: the write happens at global 40ns
+		if k.Now() != 40*sim.NS || !p.Synchronized() {
+			t.Errorf("after Write: Now=%v sync=%v", k.Now(), p.Synchronized())
+		}
+	})
+	k.Run(sim.RunForever)
+}
+
+func TestSyncFIFOTimingMatchesWaitStyle(t *testing.T) {
+	// inc+SyncFIFO must give the same dates as wait+FIFO (the TDless
+	// equivalence the paper relies on in §IV-C).
+	type res struct{ r []sim.Time }
+	ref := func() []sim.Time {
+		k := sim.NewKernel("ref")
+		f := fifo.New[int](k, "f", 2)
+		var dates []sim.Time
+		k.Thread("w", func(p *sim.Process) {
+			for i := 0; i < 8; i++ {
+				f.Write(i)
+				p.Wait(7 * sim.NS)
+			}
+		})
+		k.Thread("r", func(p *sim.Process) {
+			for i := 0; i < 8; i++ {
+				f.Read()
+				dates = append(dates, k.Now())
+				p.Wait(11 * sim.NS)
+			}
+		})
+		k.Run(sim.RunForever)
+		return dates
+	}()
+	got := func() []sim.Time {
+		k := sim.NewKernel("sync")
+		f := fifo.NewSync[int](k, "f", 2)
+		var dates []sim.Time
+		k.Thread("w", func(p *sim.Process) {
+			for i := 0; i < 8; i++ {
+				f.Write(i)
+				p.Inc(7 * sim.NS)
+			}
+		})
+		k.Thread("r", func(p *sim.Process) {
+			for i := 0; i < 8; i++ {
+				f.Read()
+				dates = append(dates, p.LocalTime())
+				p.Inc(11 * sim.NS)
+			}
+		})
+		k.Run(sim.RunForever)
+		return dates
+	}()
+	_ = res{}
+	if fmt.Sprint(ref) != fmt.Sprint(got) {
+		t.Errorf("SyncFIFO dates %v != reference %v", got, ref)
+	}
+}
+
+func TestQuickFIFOOrder(t *testing.T) {
+	prop := func(depthRaw uint8, perRaw []byte) bool {
+		depth := int(depthRaw%8) + 1
+		const n = 30
+		k := sim.NewKernel("q")
+		f := fifo.New[int](k, "f", depth)
+		ok := true
+		k.Thread("w", func(p *sim.Process) {
+			for i := 0; i < n; i++ {
+				f.Write(i)
+				b := byte(3)
+				if len(perRaw) > 0 {
+					b = perRaw[i%len(perRaw)]
+				}
+				p.Wait(sim.Time(b%5) * sim.NS)
+			}
+		})
+		k.Thread("r", func(p *sim.Process) {
+			for i := 0; i < n; i++ {
+				if f.Read() != i {
+					ok = false
+				}
+			}
+		})
+		k.Run(sim.RunForever)
+		k.Shutdown()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package fifo
+
+import "repro/internal/sim"
+
+// SyncFIFO wraps a regular FIFO and synchronizes the calling thread at the
+// beginning of every public method. This is the paper's reference solution
+// for mixing regular FIFOs with temporally decoupled processes (§II-B):
+// behavior and timing are as faithful as possible, but there is one context
+// switch per access, so it is slow. It is the "TDless-equivalent accuracy"
+// baseline the Smart FIFO is compared against in §IV-C.
+type SyncFIFO[T any] struct {
+	inner *FIFO[T]
+}
+
+// NewSync creates a sync-on-every-access FIFO of the given depth.
+func NewSync[T any](k *sim.Kernel, name string, depth int) *SyncFIFO[T] {
+	return &SyncFIFO[T]{inner: New[T](k, name, depth)}
+}
+
+// Name returns the channel name.
+func (f *SyncFIFO[T]) Name() string { return f.inner.Name() }
+
+// Depth returns the capacity in cells.
+func (f *SyncFIFO[T]) Depth() int { return f.inner.Depth() }
+
+func (f *SyncFIFO[T]) sync(op string) {
+	p := f.inner.caller(op)
+	if !p.IsMethod() {
+		p.Sync()
+	}
+}
+
+// Write synchronizes the caller, then appends v, blocking while full.
+func (f *SyncFIFO[T]) Write(v T) {
+	f.sync("Write")
+	f.inner.Write(v)
+}
+
+// TryWrite synchronizes the caller, then appends v if a cell is free.
+func (f *SyncFIFO[T]) TryWrite(v T) bool {
+	f.sync("TryWrite")
+	return f.inner.TryWrite(v)
+}
+
+// Read synchronizes the caller, then pops the oldest value, blocking while
+// empty.
+func (f *SyncFIFO[T]) Read() T {
+	f.sync("Read")
+	return f.inner.Read()
+}
+
+// TryRead synchronizes the caller, then pops the oldest value if any.
+func (f *SyncFIFO[T]) TryRead() (T, bool) {
+	f.sync("TryRead")
+	return f.inner.TryRead()
+}
+
+// IsEmpty synchronizes the caller, then reports whether the FIFO is empty.
+func (f *SyncFIFO[T]) IsEmpty() bool {
+	f.sync("IsEmpty")
+	return f.inner.IsEmpty()
+}
+
+// IsFull synchronizes the caller, then reports whether the FIFO is full.
+func (f *SyncFIFO[T]) IsFull() bool {
+	f.sync("IsFull")
+	return f.inner.IsFull()
+}
+
+// Size synchronizes the caller, then returns the number of occupied cells.
+func (f *SyncFIFO[T]) Size() int {
+	f.sync("Size")
+	return f.inner.Size()
+}
+
+// NotEmpty is notified (delta) whenever data is written.
+func (f *SyncFIFO[T]) NotEmpty() *sim.Event { return f.inner.NotEmpty() }
+
+// NotFull is notified (delta) whenever data is read.
+func (f *SyncFIFO[T]) NotFull() *sim.Event { return f.inner.NotFull() }
+
+var _ Channel[int] = (*SyncFIFO[int])(nil)

@@ -1,0 +1,124 @@
+package fifo_test
+
+import (
+	"testing"
+
+	"repro/internal/fifo"
+	"repro/internal/sim"
+)
+
+func TestSyncFIFOAccessorsSynchronize(t *testing.T) {
+	k := sim.NewKernel("t")
+	f := fifo.NewSync[int](k, "sf", 2)
+	if f.Name() != "sf" || f.Depth() != 2 {
+		t.Errorf("Name/Depth = %q/%d", f.Name(), f.Depth())
+	}
+	k.Thread("p", func(p *sim.Process) {
+		p.Inc(10 * sim.NS)
+		if !f.IsEmpty() {
+			t.Error("fresh SyncFIFO not empty")
+		}
+		// IsEmpty synchronized the caller.
+		if !p.Synchronized() || k.Now() != 10*sim.NS {
+			t.Errorf("IsEmpty did not sync: Now=%v", k.Now())
+		}
+		p.Inc(5 * sim.NS)
+		if !f.TryWrite(1) {
+			t.Error("TryWrite failed")
+		}
+		if k.Now() != 15*sim.NS {
+			t.Errorf("TryWrite did not sync: Now=%v", k.Now())
+		}
+		p.Inc(5 * sim.NS)
+		if f.Size() != 1 {
+			t.Errorf("Size = %d", f.Size())
+		}
+		if k.Now() != 20*sim.NS {
+			t.Errorf("Size did not sync: Now=%v", k.Now())
+		}
+		f.TryWrite(2)
+		if !f.IsFull() {
+			t.Error("full SyncFIFO not full")
+		}
+		if v, ok := f.TryRead(); !ok || v != 1 {
+			t.Errorf("TryRead = %d,%v", v, ok)
+		}
+	})
+	k.Run(sim.RunForever)
+}
+
+func TestSyncFIFOEventsForwarded(t *testing.T) {
+	k := sim.NewKernel("t")
+	f := fifo.NewSync[int](k, "sf", 1)
+	var gotNE, gotNF sim.Time = -1, -1
+	k.Thread("listenerNE", func(p *sim.Process) {
+		p.WaitEvent(f.NotEmpty())
+		gotNE = k.Now()
+	})
+	k.Thread("listenerNF", func(p *sim.Process) {
+		p.WaitEvent(f.NotFull())
+		gotNF = k.Now()
+	})
+	k.Thread("driver", func(p *sim.Process) {
+		p.Wait(5 * sim.NS)
+		f.Write(1)
+		p.Wait(5 * sim.NS)
+		f.Read()
+	})
+	k.Run(sim.RunForever)
+	if gotNE != 5*sim.NS || gotNF != 10*sim.NS {
+		t.Errorf("NotEmpty at %v, NotFull at %v; want 5ns, 10ns", gotNE, gotNF)
+	}
+}
+
+func TestSyncFIFOFromMethodSkipsSync(t *testing.T) {
+	// Methods cannot Wait; SyncFIFO accessors must still work there
+	// (methods are synchronized at activation by construction).
+	k := sim.NewKernel("t")
+	f := fifo.NewSync[int](k, "sf", 4)
+	var got []int
+	k.MethodNoInit("m", func(p *sim.Process) {
+		for {
+			v, ok := f.TryRead()
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	}, f.NotEmpty())
+	k.Thread("producer", func(p *sim.Process) {
+		p.Wait(3 * sim.NS)
+		f.Write(7)
+		f.Write(8)
+	})
+	k.Run(sim.RunForever)
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Errorf("method consumer got %v", got)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	k := sim.NewKernel("t")
+	f := fifo.New[int](k, "f", 2)
+	k.Thread("p", func(p *sim.Process) {
+		if _, ok := f.Peek(); ok {
+			t.Error("Peek on empty succeeded")
+		}
+		f.Write(5)
+		f.Write(6)
+		if v, ok := f.Peek(); !ok || v != 5 {
+			t.Errorf("Peek = %d,%v, want 5", v, ok)
+		}
+		if f.Size() != 2 {
+			t.Error("Peek consumed an element")
+		}
+		f.Read()
+		if v, _ := f.Peek(); v != 6 {
+			t.Errorf("Peek after Read = %d, want 6", v)
+		}
+	})
+	k.Run(sim.RunForever)
+	if f.Name() != "f" {
+		t.Errorf("Name = %q", f.Name())
+	}
+}

@@ -1,0 +1,150 @@
+// Package kpn builds Kahn process networks over the simulation kernel: a
+// structured, deterministic dataflow layer in the spirit of the KPN model
+// of computation the paper cites ([8] HetSC, [9] Kahn 1974).
+//
+// A Network groups actors (thread processes) and channels (bounded FIFOs).
+// Kahn semantics — blocking reads, blocking writes, no peeking at channel
+// state from actors — make the produced data and its dates independent of
+// scheduling, which is exactly the property the Smart FIFO needs to stay
+// exact under temporal decoupling.
+//
+// Every network builds in one of two modes:
+//
+//   - Decoupled: Smart FIFO channels, Delay == Inc (fast);
+//   - reference: regular FIFO channels, Delay == Wait (the ground truth).
+//
+// The two runs of the same builder must produce date-identical traces
+// (paper §IV-A); Verify automates that check.
+package kpn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fifo"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Network is a KPN under construction or execution.
+type Network struct {
+	// K is the underlying kernel (exposed for advanced wiring).
+	K *sim.Kernel
+	// Decoupled selects Smart FIFOs + Inc (true) or regular FIFOs +
+	// Wait (false).
+	Decoupled bool
+
+	name string
+	rec  *trace.Recorder
+}
+
+// New creates an empty network with its own kernel.
+func New(name string, decoupled bool) *Network {
+	return &Network{
+		K:         sim.NewKernel(name),
+		Decoupled: decoupled,
+		name:      name,
+		rec:       trace.NewRecorder(),
+	}
+}
+
+// Name returns the network name.
+func (n *Network) Name() string { return n.name }
+
+// Trace returns the dated trace the actors logged.
+func (n *Network) Trace() *trace.Recorder { return n.rec }
+
+// Actor is the execution context handed to an actor body.
+type Actor struct {
+	// P is the underlying process.
+	P *sim.Process
+
+	n *Network
+}
+
+// Actor registers an actor. The body runs as a thread process; it should
+// communicate only through channels and annotate computation with Delay.
+func (n *Network) Actor(name string, body func(a *Actor)) {
+	n.K.Thread(name, func(p *sim.Process) {
+		body(&Actor{P: p, n: n})
+	})
+}
+
+// Delay annotates d of computation: a local-clock increment when
+// decoupled, a context-switching wait otherwise.
+func (a *Actor) Delay(d sim.Time) {
+	if a.n.Decoupled {
+		a.P.Inc(d)
+	} else {
+		a.P.Wait(d)
+	}
+}
+
+// Logf records a dated trace line attributed to the actor.
+func (a *Actor) Logf(format string, args ...any) {
+	a.n.rec.Logf(a.P, format, args...)
+}
+
+// Chan is a typed KPN channel.
+type Chan[T any] struct {
+	ch fifo.Channel[T]
+}
+
+// Channel creates a bounded channel in the network's mode. (A package
+// function because Go methods cannot introduce type parameters.)
+func Channel[T any](n *Network, name string, depth int) *Chan[T] {
+	c := &Chan[T]{}
+	if n.Decoupled {
+		c.ch = core.NewSmart[T](n.K, name, depth)
+	} else {
+		c.ch = fifo.New[T](n.K, name, depth)
+	}
+	return c
+}
+
+// Read pops the next token, blocking while the channel is empty.
+func (c *Chan[T]) Read() T { return c.ch.Read() }
+
+// Write pushes a token, blocking while the channel is full.
+func (c *Chan[T]) Write(v T) { c.ch.Write(v) }
+
+// Monitor exposes the non-Kahn observation interface (fill levels) for
+// controllers and probes; actors must not use it for data flow.
+func (c *Chan[T]) Monitor() fifo.Monitor { return c.ch }
+
+// Run executes the network to quiescence and returns an error naming the
+// blocked actors if the network deadlocked with tokens still owed.
+func (n *Network) Run() error {
+	n.K.Run(sim.RunForever)
+	if blocked := n.K.Blocked(); len(blocked) != 0 {
+		return fmt.Errorf("kpn: %s: deadlock, blocked actors: %v", n.name, blocked)
+	}
+	return nil
+}
+
+// Shutdown force-terminates remaining actor goroutines (after a deadlock,
+// or when discarding the network).
+func (n *Network) Shutdown() { n.K.Shutdown() }
+
+// Builder constructs the same network into any mode.
+type Builder func(n *Network)
+
+// Verify runs the builder in reference and decoupled modes and returns a
+// non-empty description if the dated traces differ after reordering — the
+// §IV-A oracle as a one-call library function. Deadlocks must be identical
+// in both modes too.
+func Verify(name string, build Builder) string {
+	run := func(decoupled bool) (*trace.Recorder, error) {
+		n := New(name, decoupled)
+		build(n)
+		err := n.Run()
+		n.Shutdown()
+		return n.Trace(), err
+	}
+	refTrace, refErr := run(false)
+	smartTrace, smartErr := run(true)
+	if (refErr == nil) != (smartErr == nil) {
+		return fmt.Sprintf("deadlock mismatch: reference %v, decoupled %v", refErr, smartErr)
+	}
+	return trace.Diff(refTrace, smartTrace)
+}

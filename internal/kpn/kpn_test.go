@@ -1,0 +1,186 @@
+package kpn_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kpn"
+	"repro/internal/sim"
+)
+
+// pipelineBuilder is a 3-actor chain with the given depth and rates.
+func pipelineBuilder(depth int, n int, rates [3]sim.Time) kpn.Builder {
+	return func(net *kpn.Network) {
+		c1 := kpn.Channel[int](net, "c1", depth)
+		c2 := kpn.Channel[int](net, "c2", depth)
+		net.Actor("src", func(a *kpn.Actor) {
+			for i := 0; i < n; i++ {
+				c1.Write(i)
+				a.Delay(rates[0])
+			}
+		})
+		net.Actor("map", func(a *kpn.Actor) {
+			for i := 0; i < n; i++ {
+				v := c1.Read()
+				a.Delay(rates[1])
+				c2.Write(v * v)
+			}
+		})
+		net.Actor("sink", func(a *kpn.Actor) {
+			for i := 0; i < n; i++ {
+				a.Logf("got %d", c2.Read())
+				a.Delay(rates[2])
+			}
+		})
+	}
+}
+
+func TestVerifyPipeline(t *testing.T) {
+	for _, depth := range []int{1, 3, 16} {
+		b := pipelineBuilder(depth, 25, [3]sim.Time{7 * sim.NS, 5 * sim.NS, 11 * sim.NS})
+		if d := kpn.Verify("pipe", b); d != "" {
+			t.Errorf("depth %d: %s", depth, d)
+		}
+	}
+}
+
+func TestForkJoin(t *testing.T) {
+	// Diamond: src → (left, right) → join. The join alternates reads,
+	// which is Kahn-legal (fixed read order, no peeking).
+	build := func(net *kpn.Network) {
+		toL := kpn.Channel[int](net, "toL", 4)
+		toR := kpn.Channel[int](net, "toR", 4)
+		fromL := kpn.Channel[int](net, "fromL", 4)
+		fromR := kpn.Channel[int](net, "fromR", 4)
+		const n = 20
+		net.Actor("src", func(a *kpn.Actor) {
+			for i := 0; i < n; i++ {
+				toL.Write(i)
+				toR.Write(i)
+				a.Delay(6 * sim.NS)
+			}
+		})
+		net.Actor("left", func(a *kpn.Actor) {
+			for i := 0; i < n; i++ {
+				v := toL.Read()
+				a.Delay(9 * sim.NS)
+				fromL.Write(v + 1)
+			}
+		})
+		net.Actor("right", func(a *kpn.Actor) {
+			for i := 0; i < n; i++ {
+				v := toR.Read()
+				a.Delay(4 * sim.NS)
+				fromR.Write(v * 10)
+			}
+		})
+		net.Actor("join", func(a *kpn.Actor) {
+			for i := 0; i < n; i++ {
+				l := fromL.Read()
+				r := fromR.Read()
+				a.Logf("pair %d %d", l, r)
+				a.Delay(3 * sim.NS)
+			}
+		})
+	}
+	if d := kpn.Verify("diamond", build); d != "" {
+		t.Error(d)
+	}
+}
+
+func TestDeadlockReported(t *testing.T) {
+	net := kpn.New("dead", true)
+	c := kpn.Channel[int](net, "c", 1)
+	net.Actor("starved", func(a *kpn.Actor) {
+		c.Read() // nobody writes
+	})
+	err := net.Run()
+	if err == nil || !strings.Contains(err.Error(), "starved") {
+		t.Errorf("Run error = %v, want deadlock naming 'starved'", err)
+	}
+	net.Shutdown()
+}
+
+func TestVerifyCatchesDeadlockMismatch(t *testing.T) {
+	// A builder that deadlocks only in one mode would be a Smart FIFO
+	// bug; simulate the check by a builder that deadlocks in both and
+	// assert Verify treats equal deadlocks as consistent.
+	build := func(net *kpn.Network) {
+		c := kpn.Channel[int](net, "c", 1)
+		net.Actor("starved", func(a *kpn.Actor) {
+			a.Logf("waiting")
+			c.Read()
+		})
+	}
+	if d := kpn.Verify("dead", build); d != "" {
+		t.Errorf("symmetric deadlock reported as mismatch: %s", d)
+	}
+}
+
+func TestMonitorAccess(t *testing.T) {
+	net := kpn.New("mon", true)
+	c := kpn.Channel[int](net, "c", 8)
+	var observed int
+	net.Actor("prod", func(a *kpn.Actor) {
+		for i := 0; i < 5; i++ {
+			c.Write(i)
+			a.Delay(10 * sim.NS)
+		}
+	})
+	net.Actor("watch", func(a *kpn.Actor) {
+		a.P.Wait(25 * sim.NS)
+		observed = c.Monitor().Size()
+	})
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	net.Shutdown()
+	if observed != 3 { // writes at 0,10,20 visible at 25ns
+		t.Errorf("observed level %d at 25ns, want 3", observed)
+	}
+}
+
+func TestQuickVerifyRandomGraphs(t *testing.T) {
+	// Random linear chains with random depths and rates always verify.
+	prop := func(depthRaw, lenRaw uint8, rateRaw []byte) bool {
+		depth := int(depthRaw%6) + 1
+		stages := int(lenRaw%3) + 2 // 2..4 actors
+		const tokens = 15
+		rate := func(i, j int) sim.Time {
+			b := byte(3)
+			if len(rateRaw) > 0 {
+				b = rateRaw[(i*7+j)%len(rateRaw)]
+			}
+			return sim.Time(b%5) * 10 * sim.NS
+		}
+		build := func(net *kpn.Network) {
+			chans := make([]*kpn.Chan[int], stages-1)
+			for i := range chans {
+				chans[i] = kpn.Channel[int](net, fmt.Sprintf("c%d", i), depth)
+			}
+			for s := 0; s < stages; s++ {
+				s := s
+				net.Actor(fmt.Sprintf("a%d", s), func(a *kpn.Actor) {
+					for i := 0; i < tokens; i++ {
+						v := i
+						if s > 0 {
+							v = chans[s-1].Read()
+						}
+						a.Delay(rate(s, i))
+						if s < stages-1 {
+							chans[s].Write(v + 1)
+						} else {
+							a.Logf("out %d", v)
+						}
+					}
+				})
+			}
+		}
+		return kpn.Verify("rand", build) == ""
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

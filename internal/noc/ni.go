@@ -1,0 +1,212 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/fifo"
+	"repro/internal/sim"
+)
+
+// NIConfig parameterizes a network interface.
+type NIConfig struct {
+	// PacketLen is the fixed packet size in words. Streams crossing the
+	// NoC must carry a multiple of PacketLen words.
+	PacketLen int
+	// Cycle is the per-flit processing time of the interface.
+	Cycle sim.Time
+	// Dst is the destination router index for the ingress stream
+	// (ignored if the NI has no ingress side).
+	Dst int
+}
+
+// NI is a network interface: the §IV-C module "in charge of packetizing
+// data" between a (possibly temporally decoupled) accelerator FIFO and the
+// mesh. It is modeled entirely as a run-to-completion method process — the
+// paper's point that the Smart FIFO's non-blocking interface makes
+// SC_THREAD-free interface models possible.
+//
+// The ingress side collects PacketLen words from src once they are
+// externally available, frames them into flits and injects one flit per
+// cycle. The egress side delivers one flit per cycle from the mesh into
+// dst, back-pressured by dst's external fullness.
+type NI struct {
+	m    *Mesh
+	name string
+	idx  int
+	cfg  NIConfig
+
+	src fifo.Channel[uint32] // accelerator → NoC (nil if egress-only)
+	dst fifo.Channel[uint32] // NoC → accelerator (nil if ingress-only)
+
+	inj *fifo.FIFO[Flit]
+	del *fifo.FIFO[Flit]
+
+	assembly  []uint32 // words collected toward the current packet
+	pending   []Flit   // assembled flits awaiting injection
+	tickArmed bool     // a self-scheduled cycle tick is pending
+
+	proc *sim.Process
+}
+
+// AttachNI creates a network interface on the router at (x, y). src is the
+// accelerator output to packetize into the mesh (nil for an egress-only
+// NI); dst is the accelerator input fed from the mesh (nil for an
+// ingress-only NI).
+func (m *Mesh) AttachNI(name string, x, y int, src, dst fifo.Channel[uint32], cfg NIConfig) *NI {
+	if cfg.PacketLen <= 0 {
+		panic(fmt.Sprintf("noc: NI %s: non-positive packet length", name))
+	}
+	if cfg.Cycle <= 0 {
+		cfg.Cycle = sim.NS
+	}
+	if src == nil && dst == nil {
+		panic(fmt.Sprintf("noc: NI %s: needs at least one side", name))
+	}
+	idx := m.RouterIndex(x, y)
+	r := m.routers[idx]
+	if src != nil {
+		if r.ingressNI {
+			panic(fmt.Sprintf("noc: NI %s: router (%d,%d) already has an ingress NI", name, x, y))
+		}
+		r.ingressNI = true
+	}
+	if dst != nil {
+		if r.egressNI {
+			panic(fmt.Sprintf("noc: NI %s: router (%d,%d) already has an egress NI", name, x, y))
+		}
+		r.egressNI = true
+	}
+	ni := &NI{
+		m:    m,
+		name: name,
+		idx:  idx,
+		cfg:  cfg,
+		src:  src,
+		dst:  dst,
+		inj:  m.injectionQueue(idx),
+		del:  m.deliveryQueue(idx),
+	}
+	var events []*sim.Event
+	if src != nil {
+		events = append(events, src.NotEmpty(), ni.inj.NotFull())
+	}
+	if dst != nil {
+		events = append(events, ni.del.NotEmpty(), dst.NotFull())
+	}
+	ni.proc = m.k.MethodNoInit(name, ni.step, events...)
+	return ni
+}
+
+// Name returns the interface name.
+func (ni *NI) Name() string { return ni.name }
+
+// RouterIndex returns the index of the router the NI is attached to.
+func (ni *NI) RouterIndex() int { return ni.idx }
+
+// step is the NI method body, with the same cycle-boundary discipline as
+// the routers: event activations arm a tick, the tick does the work, and
+// both directions may each move one flit per tick. As for the routers,
+// the tick is only re-armed while progress is possible; work blocked on a
+// full queue idles on the static NotFull sensitivity instead of polling,
+// so a deadlocked configuration quiesces instead of spinning.
+func (ni *NI) step(p *sim.Process) {
+	if ni.tickArmed {
+		ni.tickArmed = false
+		if ni.src != nil {
+			ni.ingress()
+		}
+		if ni.dst != nil {
+			ni.egress()
+		}
+	}
+	if !ni.tickArmed && ni.progressPossible() {
+		ni.tickArmed = true
+		p.NextTrigger(ni.cfg.Cycle)
+	}
+}
+
+// progressPossible reports whether a tick now would move data.
+func (ni *NI) progressPossible() bool {
+	if ni.src != nil {
+		if len(ni.pending) > 0 && !ni.inj.IsFull() {
+			return true
+		}
+		if len(ni.pending) == 0 && !ni.src.IsEmpty() {
+			return true
+		}
+	}
+	if ni.dst != nil && !ni.del.IsEmpty() && !ni.dst.IsFull() {
+		return true
+	}
+	return false
+}
+
+// ingress assembles and injects packets; it reports whether work was done
+// or blocked work remains.
+//
+// The Smart FIFO's NotEmpty is an edge event (it fires when the channel
+// becomes externally non-empty, §III-B), so the NI must drain what is
+// visible on every activation rather than poll for a level: words are
+// collected into an assembly buffer as they become externally available
+// (IsEmpty/TryRead evaluate availability at the method's synchronized
+// activation date, so a decoupled producer's future-dated words are not
+// visible early), and a packet is framed when PacketLen words have been
+// gathered.
+func (ni *NI) ingress() bool {
+	busy := false
+	if len(ni.pending) == 0 {
+		for len(ni.assembly) < ni.cfg.PacketLen {
+			w, ok := ni.src.TryRead()
+			if !ok {
+				break
+			}
+			ni.assembly = append(ni.assembly, w)
+			busy = true
+		}
+		if len(ni.assembly) == ni.cfg.PacketLen {
+			ni.pending = make([]Flit, 0, ni.cfg.PacketLen)
+			for i, w := range ni.assembly {
+				ni.pending = append(ni.pending, Flit{
+					Dst:  ni.cfg.Dst,
+					Src:  ni.idx,
+					Word: w,
+					Head: i == 0,
+					Tail: i == ni.cfg.PacketLen-1,
+				})
+			}
+			ni.assembly = ni.assembly[:0]
+			ni.m.stats.PacketsInjected++
+		}
+	}
+	if len(ni.pending) > 0 {
+		// Inject one flit per cycle.
+		if ni.inj.TryWrite(ni.pending[0]) {
+			ni.pending = ni.pending[1:]
+		}
+		busy = true
+	}
+	// More words already available: keep pacing ourselves — no edge
+	// event will announce them again.
+	if !ni.src.IsEmpty() {
+		busy = true
+	}
+	return busy
+}
+
+// egress delivers one flit per cycle into the accelerator FIFO; it reports
+// whether work was done or blocked work remains.
+func (ni *NI) egress() bool {
+	f, ok := ni.del.Peek()
+	if !ok {
+		return false
+	}
+	if !ni.dst.TryWrite(f.Word) {
+		// Accelerator back-pressure; re-armed by dst.NotFull.
+		return true
+	}
+	ni.del.TryRead()
+	if f.Tail {
+		ni.m.stats.PacketsDelivered++
+	}
+	return true
+}

@@ -1,0 +1,227 @@
+package noc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fifo"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// buildStream wires src-accel → NI → mesh → NI → dst-accel across the mesh
+// corners and returns the endpoint channels.
+func buildStream(k *sim.Kernel, m *noc.Mesh, w, h, packetLen int) (src, dst fifo.Channel[uint32]) {
+	srcCh := core.NewSmart[uint32](k, "srcCh", 16)
+	dstCh := core.NewSmart[uint32](k, "dstCh", 16)
+	m.AttachNI("ni.in", 0, 0, srcCh, nil, noc.NIConfig{
+		PacketLen: packetLen,
+		Cycle:     sim.NS,
+		Dst:       m.RouterIndex(w-1, h-1),
+	})
+	m.AttachNI("ni.out", w-1, h-1, nil, dstCh, noc.NIConfig{
+		PacketLen: packetLen,
+		Cycle:     sim.NS,
+	})
+	return srcCh, dstCh
+}
+
+func TestMeshDeliversAcrossCorners(t *testing.T) {
+	const w, h, packetLen, nWords = 3, 3, 4, 64
+	k := sim.NewKernel("mesh")
+	m := noc.NewMesh(k, "noc", noc.Config{Width: w, Height: h, Cycle: sim.NS, FIFODepth: 4})
+	srcCh, dstCh := buildStream(k, m, w, h, packetLen)
+	k.Thread("producer", func(p *sim.Process) {
+		for i := uint32(0); i < nWords; i++ {
+			srcCh.Write(i * 7)
+			p.Inc(2 * sim.NS)
+		}
+	})
+	var got []uint32
+	k.Thread("consumer", func(p *sim.Process) {
+		for i := 0; i < nWords; i++ {
+			got = append(got, dstCh.Read())
+		}
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	if len(got) != nWords {
+		t.Fatalf("delivered %d words, want %d", len(got), nWords)
+	}
+	for i, v := range got {
+		if v != uint32(i*7) {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*7)
+		}
+	}
+	st := m.Stats()
+	if st.PacketsInjected != nWords/packetLen || st.PacketsDelivered != nWords/packetLen {
+		t.Errorf("packets injected/delivered = %d/%d, want %d", st.PacketsInjected, st.PacketsDelivered, nWords/packetLen)
+	}
+	// Corner to corner in a 3x3 mesh: 4 hops + local delivery per flit.
+	if st.FlitsForwarded < nWords*4 {
+		t.Errorf("FlitsForwarded = %d, want >= %d", st.FlitsForwarded, nWords*4)
+	}
+}
+
+func TestMeshLatencyGrowsWithDistance(t *testing.T) {
+	// One packet to an adjacent router vs across a 4x1 mesh: the longer
+	// path must take strictly longer.
+	arrival := func(width, dstX int) sim.Time {
+		k := sim.NewKernel("mesh")
+		m := noc.NewMesh(k, "noc", noc.Config{Width: width, Height: 1, Cycle: sim.NS, FIFODepth: 4})
+		srcCh := core.NewSmart[uint32](k, "s", 8)
+		dstCh := core.NewSmart[uint32](k, "d", 8)
+		m.AttachNI("in", 0, 0, srcCh, nil, noc.NIConfig{PacketLen: 2, Cycle: sim.NS, Dst: m.RouterIndex(dstX, 0)})
+		m.AttachNI("out", dstX, 0, nil, dstCh, noc.NIConfig{PacketLen: 2, Cycle: sim.NS})
+		k.Thread("producer", func(p *sim.Process) {
+			srcCh.Write(1)
+			srcCh.Write(2)
+		})
+		var at sim.Time
+		k.Thread("consumer", func(p *sim.Process) {
+			dstCh.Read()
+			dstCh.Read()
+			at = p.LocalTime()
+		})
+		k.Run(sim.RunForever)
+		k.Shutdown()
+		return at
+	}
+	near, far := arrival(4, 1), arrival(4, 3)
+	if far <= near {
+		t.Errorf("far delivery (%v) not after near delivery (%v)", far, near)
+	}
+}
+
+func TestTwoOpposingStreams(t *testing.T) {
+	// Streams in both directions share routers without deadlock or loss.
+	const w, h, packetLen, nWords = 4, 1, 4, 40
+	k := sim.NewKernel("mesh")
+	m := noc.NewMesh(k, "noc", noc.Config{Width: w, Height: h, Cycle: sim.NS, FIFODepth: 2})
+	aOut := core.NewSmart[uint32](k, "aOut", 8)
+	aIn := core.NewSmart[uint32](k, "aIn", 8)
+	bOut := core.NewSmart[uint32](k, "bOut", 8)
+	bIn := core.NewSmart[uint32](k, "bIn", 8)
+	m.AttachNI("niA", 0, 0, aOut, aIn, noc.NIConfig{PacketLen: packetLen, Cycle: sim.NS, Dst: m.RouterIndex(3, 0)})
+	m.AttachNI("niB", 3, 0, bOut, bIn, noc.NIConfig{PacketLen: packetLen, Cycle: sim.NS, Dst: m.RouterIndex(0, 0)})
+	mk := func(name string, out *core.SmartFIFO[uint32], in *core.SmartFIFO[uint32], base uint32) {
+		k.Thread(name+".p", func(p *sim.Process) {
+			for i := uint32(0); i < nWords; i++ {
+				out.Write(base + i)
+				p.Inc(3 * sim.NS)
+			}
+		})
+		k.Thread(name+".c", func(p *sim.Process) {
+			for i := uint32(0); i < nWords; i++ {
+				if v := in.Read(); v != (1000-base)+i {
+					t.Errorf("%s: got %d, want %d", name, v, (1000-base)+i)
+					return
+				}
+			}
+		})
+	}
+	mk("a", aOut, aIn, 0)    // a sends 0.. and receives b's 1000..
+	mk("b", bOut, bIn, 1000) // b sends 1000.. and receives a's 0..
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	if got := m.Stats().PacketsDelivered; got != 2*nWords/packetLen {
+		t.Errorf("PacketsDelivered = %d, want %d", got, 2*nWords/packetLen)
+	}
+}
+
+func TestDecoupledProducerDatesRespected(t *testing.T) {
+	// A producer running far ahead in local time must not make its data
+	// cross the NoC before the insertion dates: the NI collects packets
+	// only when words are really available.
+	k := sim.NewKernel("mesh")
+	m := noc.NewMesh(k, "noc", noc.Config{Width: 2, Height: 1, Cycle: sim.NS, FIFODepth: 4})
+	srcCh := core.NewSmart[uint32](k, "s", 64)
+	dstCh := core.NewSmart[uint32](k, "d", 64)
+	m.AttachNI("in", 0, 0, srcCh, nil, noc.NIConfig{PacketLen: 2, Cycle: sim.NS, Dst: 1})
+	m.AttachNI("out", 1, 0, nil, dstCh, noc.NIConfig{PacketLen: 2, Cycle: sim.NS})
+	k.Thread("producer", func(p *sim.Process) {
+		// Entirely decoupled: all writes internal at global 0, dated
+		// 100ns apart.
+		for i := uint32(0); i < 4; i++ {
+			srcCh.Write(i)
+			p.Inc(100 * sim.NS)
+		}
+	})
+	var dates []sim.Time
+	k.Thread("consumer", func(p *sim.Process) {
+		for i := 0; i < 4; i++ {
+			dstCh.Read()
+			dates = append(dates, p.LocalTime())
+		}
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	// Words dated 0,100,200,300; packets of 2 complete at 100 and 300,
+	// so nothing can arrive before those dates.
+	if dates[0] < 100*sim.NS {
+		t.Errorf("first word delivered at %v, before its packet existed (100ns)", dates[0])
+	}
+	if dates[2] < 300*sim.NS {
+		t.Errorf("third word delivered at %v, before its packet existed (300ns)", dates[2])
+	}
+}
+
+func TestRouterIndexBounds(t *testing.T) {
+	k := sim.NewKernel("mesh")
+	m := noc.NewMesh(k, "noc", noc.Config{Width: 2, Height: 2, Cycle: sim.NS, FIFODepth: 2})
+	if m.RouterIndex(1, 1) != 3 {
+		t.Errorf("RouterIndex(1,1) = %d", m.RouterIndex(1, 1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-mesh coordinates did not panic")
+		}
+	}()
+	m.RouterIndex(2, 0)
+}
+
+func TestManyParallelStreams(t *testing.T) {
+	// A 3x3 mesh with 4 streams; all words delivered, per-stream order
+	// preserved.
+	const packetLen, nWords = 4, 32
+	k := sim.NewKernel("mesh")
+	m := noc.NewMesh(k, "noc", noc.Config{Width: 3, Height: 3, Cycle: sim.NS, FIFODepth: 4})
+	routes := [][4]int{ // srcX, srcY, dstX, dstY
+		{0, 0, 2, 2},
+		{2, 0, 0, 2},
+		{0, 2, 2, 0},
+		{1, 1, 0, 0},
+	}
+	var okCount int
+	for si, rt := range routes {
+		si, rt := si, rt
+		out := core.NewSmart[uint32](k, fmt.Sprintf("out%d", si), 8)
+		in := core.NewSmart[uint32](k, fmt.Sprintf("in%d", si), 8)
+		m.AttachNI(fmt.Sprintf("ni.in%d", si), rt[0], rt[1], out, nil,
+			noc.NIConfig{PacketLen: packetLen, Cycle: sim.NS, Dst: m.RouterIndex(rt[2], rt[3])})
+		m.AttachNI(fmt.Sprintf("ni.out%d", si), rt[2], rt[3], nil, in,
+			noc.NIConfig{PacketLen: packetLen, Cycle: sim.NS})
+		base := uint32(si * 10000)
+		k.Thread(fmt.Sprintf("p%d", si), func(p *sim.Process) {
+			for i := uint32(0); i < nWords; i++ {
+				out.Write(base + i)
+				p.Inc(sim.Time(1+si) * sim.NS)
+			}
+		})
+		k.Thread(fmt.Sprintf("c%d", si), func(p *sim.Process) {
+			for i := uint32(0); i < nWords; i++ {
+				if v := in.Read(); v != base+i {
+					t.Errorf("stream %d: got %d, want %d", si, v, base+i)
+					return
+				}
+			}
+			okCount++
+		})
+	}
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	if okCount != len(routes) {
+		t.Errorf("only %d/%d streams completed", okCount, len(routes))
+	}
+}

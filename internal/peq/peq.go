@@ -1,0 +1,123 @@
+// Package peq implements a payload event queue with get — the TLM-2.0
+// utility class (tlm_utils::peq_with_get) the paper points to as the prior
+// art the Smart FIFO generalizes: "the Smart FIFO associates a time stamp
+// with each data item ... that idea is already implemented in the TLM
+// peq_with_get utility class. However, because we model hardware FIFOs
+// that are bounded, writing may be blocking too" (§III-A).
+//
+// A PEQ is an unbounded queue of timestamped payloads. Producers (possibly
+// temporally decoupled) push payloads annotated with a delay relative to
+// their local date; consumers get payloads back once the global date has
+// reached each payload's date, driven by an event. Because the queue is
+// unbounded there is no write-side blocking and hence no writer-side
+// timestamping — exactly the limitation that motivates the Smart FIFO.
+package peq
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// entry is one queued payload.
+type entry[T any] struct {
+	at  sim.Time
+	seq uint64
+	v   T
+}
+
+// queue is a min-heap of entries ordered by (date, insertion).
+type queue[T any] []entry[T]
+
+func (q queue[T]) Len() int { return len(q) }
+func (q queue[T]) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q queue[T]) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *queue[T]) Push(x any)   { *q = append(*q, x.(entry[T])) }
+func (q *queue[T]) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// PEQ is a payload event queue. Create with New.
+type PEQ[T any] struct {
+	k    *sim.Kernel
+	name string
+	q    queue[T]
+	seq  uint64
+	ev   *sim.Event
+}
+
+// New creates an empty queue.
+func New[T any](k *sim.Kernel, name string) *PEQ[T] {
+	return &PEQ[T]{k: k, name: name, ev: sim.NewEvent(k, name+".get")}
+}
+
+// Name returns the queue name.
+func (p *PEQ[T]) Name() string { return p.name }
+
+// Event is notified whenever a payload becomes ready to Get.
+func (p *PEQ[T]) Event() *sim.Event { return p.ev }
+
+// Len returns the number of queued payloads (ready or not).
+func (p *PEQ[T]) Len() int { return len(p.q) }
+
+// Notify queues v to become ready after delay relative to the calling
+// process's local date (tlm_utils semantics under temporal decoupling).
+// Called outside any process, the delay is relative to the global date.
+func (p *PEQ[T]) Notify(v T, delay sim.Time) {
+	if delay < 0 {
+		panic(fmt.Sprintf("peq: %s: negative delay", p.name))
+	}
+	base := p.k.Now()
+	if cur := p.k.Current(); cur != nil {
+		base = cur.LocalTime()
+	}
+	p.seq++
+	heap.Push(&p.q, entry[T]{at: base + delay, seq: p.seq, v: v})
+	p.arm()
+}
+
+// arm schedules the ready event for the earliest pending payload.
+func (p *PEQ[T]) arm() {
+	if len(p.q) == 0 {
+		return
+	}
+	at := p.q[0].at
+	p.ev.CancelNotify()
+	if at <= p.k.Now() {
+		p.ev.NotifyDelta()
+		return
+	}
+	p.ev.NotifyAt(at)
+}
+
+// Get pops the earliest payload whose date has been reached, evaluated at
+// the caller's local date; ok is false if none is ready yet (wait on
+// Event and retry). Consumers see payloads strictly in date order.
+func (p *PEQ[T]) Get() (v T, ok bool) {
+	now := p.k.Now()
+	if cur := p.k.Current(); cur != nil {
+		now = cur.LocalTime()
+	}
+	if len(p.q) == 0 || p.q[0].at > now {
+		var zero T
+		return zero, false
+	}
+	e := heap.Pop(&p.q).(entry[T])
+	// Lift a decoupled consumer to the payload date, as a Smart FIFO
+	// read would.
+	if cur := p.k.Current(); cur != nil {
+		cur.AdvanceLocalTo(e.at)
+	}
+	p.arm()
+	return e.v, true
+}

@@ -1,0 +1,178 @@
+package peq_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/peq"
+	"repro/internal/sim"
+)
+
+func TestPayloadsDeliveredInDateOrder(t *testing.T) {
+	k := sim.NewKernel("t")
+	q := peq.New[string](k, "q")
+	var got []string
+	k.Thread("producer", func(p *sim.Process) {
+		q.Notify("c", 30*sim.NS)
+		q.Notify("a", 10*sim.NS)
+		q.Notify("b", 20*sim.NS)
+	})
+	k.Thread("consumer", func(p *sim.Process) {
+		for len(got) < 3 {
+			v, ok := q.Get()
+			if !ok {
+				p.WaitEvent(q.Event())
+				continue
+			}
+			got = append(got, fmt.Sprintf("%s@%v", v, k.Now()))
+		}
+	})
+	k.Run(sim.RunForever)
+	want := "[a@10ns b@20ns c@30ns]"
+	if fmt.Sprint(got) != want {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDecoupledProducerDates(t *testing.T) {
+	// A producer far ahead in local time: payload dates follow its
+	// local clock, and the consumer sees them at those dates.
+	k := sim.NewKernel("t")
+	q := peq.New[int](k, "q")
+	var dates []sim.Time
+	k.Thread("producer", func(p *sim.Process) {
+		for i := 0; i < 3; i++ {
+			p.Inc(50 * sim.NS)
+			q.Notify(i, 0)
+		}
+	})
+	k.Thread("consumer", func(p *sim.Process) {
+		for len(dates) < 3 {
+			_, ok := q.Get()
+			if !ok {
+				p.WaitEvent(q.Event())
+				continue
+			}
+			dates = append(dates, k.Now())
+		}
+	})
+	k.Run(sim.RunForever)
+	want := []sim.Time{50 * sim.NS, 100 * sim.NS, 150 * sim.NS}
+	if fmt.Sprint(dates) != fmt.Sprint(want) {
+		t.Errorf("dates %v, want %v", dates, want)
+	}
+}
+
+func TestDecoupledConsumerAdvances(t *testing.T) {
+	// A decoupled consumer Get()s against its local date and is lifted
+	// to the payload date, like a Smart FIFO read.
+	k := sim.NewKernel("t")
+	q := peq.New[int](k, "q")
+	k.Thread("producer", func(p *sim.Process) {
+		q.Notify(1, 40*sim.NS)
+	})
+	k.Thread("consumer", func(p *sim.Process) {
+		p.Wait(0) // let the producer queue
+		p.Inc(100 * sim.NS)
+		v, ok := q.Get() // ready relative to local date 100ns
+		if !ok || v != 1 {
+			t.Errorf("Get = %d,%v", v, ok)
+		}
+		if p.LocalTime() != 100*sim.NS {
+			t.Errorf("local %v, want unchanged 100ns (payload older)", p.LocalTime())
+		}
+	})
+	k.Run(sim.RunForever)
+}
+
+func TestGetNotReady(t *testing.T) {
+	k := sim.NewKernel("t")
+	q := peq.New[int](k, "q")
+	k.Thread("p", func(p *sim.Process) {
+		if _, ok := q.Get(); ok {
+			t.Error("Get on empty queue succeeded")
+		}
+		q.Notify(1, 10*sim.NS)
+		if _, ok := q.Get(); ok {
+			t.Error("Get before the payload date succeeded")
+		}
+		if q.Len() != 1 {
+			t.Errorf("Len = %d", q.Len())
+		}
+		p.Wait(10 * sim.NS)
+		if _, ok := q.Get(); !ok {
+			t.Error("Get at the payload date failed")
+		}
+	})
+	k.Run(sim.RunForever)
+}
+
+func TestMethodConsumer(t *testing.T) {
+	// The canonical SC_METHOD pattern over a PEQ.
+	k := sim.NewKernel("t")
+	q := peq.New[int](k, "q")
+	var got []sim.Time
+	k.MethodNoInit("consumer", func(p *sim.Process) {
+		for {
+			_, ok := q.Get()
+			if !ok {
+				return // re-armed by static sensitivity
+			}
+			got = append(got, k.Now())
+		}
+	}, q.Event())
+	k.Thread("producer", func(p *sim.Process) {
+		for i := 0; i < 3; i++ {
+			q.Notify(i, sim.Time(i+1)*15*sim.NS)
+		}
+	})
+	k.Run(sim.RunForever)
+	want := []sim.Time{15 * sim.NS, 30 * sim.NS, 45 * sim.NS}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestQuickDateOrder(t *testing.T) {
+	// Whatever the notification order and delays, Get returns payloads
+	// in non-decreasing date order and returns all of them.
+	prop := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		if len(delays) > 50 {
+			delays = delays[:50]
+		}
+		k := sim.NewKernel("q")
+		q := peq.New[int](k, "q")
+		ok := true
+		var count int
+		k.Thread("producer", func(p *sim.Process) {
+			for i, d := range delays {
+				q.Notify(i, sim.Time(d)*sim.NS)
+			}
+		})
+		k.Thread("consumer", func(p *sim.Process) {
+			var last sim.Time = -1
+			for count < len(delays) {
+				_, got := q.Get()
+				if !got {
+					p.WaitEvent(q.Event())
+					continue
+				}
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+				count++
+			}
+		})
+		k.Run(sim.RunForever)
+		k.Shutdown()
+		return ok && count == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

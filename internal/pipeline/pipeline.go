@@ -1,0 +1,234 @@
+// Package pipeline implements the paper's §IV-B performance benchmark: a
+// simple system with three modules (source, transmitter, sink) connected
+// by two FIFOs, moving a configurable number of blocks of words with
+// varying data rates. The FIFO depth is a parameter, and the same model
+// runs in four modes:
+//
+//   - Untimed: regular FIFOs, no timing annotations at all;
+//   - TDless: timed, no decoupling, regular FIFOs (one context switch per
+//     annotation) — the accuracy reference;
+//   - TDfull: timed, temporal decoupling, Smart FIFOs — the paper's
+//     contribution, same accuracy as TDless;
+//   - Quantum: timed, quantum-keeper decoupling over regular FIFOs — the
+//     TLM-2.0 state of the art the paper improves on; fast but introduces
+//     timing errors (our ablation).
+//
+// Run returns wall time, kernel statistics and the dated per-block
+// completion log, so callers can regenerate Fig. 5 and quantify accuracy.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fifo"
+	"repro/internal/sim"
+	"repro/internal/td"
+	"repro/internal/workload"
+)
+
+// Mode selects the timing/channel implementation of the benchmark model.
+type Mode int
+
+const (
+	// Untimed uses regular FIFOs and no annotations.
+	Untimed Mode = iota
+	// TDless uses regular FIFOs and a context-switching Wait per
+	// annotation.
+	TDless
+	// TDfull uses Smart FIFOs and temporal decoupling.
+	TDfull
+	// Quantum uses regular FIFOs and quantum-keeper decoupling.
+	Quantum
+)
+
+// String names the mode as in the paper's Fig. 5 legend.
+func (m Mode) String() string {
+	switch m {
+	case Untimed:
+		return "untimed"
+	case TDless:
+		return "TDless"
+	case TDfull:
+		return "TDfull"
+	case Quantum:
+		return "quantum"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config parameterizes one benchmark run.
+type Config struct {
+	// Mode is the implementation under test.
+	Mode Mode
+	// Depth is the FIFO depth in cells (the Fig. 5 x-axis).
+	Depth int
+	// Blocks and WordsPerBlock size the workload (paper: 1000 × 1000).
+	Blocks        int
+	WordsPerBlock int
+	// SourceRate, TransmitRate and SinkRate give the per-word periods.
+	// Zero values default to the varying rates of §IV-B.
+	SourceRate   workload.Rate
+	TransmitRate workload.Rate
+	SinkRate     workload.Rate
+	// QuantumValue is the quantum for Mode == Quantum.
+	QuantumValue sim.Time
+	// Seed feeds the data generator.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Blocks == 0 {
+		c.Blocks = 1000
+	}
+	if c.WordsPerBlock == 0 {
+		c.WordsPerBlock = 1000
+	}
+	if c.Depth == 0 {
+		c.Depth = 16
+	}
+	// "with varying data rates": stepped periods, transmitter fastest.
+	if c.SourceRate == nil {
+		c.SourceRate = workload.Steps(10*sim.NS, 12*sim.NS, 8*sim.NS)
+	}
+	if c.TransmitRate == nil {
+		c.TransmitRate = workload.Constant(7 * sim.NS)
+	}
+	if c.SinkRate == nil {
+		c.SinkRate = workload.Steps(9*sim.NS, 13*sim.NS)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Result reports one run's outcome.
+type Result struct {
+	// Mode and Depth echo the configuration.
+	Mode  Mode
+	Depth int
+	// Wall is the host execution duration of Kernel.Run.
+	Wall time.Duration
+	// Words is the number of words transported end to end.
+	Words int
+	// SimEnd is the final simulated date (0 for Untimed).
+	SimEnd sim.Time
+	// BlockDates holds the sink's local date at each block completion
+	// (empty for Untimed); comparing them across modes measures timing
+	// accuracy.
+	BlockDates []sim.Time
+	// Checksum proves functional equality across modes.
+	Checksum uint64
+	// Stats are the kernel activity counters; ContextSwitches is the
+	// quantity Fig. 5 is really about.
+	Stats sim.Stats
+}
+
+// channel abstracts the FIFO implementation choice.
+type channel interface {
+	Write(v workload.Word)
+	Read() workload.Word
+}
+
+// delayer abstracts the annotation style of a process.
+type delayer func(d sim.Time)
+
+// Run executes the benchmark once and reports the outcome.
+func Run(cfg Config) Result {
+	cfg.fill()
+	k := sim.NewKernel("fig5")
+	timed := cfg.Mode != Untimed
+
+	newFIFO := func(name string) channel {
+		if cfg.Mode == TDfull {
+			return core.NewSmart[workload.Word](k, name, cfg.Depth)
+		}
+		return fifo.New[workload.Word](k, name, cfg.Depth)
+	}
+	newDelay := func(p *sim.Process) delayer {
+		switch cfg.Mode {
+		case Untimed:
+			return func(sim.Time) {}
+		case TDless:
+			return p.Wait
+		case TDfull:
+			return p.Inc
+		case Quantum:
+			q := td.NewQuantumKeeper(p, cfg.QuantumValue)
+			return q.Inc
+		}
+		panic("pipeline: unknown mode")
+	}
+
+	f1 := newFIFO("f1")
+	f2 := newFIFO("f2")
+	n := cfg.Blocks * cfg.WordsPerBlock
+	res := Result{Mode: cfg.Mode, Depth: cfg.Depth, Words: n}
+
+	// A decoupled process may terminate with its local date ahead of the
+	// global clock; the simulated end date is the latest local end.
+	end := func(p *sim.Process) {
+		if timed && p.LocalTime() > res.SimEnd {
+			res.SimEnd = p.LocalTime()
+		}
+	}
+
+	k.Thread("source", func(p *sim.Process) {
+		delay := newDelay(p)
+		for i := 0; i < n; i++ {
+			f1.Write(workload.WordAt(cfg.Seed, i))
+			delay(cfg.SourceRate(i))
+		}
+		end(p)
+	})
+	k.Thread("transmitter", func(p *sim.Process) {
+		delay := newDelay(p)
+		for i := 0; i < n; i++ {
+			v := f1.Read()
+			delay(cfg.TransmitRate(i))
+			f2.Write(v ^ 0xa5a5a5a5) // the "transmission" transform
+		}
+		end(p)
+	})
+	k.Thread("sink", func(p *sim.Process) {
+		delay := newDelay(p)
+		sum := uint64(0)
+		for i := 0; i < n; i++ {
+			sum = workload.Checksum(sum, f2.Read())
+			delay(cfg.SinkRate(i))
+			if timed && (i+1)%cfg.WordsPerBlock == 0 {
+				res.BlockDates = append(res.BlockDates, p.LocalTime())
+			}
+		}
+		res.Checksum = sum
+		end(p)
+	})
+
+	start := time.Now()
+	k.Run(sim.RunForever)
+	res.Wall = time.Since(start)
+	res.Stats = k.Stats()
+	return res
+}
+
+// MaxTimingError returns the largest absolute difference between the
+// per-block completion dates of r and the reference ref (typically a
+// TDless run): the accuracy metric of the quantum ablation. It panics if
+// the runs transported different workloads.
+func MaxTimingError(ref, r Result) sim.Time {
+	if len(ref.BlockDates) != len(r.BlockDates) {
+		panic("pipeline: incomparable results")
+	}
+	var max sim.Time
+	for i := range ref.BlockDates {
+		d := r.BlockDates[i] - ref.BlockDates[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

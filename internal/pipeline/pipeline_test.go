@@ -1,0 +1,152 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// small returns a quick configuration for tests.
+func small(m pipeline.Mode, depth int) pipeline.Config {
+	return pipeline.Config{
+		Mode:          m,
+		Depth:         depth,
+		Blocks:        8,
+		WordsPerBlock: 50,
+		Seed:          3,
+	}
+}
+
+func TestAllModesSameChecksum(t *testing.T) {
+	ref := pipeline.Run(small(pipeline.TDless, 4))
+	for _, m := range []pipeline.Mode{pipeline.Untimed, pipeline.TDfull} {
+		r := pipeline.Run(small(m, 4))
+		if r.Checksum != ref.Checksum {
+			t.Errorf("%v checksum %x != TDless %x", m, r.Checksum, ref.Checksum)
+		}
+	}
+	q := small(pipeline.Quantum, 4)
+	q.QuantumValue = 100 * sim.NS
+	if r := pipeline.Run(q); r.Checksum != ref.Checksum {
+		t.Errorf("quantum checksum %x != TDless %x", r.Checksum, ref.Checksum)
+	}
+}
+
+// TestTDfullExactAccuracy is the paper's claim on the benchmark system:
+// TDfull reproduces every TDless block-completion date exactly, at every
+// depth.
+func TestTDfullExactAccuracy(t *testing.T) {
+	for _, depth := range []int{1, 2, 4, 32} {
+		ref := pipeline.Run(small(pipeline.TDless, depth))
+		got := pipeline.Run(small(pipeline.TDfull, depth))
+		if ref.SimEnd != got.SimEnd {
+			t.Errorf("depth %d: SimEnd %v != %v", depth, got.SimEnd, ref.SimEnd)
+		}
+		if e := pipeline.MaxTimingError(ref, got); e != 0 {
+			t.Errorf("depth %d: TDfull timing error %v, want 0", depth, e)
+		}
+	}
+}
+
+// TestQuantumHasTimingError: the ablation's premise — with a large quantum
+// the block dates drift, unlike TDfull.
+func TestQuantumHasTimingError(t *testing.T) {
+	depth := 4
+	ref := pipeline.Run(small(pipeline.TDless, depth))
+	q := small(pipeline.Quantum, depth)
+	q.QuantumValue = 10 * sim.US
+	got := pipeline.Run(q)
+	if e := pipeline.MaxTimingError(ref, got); e == 0 {
+		t.Error("quantum 10us produced zero timing error; ablation premise broken")
+	}
+}
+
+// TestQuantumZeroIsTDless: quantum 0 degenerates to wait-per-annotation,
+// hence exact timing.
+func TestQuantumZeroIsTDless(t *testing.T) {
+	depth := 2
+	ref := pipeline.Run(small(pipeline.TDless, depth))
+	q := small(pipeline.Quantum, depth)
+	q.QuantumValue = 0
+	got := pipeline.Run(q)
+	if e := pipeline.MaxTimingError(ref, got); e != 0 {
+		t.Errorf("quantum 0 timing error %v, want 0", e)
+	}
+	if ref.SimEnd != got.SimEnd {
+		t.Errorf("SimEnd %v != %v", got.SimEnd, ref.SimEnd)
+	}
+}
+
+// TestContextSwitchShape verifies the Fig. 5 mechanism on switch counts
+// (robust, unlike wall time, under `go test` noise):
+//   - TDless is depth-independent (one switch per annotation);
+//   - TDfull decreases with depth;
+//   - at large depth TDfull does far fewer switches than TDless.
+func TestContextSwitchShape(t *testing.T) {
+	cs := func(m pipeline.Mode, depth int) uint64 {
+		return pipeline.Run(small(m, depth)).Stats.ContextSwitches
+	}
+	tdless1, tdless64 := cs(pipeline.TDless, 1), cs(pipeline.TDless, 64)
+	ratio := float64(tdless1) / float64(tdless64)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("TDless switches vary with depth: d1=%d d64=%d", tdless1, tdless64)
+	}
+	full1, full4, full64 := cs(pipeline.TDfull, 1), cs(pipeline.TDfull, 4), cs(pipeline.TDfull, 64)
+	if !(full1 > full4 && full4 > full64) {
+		t.Errorf("TDfull switches not decreasing: %d, %d, %d", full1, full4, full64)
+	}
+	if full64*4 > tdless64 {
+		t.Errorf("TDfull at depth 64 (%d switches) not ≪ TDless (%d)", full64, tdless64)
+	}
+	un1, un64 := cs(pipeline.Untimed, 1), cs(pipeline.Untimed, 64)
+	if un64 >= un1 {
+		t.Errorf("untimed switches not decreasing with depth: %d → %d", un1, un64)
+	}
+}
+
+// TestSimEndReasonable: the simulated end date must be bounded below by the
+// slowest stage's total service demand.
+func TestSimEndReasonable(t *testing.T) {
+	cfg := small(pipeline.TDless, 8)
+	r := pipeline.Run(cfg)
+	words := sim.Time(cfg.Blocks * cfg.WordsPerBlock)
+	minEnd := words * 7 * sim.NS // transmitter is the fastest stage
+	if r.SimEnd < minEnd {
+		t.Errorf("SimEnd %v below service demand %v", r.SimEnd, minEnd)
+	}
+	if len(r.BlockDates) != cfg.Blocks {
+		t.Errorf("got %d block dates, want %d", len(r.BlockDates), cfg.Blocks)
+	}
+}
+
+// TestCustomRates exercises the rate-schedule plumbing.
+func TestCustomRates(t *testing.T) {
+	cfg := small(pipeline.TDless, 4)
+	cfg.SourceRate = workload.Constant(5 * sim.NS)
+	cfg.TransmitRate = workload.Constant(5 * sim.NS)
+	cfg.SinkRate = workload.Constant(5 * sim.NS)
+	ref := pipeline.Run(cfg)
+	cfg.Mode = pipeline.TDfull
+	got := pipeline.Run(cfg)
+	if e := pipeline.MaxTimingError(ref, got); e != 0 {
+		t.Errorf("timing error %v with constant rates", e)
+	}
+}
+
+// TestRandomRatesAccuracy uses the random schedule on both modes.
+func TestRandomRatesAccuracy(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := small(pipeline.TDless, 3)
+		cfg.SourceRate = workload.Random(seed, 4, 5*sim.NS)
+		cfg.TransmitRate = workload.Random(seed+100, 4, 5*sim.NS)
+		cfg.SinkRate = workload.Random(seed+200, 4, 5*sim.NS)
+		ref := pipeline.Run(cfg)
+		cfg.Mode = pipeline.TDfull
+		got := pipeline.Run(cfg)
+		if e := pipeline.MaxTimingError(ref, got); e != 0 {
+			t.Errorf("seed %d: timing error %v", seed, e)
+		}
+	}
+}

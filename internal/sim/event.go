@@ -1,0 +1,152 @@
+package sim
+
+// Event is a SystemC-like notification primitive.
+//
+// Threads block on it with Process.WaitEvent; method processes are attached
+// statically (Kernel.Method sensitivity list) or dynamically
+// (Process.NextTriggerEvent). An event carries at most one pending delayed
+// notification; following SystemC semantics, a new delayed notification
+// only replaces the pending one if it would fire earlier, and an immediate
+// notification overrides everything.
+type Event struct {
+	k    *Kernel
+	name string
+
+	// waiting holds dynamically attached processes: parked threads and
+	// methods armed with NextTriggerEvent. Cleared on fire.
+	waiting []procRef
+	// static holds statically sensitive method processes. Never cleared.
+	static []*Process
+
+	pending      *timedEntry // pending timed notification, nil if none
+	deltaPending bool        // pending delta notification
+
+	// onFire, if non-nil, runs first when the event fires. Internal
+	// hook used by Signal's update phase.
+	onFire func()
+}
+
+// NewEvent creates an event bound to kernel k.
+func NewEvent(k *Kernel, name string) *Event {
+	return &Event{k: k, name: name}
+}
+
+// Name returns the event's name.
+func (e *Event) Name() string { return e.name }
+
+func (e *Event) addWaiter(p *Process) {
+	e.waiting = append(e.waiting, procRef{p: p, gen: p.waitSeq, evWait: true})
+}
+
+func (e *Event) addDynMethod(p *Process, gen uint64) {
+	e.waiting = append(e.waiting, procRef{p: p, gen: gen})
+}
+
+// fire activates every attached process: dynamically waiting threads,
+// dynamically armed methods whose trigger is still live, and statically
+// sensitive methods that are not dynamically overridden.
+func (e *Event) fire() {
+	k := e.k
+	if e.onFire != nil {
+		e.onFire()
+	}
+	if len(e.waiting) > 0 {
+		ws := e.waiting
+		e.waiting = nil
+		for _, r := range ws {
+			if r.valid() && k.runnableAdd(r.p) && !r.p.isMethod {
+				r.p.wokenBy = e
+			}
+		}
+	}
+	for _, p := range e.static {
+		if !p.dynArmed {
+			k.runnableAdd(p)
+		}
+	}
+}
+
+// Notify triggers the event immediately, within the current evaluate phase.
+// Processes activated this way run before the current delta cycle ends.
+// Any pending delayed notification is cancelled (immediate wins).
+func (e *Event) Notify() {
+	e.k.stats.Notifications++
+	e.CancelNotify()
+	e.fire()
+}
+
+// NotifyDelta schedules a notification for the next delta cycle
+// (notify(SC_ZERO_TIME)). It overrides a pending timed notification but is
+// itself overridden by an immediate one.
+func (e *Event) NotifyDelta() {
+	e.k.stats.Notifications++
+	if e.deltaPending {
+		return
+	}
+	if e.pending != nil {
+		e.pending.cancelled = true
+		e.pending = nil
+	}
+	e.deltaPending = true
+	e.k.deltaEvents = append(e.k.deltaEvents, e)
+}
+
+// NotifyDelayed schedules a notification after duration d (delta cycle if
+// d == 0). Per SystemC semantics it only replaces a pending notification
+// that would fire later.
+func (e *Event) NotifyDelayed(d Time) {
+	if d < 0 {
+		panic("sim: NotifyDelayed with negative duration")
+	}
+	if d == 0 {
+		e.NotifyDelta()
+		return
+	}
+	e.k.stats.Notifications++
+	at := e.k.now + d
+	if e.deltaPending {
+		return // a delta notification fires earlier than any timed one
+	}
+	if e.pending != nil {
+		if e.pending.at <= at {
+			return
+		}
+		e.pending.cancelled = true
+	}
+	e.pending = e.k.scheduleEvent(e, at)
+}
+
+// NotifyAt is NotifyDelayed in absolute time: schedule a notification at
+// date at, which must not be in the global past.
+func (e *Event) NotifyAt(at Time) {
+	if at < e.k.now {
+		panic("sim: NotifyAt in the past")
+	}
+	e.NotifyDelayed(at - e.k.now)
+}
+
+// CancelNotify cancels any pending delayed or delta notification
+// (sc_event::cancel).
+func (e *Event) CancelNotify() {
+	if e.pending != nil {
+		e.pending.cancelled = true
+		e.pending = nil
+	}
+	e.deltaPending = false
+}
+
+// HasPending reports whether a delayed or delta notification is pending.
+func (e *Event) HasPending() bool { return e.pending != nil || e.deltaPending }
+
+// PendingAt returns the date of the pending timed notification and true, or
+// (0, false) if none is pending (a delta notification reports the current
+// date).
+func (e *Event) PendingAt() (Time, bool) {
+	if e.deltaPending {
+		return e.k.now, true
+	}
+	if e.pending != nil {
+		return e.pending.at, true
+	}
+	return 0, false
+}

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Stats aggregates kernel activity counters. The Fig. 5 reproduction reports
+// ContextSwitches alongside wall time: the paper's whole argument is that
+// simulation speed is dominated by the number of context switches, which the
+// Smart FIFO removes.
+type Stats struct {
+	// ContextSwitches counts thread process dispatches. Each dispatch is a
+	// full coroutine handoff (two channel operations and a goroutine
+	// switch), the Go analogue of a SystemC thread context switch.
+	ContextSwitches uint64
+	// MethodActivations counts run-to-completion method dispatches. These
+	// are plain function calls: the cheap alternative the paper uses for
+	// NoC routers.
+	MethodActivations uint64
+	// DeltaCycles counts evaluate phases.
+	DeltaCycles uint64
+	// TimedSteps counts time advances.
+	TimedSteps uint64
+	// Notifications counts event notifications of any kind.
+	Notifications uint64
+}
+
+// Kernel is a discrete-event simulator instance. Create one with NewKernel,
+// register processes with Thread and Method, then call Run.
+//
+// All kernel and model state is owned by the single running process (or the
+// caller of Run, between dispatches); there is no concurrent access and
+// hence no locking. The coroutine handoff channels provide the necessary
+// happens-before edges.
+type Kernel struct {
+	name string
+	now  Time
+
+	procs   []*Process
+	nProcID int
+
+	// runnable is the evaluate-phase FIFO queue. head indexes the next
+	// process to dispatch; the slice is compacted when drained.
+	runnable []*Process
+	head     int
+
+	// deltaProcs and deltaEvents are activated at the next delta cycle.
+	deltaProcs  []procRef
+	deltaEvents []*Event
+
+	timed    timedQueue
+	timedSeq uint64
+
+	current *Process
+	running bool
+
+	stats Stats
+}
+
+// NewKernel returns an empty kernel.
+func NewKernel(name string) *Kernel {
+	return &Kernel{name: name}
+}
+
+// Name returns the kernel's name.
+func (k *Kernel) Name() string { return k.name }
+
+// Now returns the current global simulated time (sc_time_stamp in the
+// paper).
+func (k *Kernel) Now() Time { return k.now }
+
+// Current returns the process being dispatched, or nil between dispatches.
+// Channels use this to attribute accesses to a process and read its local
+// date, mirroring the paper's map from process handles to local dates.
+func (k *Kernel) Current() *Process { return k.current }
+
+// Stats returns a copy of the kernel activity counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Processes returns all registered processes in creation order.
+func (k *Kernel) Processes() []*Process { return k.procs }
+
+// runnableAdd queues p for the current evaluate phase; it reports whether
+// p was actually added (false if already queued or terminated).
+func (k *Kernel) runnableAdd(p *Process) bool {
+	if p.terminated || p.queued {
+		return false
+	}
+	p.queued = true
+	k.runnable = append(k.runnable, p)
+	return true
+}
+
+func (k *Kernel) runnablePop() *Process {
+	if k.head >= len(k.runnable) {
+		return nil
+	}
+	p := k.runnable[k.head]
+	k.head++
+	if k.head == len(k.runnable) {
+		k.runnable = k.runnable[:0]
+		k.head = 0
+	}
+	return p
+}
+
+// procRef is a queued process activation. For method processes, gen must
+// still match the method's trigger generation when the activation is
+// promoted, so that re-armed or already-fired dynamic triggers are
+// dropped. For thread processes registered on events (evWait), gen is the
+// thread's wait sequence: entries left on the losing events of a WaitAny
+// or a timed-out WaitEventTimeout become stale once the thread wakes.
+type procRef struct {
+	p      *Process
+	gen    uint64
+	evWait bool
+}
+
+// valid reports whether the queued activation is still live.
+func (r procRef) valid() bool {
+	if r.p.isMethod {
+		return r.p.dynArmed && r.gen == r.p.trigGen
+	}
+	return !r.evWait || r.gen == r.p.waitSeq
+}
+
+// scheduleWake arranges for thread p to become runnable after d. d == 0
+// means the next delta cycle.
+func (k *Kernel) scheduleWake(p *Process, d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s: Wait with negative duration %v", p.name, d))
+	}
+	if d == 0 {
+		k.deltaProcs = append(k.deltaProcs, procRef{p: p})
+		return
+	}
+	k.timedSeq++
+	heap.Push(&k.timed, &timedEntry{at: k.now + d, seq: k.timedSeq, proc: p})
+}
+
+// scheduleEvent arranges a timed notification of e at absolute date at.
+func (k *Kernel) scheduleEvent(e *Event, at Time) *timedEntry {
+	k.timedSeq++
+	te := &timedEntry{at: at, seq: k.timedSeq, ev: e}
+	heap.Push(&k.timed, te)
+	return te
+}
+
+// dispatch runs one process for one activation.
+func (k *Kernel) dispatch(p *Process) {
+	p.queued = false
+	if p.terminated {
+		return
+	}
+	k.current = p
+	if p.isMethod {
+		k.stats.MethodActivations++
+		p.dynArmed = false
+		p.trigGen++
+		p.offset = 0
+		p.body(p)
+	} else {
+		k.stats.ContextSwitches++
+		p.resume <- struct{}{}
+		<-p.yield
+		if p.panicVal != nil {
+			v := p.panicVal
+			p.panicVal = nil
+			k.current = nil
+			panic(v)
+		}
+	}
+	k.current = nil
+}
+
+// RunForever is the sentinel limit for Run: simulate until no activity
+// remains.
+const RunForever Time = -1
+
+// Run advances the simulation. With limit == RunForever it runs until no
+// runnable process, delta notification or timed notification remains (model
+// quiescence, which includes deadlock: see Blocked). With limit >= 0 it
+// stops once the next timed activity lies strictly beyond limit, leaving Now
+// at limit. Run may be called repeatedly to resume.
+func (k *Kernel) Run(limit Time) {
+	if k.running {
+		panic("sim: Run called re-entrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for {
+		// Evaluate phase: drain the runnable queue. Immediate
+		// notifications extend the queue within the same phase.
+		if k.head < len(k.runnable) {
+			k.stats.DeltaCycles++
+			for {
+				p := k.runnablePop()
+				if p == nil {
+					break
+				}
+				k.dispatch(p)
+			}
+		}
+		// Delta notification phase.
+		if len(k.deltaProcs) > 0 || len(k.deltaEvents) > 0 {
+			procs, evs := k.deltaProcs, k.deltaEvents
+			k.deltaProcs, k.deltaEvents = nil, nil
+			for _, r := range procs {
+				if r.valid() {
+					k.runnableAdd(r.p)
+				}
+			}
+			for _, e := range evs {
+				if e.deltaPending {
+					e.deltaPending = false
+					e.fire()
+				}
+			}
+			continue
+		}
+		// Timed notification phase: advance to the earliest date.
+		te := k.timed.peek()
+		if te == nil {
+			return
+		}
+		if limit >= 0 && te.at > limit {
+			if k.now < limit {
+				k.now = limit
+			}
+			return
+		}
+		k.now = te.at
+		k.stats.TimedSteps++
+		for {
+			te := k.timed.peek()
+			if te == nil || te.at != k.now {
+				break
+			}
+			heap.Pop(&k.timed)
+			if te.cancelled {
+				continue
+			}
+			switch {
+			case te.proc != nil:
+				if te.proc.isMethod {
+					if (procRef{p: te.proc, gen: te.methodGen}).valid() {
+						k.runnableAdd(te.proc)
+					}
+				} else if !te.evWait || te.waitGen == te.proc.waitSeq {
+					k.runnableAdd(te.proc)
+				}
+			case te.ev != nil:
+				te.ev.pending = nil
+				te.ev.fire()
+			}
+		}
+	}
+}
+
+// Blocked returns the names of live thread processes that are neither
+// terminated nor runnable — after Run(RunForever) returns, these are
+// deadlocked (e.g. blocked forever on an empty FIFO).
+func (k *Kernel) Blocked() []string {
+	var out []string
+	for _, p := range k.procs {
+		if !p.isMethod && !p.terminated && !p.queued {
+			out = append(out, p.name)
+		}
+	}
+	return out
+}
+
+// Shutdown force-terminates every live thread process so their goroutines
+// exit. Call it when discarding a kernel whose model did not run to
+// completion (benchmarks and tests create many kernels; without Shutdown,
+// parked goroutines would leak). The kernel must not be running.
+func (k *Kernel) Shutdown() {
+	if k.running {
+		panic("sim: Shutdown called while running")
+	}
+	for _, p := range k.procs {
+		if p.isMethod || p.terminated {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-p.yield
+	}
+}
+
+// timedEntry is a pending timed activity: either a thread wakeup (proc) or
+// an event notification (ev).
+type timedEntry struct {
+	at        Time
+	seq       uint64
+	proc      *Process
+	methodGen uint64 // trigger generation for method proc entries
+	waitGen   uint64 // wait sequence for thread timeout entries
+	evWait    bool   // entry is a WaitEventTimeout timeout
+	ev        *Event
+	cancelled bool
+	index     int
+}
+
+// timedQueue is a min-heap of timedEntry ordered by (at, seq).
+type timedQueue []*timedEntry
+
+func (q timedQueue) Len() int { return len(q) }
+func (q timedQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q timedQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *timedQueue) Push(x any) {
+	te := x.(*timedEntry)
+	te.index = len(*q)
+	*q = append(*q, te)
+}
+func (q *timedQueue) Pop() any {
+	old := *q
+	n := len(old)
+	te := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return te
+}
+func (q *timedQueue) peek() *timedEntry {
+	for len(*q) > 0 && (*q)[0].cancelled {
+		// Lazily drop cancelled heads so peek reports a live entry.
+		heap.Pop(q)
+	}
+	if len(*q) == 0 {
+		return nil
+	}
+	return (*q)[0]
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestRunReentrancyPanics(t *testing.T) {
+	k := NewKernel("t")
+	caught := false
+	k.Thread("p", func(p *Process) {
+		defer func() {
+			if recover() != nil {
+				caught = true
+			}
+		}()
+		k.Run(RunForever)
+	})
+	k.Run(RunForever)
+	if !caught {
+		t.Error("re-entrant Run did not panic")
+	}
+}
+
+func TestShutdownTwice(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "never")
+	k.Thread("p", func(p *Process) { p.WaitEvent(e) })
+	k.Run(RunForever)
+	k.Shutdown()
+	k.Shutdown() // second call must be a no-op
+}
+
+func TestNotifyWithNoWaiters(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	k.Thread("p", func(p *Process) {
+		e.Notify()
+		e.NotifyDelta()
+		e.NotifyDelayed(5 * NS)
+		p.Wait(10 * NS)
+	})
+	k.Run(RunForever)
+	if k.Now() != 10*NS {
+		t.Errorf("Now = %v", k.Now())
+	}
+}
+
+func TestNotifyAtPastPanics(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	caught := false
+	k.Thread("p", func(p *Process) {
+		p.Wait(20 * NS)
+		defer func() {
+			if recover() != nil {
+				caught = true
+			}
+		}()
+		e.NotifyAt(10 * NS)
+	})
+	k.Run(RunForever)
+	if !caught {
+		t.Error("NotifyAt in the past did not panic")
+	}
+}
+
+func TestSyncFromMethodPanics(t *testing.T) {
+	k := NewKernel("t")
+	caught := false
+	k.Method("m", func(p *Process) {
+		defer func() {
+			if recover() != nil {
+				caught = true
+			}
+		}()
+		p.Sync()
+	})
+	k.Run(RunForever)
+	if !caught {
+		t.Error("Sync from a method did not panic")
+	}
+}
+
+func TestNextTriggerFromThreadPanics(t *testing.T) {
+	k := NewKernel("t")
+	caught := false
+	k.Thread("p", func(p *Process) {
+		defer func() {
+			if recover() != nil {
+				caught = true
+			}
+		}()
+		p.NextTrigger(NS)
+	})
+	k.Run(RunForever)
+	if !caught {
+		t.Error("NextTrigger from a thread did not panic")
+	}
+}
+
+func TestThreadCreatedDuringRun(t *testing.T) {
+	k := NewKernel("t")
+	var childRan bool
+	k.Thread("parent", func(p *Process) {
+		p.Wait(10 * NS)
+		k.Thread("child", func(c *Process) {
+			c.Wait(5 * NS)
+			childRan = true
+		})
+	})
+	k.Run(RunForever)
+	if !childRan {
+		t.Error("dynamically created thread never ran")
+	}
+	if k.Now() != 15*NS {
+		t.Errorf("Now = %v, want 15ns", k.Now())
+	}
+}
+
+func TestImmediateSelfRetriggerMethod(t *testing.T) {
+	// A method immediately notifying its own static event re-runs in
+	// the same evaluate phase (bounded here to avoid livelock).
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	runs := 0
+	k.MethodNoInit("m", func(p *Process) {
+		runs++
+		if runs < 5 {
+			e.Notify()
+		}
+	}, e)
+	k.Thread("kick", func(p *Process) { e.Notify() })
+	k.Run(RunForever)
+	if runs != 5 {
+		t.Errorf("runs = %d, want 5", runs)
+	}
+	if got := k.Stats().DeltaCycles; got != 1 {
+		t.Errorf("DeltaCycles = %d, want 1 (all within one phase)", got)
+	}
+}
+
+func TestRunZeroLimit(t *testing.T) {
+	// Run(0) executes time-zero activity only.
+	k := NewKernel("t")
+	var ranAtZero, ranLater bool
+	k.Thread("p", func(p *Process) {
+		ranAtZero = true
+		p.Wait(NS)
+		ranLater = true
+	})
+	k.Run(0)
+	if !ranAtZero || ranLater {
+		t.Errorf("ranAtZero=%v ranLater=%v", ranAtZero, ranLater)
+	}
+	k.Run(RunForever)
+	if !ranLater {
+		t.Error("resumed run did not complete the thread")
+	}
+}
+
+func TestManyProcessesScale(t *testing.T) {
+	// 1000 interleaved threads stay deterministic and complete.
+	k := NewKernel("t")
+	done := 0
+	for i := 0; i < 1000; i++ {
+		period := Time(1+i%13) * NS
+		k.Thread("p", func(p *Process) {
+			for j := 0; j < 20; j++ {
+				p.Wait(period)
+			}
+			done++
+		})
+	}
+	k.Run(RunForever)
+	if done != 1000 {
+		t.Errorf("done = %d, want 1000", done)
+	}
+}
+
+func TestBlockedEmptyAfterCompletion(t *testing.T) {
+	k := NewKernel("t")
+	k.Thread("p", func(p *Process) { p.Wait(NS) })
+	k.Run(RunForever)
+	if b := k.Blocked(); len(b) != 0 {
+		t.Errorf("Blocked = %v, want empty", b)
+	}
+}

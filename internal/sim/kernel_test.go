@@ -1,0 +1,661 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0s"},
+		{20 * NS, "20ns"},
+		{1500 * PS, "1500ps"},
+		{3 * US, "3us"},
+		{7 * MS, "7ms"},
+		{2 * SEC, "2s"},
+		{-5 * NS, "-5ns"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestThreadWaitAdvancesTime(t *testing.T) {
+	k := NewKernel("t")
+	var dates []Time
+	k.Thread("p", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			dates = append(dates, k.Now())
+			p.Wait(10 * NS)
+		}
+		dates = append(dates, k.Now())
+	})
+	k.Run(RunForever)
+	want := []Time{0, 10 * NS, 20 * NS, 30 * NS}
+	if fmt.Sprint(dates) != fmt.Sprint(want) {
+		t.Errorf("dates = %v, want %v", dates, want)
+	}
+}
+
+func TestTwoThreadsInterleaveDeterministically(t *testing.T) {
+	k := NewKernel("t")
+	var log []string
+	mk := func(name string, period Time, n int) {
+		k.Thread(name, func(p *Process) {
+			for i := 0; i < n; i++ {
+				log = append(log, fmt.Sprintf("%s@%v", name, k.Now()))
+				p.Wait(period)
+			}
+		})
+	}
+	mk("a", 10*NS, 3)
+	mk("b", 15*NS, 2)
+	k.Run(RunForever)
+	want := "[a@0s b@0s a@10ns b@15ns a@20ns]"
+	if got := fmt.Sprint(log); got != want {
+		t.Errorf("log = %v, want %v", got, want)
+	}
+}
+
+func TestRunWithLimitStopsAtLimit(t *testing.T) {
+	k := NewKernel("t")
+	n := 0
+	k.Thread("p", func(p *Process) {
+		for {
+			n++
+			p.Wait(10 * NS)
+		}
+	})
+	k.Run(45 * NS)
+	if k.Now() != 45*NS {
+		t.Errorf("Now = %v, want 45ns", k.Now())
+	}
+	if n != 5 { // activations at 0, 10, 20, 30, 40
+		t.Errorf("n = %d, want 5", n)
+	}
+	// Resume: the pending wakeup at 50ns must still fire.
+	k.Run(50 * NS)
+	if n != 6 || k.Now() != 50*NS {
+		t.Errorf("after resume: n = %d, Now = %v; want 6, 50ns", n, k.Now())
+	}
+	k.Shutdown()
+}
+
+func TestWaitZeroIsDeltaCycle(t *testing.T) {
+	k := NewKernel("t")
+	var order []string
+	k.Thread("a", func(p *Process) {
+		order = append(order, "a1")
+		p.Wait(0)
+		order = append(order, "a2")
+	})
+	k.Thread("b", func(p *Process) {
+		order = append(order, "b1")
+	})
+	k.Run(RunForever)
+	if got := fmt.Sprint(order); got != "[a1 b1 a2]" {
+		t.Errorf("order = %v", got)
+	}
+	if k.Now() != 0 {
+		t.Errorf("Now = %v, want 0", k.Now())
+	}
+}
+
+func TestEventWaitAndNotify(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	var got Time = -1
+	k.Thread("waiter", func(p *Process) {
+		p.WaitEvent(e)
+		got = k.Now()
+	})
+	k.Thread("notifier", func(p *Process) {
+		p.Wait(25 * NS)
+		e.Notify()
+	})
+	k.Run(RunForever)
+	if got != 25*NS {
+		t.Errorf("woken at %v, want 25ns", got)
+	}
+}
+
+func TestImmediateNotifySameEvaluatePhase(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	var deltas []uint64
+	k.Thread("waiter", func(p *Process) {
+		p.WaitEvent(e)
+		deltas = append(deltas, k.Stats().DeltaCycles)
+	})
+	k.Thread("notifier", func(p *Process) {
+		e.Notify()
+		deltas = append(deltas, k.Stats().DeltaCycles)
+	})
+	k.Run(RunForever)
+	if len(deltas) != 2 || deltas[0] != deltas[1] {
+		t.Errorf("immediate notify crossed delta cycles: %v", deltas)
+	}
+}
+
+func TestNotifyDeltaCrossesOneDelta(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	var woken bool
+	var sawWokenInSamePhase bool
+	k.Thread("waiter", func(p *Process) {
+		p.WaitEvent(e)
+		woken = true
+	})
+	k.Thread("notifier", func(p *Process) {
+		e.NotifyDelta()
+		sawWokenInSamePhase = woken
+	})
+	k.Run(RunForever)
+	if !woken {
+		t.Fatal("waiter never woken")
+	}
+	if sawWokenInSamePhase {
+		t.Error("delta notification fired within the same evaluate phase")
+	}
+}
+
+func TestNotifyDelayedEarlierOverridesLater(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	var woken []Time
+	k.Thread("waiter", func(p *Process) {
+		for i := 0; i < 2; i++ {
+			p.WaitEvent(e)
+			woken = append(woken, k.Now())
+		}
+	})
+	k.Thread("notifier", func(p *Process) {
+		e.NotifyDelayed(30 * NS) // will be replaced: 10ns is earlier
+		e.NotifyDelayed(10 * NS)
+		p.Wait(50 * NS)
+		e.NotifyDelayed(5 * NS) // later notify at 55ns
+		e.NotifyDelayed(20 * NS)
+	})
+	k.Run(RunForever)
+	want := []Time{10 * NS, 55 * NS}
+	if fmt.Sprint(woken) != fmt.Sprint(want) {
+		t.Errorf("woken = %v, want %v", woken, want)
+	}
+}
+
+func TestCancelNotify(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	woken := false
+	k.Thread("waiter", func(p *Process) {
+		p.WaitEvent(e)
+		woken = true
+	})
+	k.Thread("canceller", func(p *Process) {
+		e.NotifyDelayed(10 * NS)
+		p.Wait(5 * NS)
+		e.CancelNotify()
+	})
+	k.Run(RunForever)
+	if woken {
+		t.Error("waiter woken despite cancelled notification")
+	}
+	if got := k.Blocked(); len(got) != 1 || got[0] != "waiter" {
+		t.Errorf("Blocked() = %v, want [waiter]", got)
+	}
+	k.Shutdown()
+}
+
+func TestPendingAt(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	if _, ok := e.PendingAt(); ok {
+		t.Error("fresh event has pending notification")
+	}
+	k.Thread("p", func(p *Process) {
+		e.NotifyDelayed(40 * NS)
+		if at, ok := e.PendingAt(); !ok || at != 40*NS {
+			t.Errorf("PendingAt = %v,%v; want 40ns,true", at, ok)
+		}
+		if !e.HasPending() {
+			t.Error("HasPending = false")
+		}
+	})
+	k.Run(RunForever)
+}
+
+func TestMethodStaticSensitivity(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	var dates []Time
+	k.MethodNoInit("m", func(p *Process) {
+		dates = append(dates, k.Now())
+	}, e)
+	k.Thread("driver", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Wait(10 * NS)
+			e.Notify()
+		}
+	})
+	k.Run(RunForever)
+	want := []Time{10 * NS, 20 * NS, 30 * NS}
+	if fmt.Sprint(dates) != fmt.Sprint(want) {
+		t.Errorf("dates = %v, want %v", dates, want)
+	}
+}
+
+func TestMethodInitialActivation(t *testing.T) {
+	k := NewKernel("t")
+	ran := 0
+	k.Method("m", func(p *Process) { ran++ })
+	k.Run(RunForever)
+	if ran != 1 {
+		t.Errorf("method ran %d times, want 1 (initial activation)", ran)
+	}
+}
+
+func TestMethodNextTriggerTimed(t *testing.T) {
+	k := NewKernel("t")
+	var dates []Time
+	k.Method("m", func(p *Process) {
+		dates = append(dates, k.Now())
+		if len(dates) < 4 {
+			p.NextTrigger(7 * NS)
+		}
+	})
+	k.Run(RunForever)
+	want := []Time{0, 7 * NS, 14 * NS, 21 * NS}
+	if fmt.Sprint(dates) != fmt.Sprint(want) {
+		t.Errorf("dates = %v, want %v", dates, want)
+	}
+}
+
+func TestMethodNextTriggerOverridesStatic(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	var dates []Time
+	k.MethodNoInit("m", func(p *Process) {
+		dates = append(dates, k.Now())
+		if len(dates) == 1 {
+			// Ignore further e notifications for 100ns.
+			p.NextTrigger(100 * NS)
+		}
+	}, e)
+	k.Thread("driver", func(p *Process) {
+		for i := 0; i < 5; i++ {
+			p.Wait(10 * NS) // notifies at 10,20,30,40,50
+			e.Notify()
+		}
+	})
+	k.Run(RunForever)
+	// First trigger at 10ns; NextTrigger suppresses the static
+	// notifications at 20..50ns; the timed trigger runs it at 110ns.
+	want := []Time{10 * NS, 110 * NS}
+	if fmt.Sprint(dates) != fmt.Sprint(want) {
+		t.Errorf("dates = %v, want %v", dates, want)
+	}
+}
+
+func TestMethodNextTriggerEvent(t *testing.T) {
+	k := NewKernel("t")
+	e1 := NewEvent(k, "e1")
+	e2 := NewEvent(k, "e2")
+	var log []string
+	k.MethodNoInit("m", func(p *Process) {
+		log = append(log, fmt.Sprintf("m@%v", k.Now()))
+		if len(log) == 1 {
+			p.NextTriggerEvent(e2) // switch sensitivity to e2 only, once
+		}
+	}, e1)
+	k.Thread("driver", func(p *Process) {
+		p.Wait(10 * NS)
+		e1.Notify() // triggers m (static)
+		p.Wait(10 * NS)
+		e1.Notify() // ignored: m waits on e2
+		p.Wait(10 * NS)
+		e2.Notify() // triggers m (dynamic)
+		p.Wait(10 * NS)
+		e2.Notify() // ignored: after dyn trigger, m is static on e1 again
+		p.Wait(10 * NS)
+		e1.Notify() // triggers m
+	})
+	k.Run(RunForever)
+	want := "[m@10ns m@30ns m@50ns]"
+	if got := fmt.Sprint(log); got != want {
+		t.Errorf("log = %v, want %v", got, want)
+	}
+}
+
+func TestMethodStaleTimedTriggerDropped(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	var dates []Time
+	k.MethodNoInit("m", func(p *Process) {
+		dates = append(dates, k.Now())
+		if len(dates) == 1 {
+			p.NextTrigger(100 * NS)
+			// Then re-arm on the event instead: the 100ns trigger
+			// must be invalidated.
+			p.NextTriggerEvent(e)
+		}
+	}, e)
+	k.Thread("driver", func(p *Process) {
+		p.Wait(10 * NS)
+		e.Notify() // first activation
+		p.Wait(10 * NS)
+		e.Notify() // second activation (dyn on e)
+	})
+	k.Run(RunForever)
+	want := []Time{10 * NS, 20 * NS} // nothing at 110ns
+	if fmt.Sprint(dates) != fmt.Sprint(want) {
+		t.Errorf("dates = %v, want %v", dates, want)
+	}
+}
+
+func TestLocalTimeIncSync(t *testing.T) {
+	k := NewKernel("t")
+	k.Thread("p", func(p *Process) {
+		if !p.Synchronized() {
+			t.Error("fresh process not synchronized")
+		}
+		p.Inc(30 * NS)
+		if p.LocalTime() != 30*NS || k.Now() != 0 {
+			t.Errorf("LocalTime = %v, Now = %v; want 30ns, 0", p.LocalTime(), k.Now())
+		}
+		if p.LocalOffset() != 30*NS {
+			t.Errorf("LocalOffset = %v, want 30ns", p.LocalOffset())
+		}
+		p.Sync()
+		if k.Now() != 30*NS || !p.Synchronized() {
+			t.Errorf("after Sync: Now = %v, sync = %v", k.Now(), p.Synchronized())
+		}
+		p.Sync() // no-op when synchronized
+		if k.Now() != 30*NS {
+			t.Errorf("second Sync moved time to %v", k.Now())
+		}
+	})
+	k.Run(RunForever)
+}
+
+func TestAdvanceLocalTo(t *testing.T) {
+	k := NewKernel("t")
+	k.Thread("p", func(p *Process) {
+		p.Wait(10 * NS)
+		p.AdvanceLocalTo(25 * NS)
+		if p.LocalTime() != 25*NS {
+			t.Errorf("LocalTime = %v, want 25ns", p.LocalTime())
+		}
+		p.AdvanceLocalTo(5 * NS) // in the past: no-op
+		if p.LocalTime() != 25*NS {
+			t.Errorf("LocalTime = %v after past advance, want 25ns", p.LocalTime())
+		}
+	})
+	k.Run(RunForever)
+}
+
+func TestIncEquivalentToWaitTiming(t *testing.T) {
+	// inc(d); sync() must be equivalent to wait(d) (paper §II-B).
+	run := func(decoupled bool) []Time {
+		k := NewKernel("t")
+		var dates []Time
+		k.Thread("p", func(p *Process) {
+			for i := 0; i < 3; i++ {
+				if decoupled {
+					p.Inc(10 * NS)
+					p.Sync()
+				} else {
+					p.Wait(10 * NS)
+				}
+				dates = append(dates, k.Now())
+			}
+		})
+		k.Run(RunForever)
+		return dates
+	}
+	if fmt.Sprint(run(true)) != fmt.Sprint(run(false)) {
+		t.Errorf("inc+sync %v != wait %v", run(true), run(false))
+	}
+}
+
+func TestMethodIncResetPerActivation(t *testing.T) {
+	k := NewKernel("t")
+	var offsets []Time
+	k.Method("m", func(p *Process) {
+		offsets = append(offsets, p.LocalOffset())
+		p.Inc(5 * NS)
+		if len(offsets) < 3 {
+			p.NextTrigger(10 * NS)
+		}
+	})
+	k.Run(RunForever)
+	want := []Time{0, 0, 0} // offset reset at each activation
+	if fmt.Sprint(offsets) != fmt.Sprint(want) {
+		t.Errorf("offsets = %v, want %v", offsets, want)
+	}
+}
+
+func TestContextSwitchCounting(t *testing.T) {
+	k := NewKernel("t")
+	k.Thread("p", func(p *Process) {
+		for i := 0; i < 9; i++ {
+			p.Wait(NS)
+		}
+	})
+	k.Run(RunForever)
+	// 1 initial dispatch + 9 wakeups.
+	if got := k.Stats().ContextSwitches; got != 10 {
+		t.Errorf("ContextSwitches = %d, want 10", got)
+	}
+}
+
+func TestIncDoesNotContextSwitch(t *testing.T) {
+	k := NewKernel("t")
+	k.Thread("p", func(p *Process) {
+		for i := 0; i < 1000; i++ {
+			p.Inc(NS)
+		}
+		p.Sync()
+	})
+	k.Run(RunForever)
+	// 1 initial dispatch + 1 sync.
+	if got := k.Stats().ContextSwitches; got != 2 {
+		t.Errorf("ContextSwitches = %d, want 2", got)
+	}
+	if k.Now() != 1000*NS {
+		t.Errorf("Now = %v, want 1us", k.Now())
+	}
+}
+
+func TestShutdownUnblocksParkedThreads(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "never")
+	for i := 0; i < 10; i++ {
+		k.Thread(fmt.Sprintf("p%d", i), func(p *Process) {
+			p.WaitEvent(e)
+		})
+	}
+	k.Run(RunForever)
+	if got := len(k.Blocked()); got != 10 {
+		t.Fatalf("Blocked = %d procs, want 10", got)
+	}
+	k.Shutdown()
+	for _, p := range k.Processes() {
+		if !p.Terminated() {
+			t.Errorf("process %s not terminated after Shutdown", p.Name())
+		}
+	}
+}
+
+func TestShutdownNeverStartedThread(t *testing.T) {
+	k := NewKernel("t")
+	k.Thread("p", func(p *Process) {})
+	// Never run the kernel at all.
+	k.Shutdown()
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	k := NewKernel("t")
+	k.Thread("bad", func(p *Process) {
+		panic("boom")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate to Run")
+		}
+		if s, ok := r.(string); !ok || s != `sim: process "bad" panicked: boom` {
+			t.Errorf("unexpected panic value %v", r)
+		}
+	}()
+	k.Run(RunForever)
+}
+
+func TestWaitFromMethodPanics(t *testing.T) {
+	k := NewKernel("t")
+	caught := false
+	k.Method("m", func(p *Process) {
+		defer func() {
+			if recover() != nil {
+				caught = true
+			}
+		}()
+		p.Wait(NS)
+	})
+	k.Run(RunForever)
+	if !caught {
+		t.Error("Wait from a method did not panic")
+	}
+}
+
+func TestNegativeDurationsPanic(t *testing.T) {
+	k := NewKernel("t")
+	caught := 0
+	k.Thread("p", func(p *Process) {
+		for _, f := range []func(){
+			func() { p.Wait(-NS) },
+			func() { p.Inc(-NS) },
+		} {
+			func() {
+				defer func() {
+					if recover() != nil {
+						caught++
+					}
+				}()
+				f()
+			}()
+		}
+	})
+	k.Run(RunForever)
+	if caught != 2 {
+		t.Errorf("caught %d panics, want 2", caught)
+	}
+}
+
+func TestCurrentProcess(t *testing.T) {
+	k := NewKernel("t")
+	if k.Current() != nil {
+		t.Error("Current non-nil outside Run")
+	}
+	var ok bool
+	k.Thread("p", func(p *Process) {
+		ok = k.Current() == p
+	})
+	k.Run(RunForever)
+	if !ok {
+		t.Error("Current() != running process")
+	}
+	if k.Current() != nil {
+		t.Error("Current non-nil after Run")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// The same model must produce the identical activation log on every
+	// run: the §IV-A validation methodology depends on it.
+	run := func() string {
+		k := NewKernel("t")
+		e := NewEvent(k, "e")
+		var log []string
+		for i := 0; i < 5; i++ {
+			name := fmt.Sprintf("p%d", i)
+			period := Time(i+1) * 3 * NS
+			k.Thread(name, func(p *Process) {
+				for j := 0; j < 10; j++ {
+					log = append(log, fmt.Sprintf("%s@%v", name, k.Now()))
+					p.Wait(period)
+					if j%3 == 0 {
+						e.Notify()
+					}
+				}
+			})
+		}
+		k.MethodNoInit("watcher", func(p *Process) {
+			log = append(log, fmt.Sprintf("w@%v", k.Now()))
+		}, e)
+		k.Run(RunForever)
+		k.Shutdown()
+		return fmt.Sprint(log)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("two runs differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestRunForeverTerminatesOnQuiescence(t *testing.T) {
+	k := NewKernel("t")
+	k.Run(RunForever) // empty model: returns immediately
+	if k.Now() != 0 {
+		t.Errorf("Now = %v", k.Now())
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	k.MethodNoInit("m", func(p *Process) {}, e)
+	k.Thread("p", func(p *Process) {
+		p.Wait(NS)
+		e.Notify()
+		p.Wait(NS)
+	})
+	k.Run(RunForever)
+	s := k.Stats()
+	if s.MethodActivations != 1 {
+		t.Errorf("MethodActivations = %d, want 1", s.MethodActivations)
+	}
+	if s.Notifications != 1 {
+		t.Errorf("Notifications = %d, want 1", s.Notifications)
+	}
+	if s.TimedSteps != 2 {
+		t.Errorf("TimedSteps = %d, want 2", s.TimedSteps)
+	}
+	if s.ContextSwitches != 3 {
+		t.Errorf("ContextSwitches = %d, want 3", s.ContextSwitches)
+	}
+}
+
+func TestManyTimedNotificationsOrder(t *testing.T) {
+	// Same-date notifications must fire in insertion order.
+	k := NewKernel("t")
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		e := NewEvent(k, fmt.Sprintf("e%d", i))
+		k.MethodNoInit(fmt.Sprintf("m%d", i), func(p *Process) {
+			order = append(order, i)
+		}, e)
+		e.NotifyDelayed(10 * NS)
+	}
+	k.Run(RunForever)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; want insertion order %v", i, v, order)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+// Signal is an sc_signal-like communication primitive: a value with
+// request/update semantics. Writes take effect at the next delta cycle
+// (the evaluate/update split of the SystemC scheduler), so all processes
+// in one evaluate phase read the same stable value, and ValueChanged fires
+// once per effective change.
+//
+// Signals carry no timestamps: they are for the synchronized parts of a
+// model (status lines, interrupt wires, method-process plumbing). A
+// decoupled process driving a signal writes at the *global* date, like any
+// regular (non-Smart) channel.
+type Signal[T comparable] struct {
+	k    *Kernel
+	name string
+
+	cur     T
+	next    T
+	pending bool
+
+	update  *Event // private delta hook applying the request
+	changed *Event
+}
+
+// NewSignal creates a signal with the zero value.
+func NewSignal[T comparable](k *Kernel, name string) *Signal[T] {
+	s := &Signal[T]{
+		k:       k,
+		name:    name,
+		changed: NewEvent(k, name+".value_changed"),
+	}
+	s.update = NewEvent(k, name+".update")
+	s.update.onFire = func() {
+		s.pending = false
+		if s.next != s.cur {
+			s.cur = s.next
+			s.changed.Notify()
+		}
+	}
+	return s
+}
+
+// Name returns the signal name.
+func (s *Signal[T]) Name() string { return s.name }
+
+// Read returns the current (stable) value.
+func (s *Signal[T]) Read() T { return s.cur }
+
+// Write schedules v to become the signal's value at the next delta cycle.
+// Several writes in one evaluate phase keep only the last (last-write-wins,
+// as sc_signal). If the final value equals the current one, no change
+// event fires.
+func (s *Signal[T]) Write(v T) {
+	s.next = v
+	if !s.pending {
+		s.pending = true
+		s.update.NotifyDelta()
+	}
+}
+
+// ValueChanged is notified (within the delta cycle of the effective
+// update) whenever the stable value changes.
+func (s *Signal[T]) ValueChanged() *Event { return s.changed }

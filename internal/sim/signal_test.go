@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSignalUpdateNextDelta(t *testing.T) {
+	k := NewKernel("t")
+	s := NewSignal[int](k, "s")
+	var samePhase, nextPhase int
+	k.Thread("writer", func(p *Process) {
+		s.Write(42)
+		samePhase = s.Read() // still old value in this evaluate phase
+		p.Wait(0)
+		nextPhase = s.Read()
+	})
+	k.Run(RunForever)
+	if samePhase != 0 || nextPhase != 42 {
+		t.Errorf("same phase %d (want 0), next phase %d (want 42)", samePhase, nextPhase)
+	}
+}
+
+func TestSignalLastWriteWins(t *testing.T) {
+	k := NewKernel("t")
+	s := NewSignal[int](k, "s")
+	changes := 0
+	k.MethodNoInit("watch", func(p *Process) { changes++ }, s.ValueChanged())
+	k.Thread("writer", func(p *Process) {
+		s.Write(1)
+		s.Write(2)
+		s.Write(3)
+		p.Wait(0)
+		if s.Read() != 3 {
+			t.Errorf("Read = %d, want 3", s.Read())
+		}
+	})
+	k.Run(RunForever)
+	if changes != 1 {
+		t.Errorf("ValueChanged fired %d times, want 1", changes)
+	}
+}
+
+func TestSignalNoChangeNoEvent(t *testing.T) {
+	k := NewKernel("t")
+	s := NewSignal[string](k, "s")
+	changes := 0
+	k.MethodNoInit("watch", func(p *Process) { changes++ }, s.ValueChanged())
+	k.Thread("writer", func(p *Process) {
+		s.Write("x")
+		p.Wait(0)
+		s.Write("x") // same value: no event
+		p.Wait(0)
+		s.Write("y")
+	})
+	k.Run(RunForever)
+	if changes != 2 {
+		t.Errorf("ValueChanged fired %d times, want 2 (x, y)", changes)
+	}
+}
+
+func TestSignalThreadWaiter(t *testing.T) {
+	k := NewKernel("t")
+	s := NewSignal[bool](k, "flag")
+	var woken Time = -1
+	k.Thread("waiter", func(p *Process) {
+		for !s.Read() {
+			p.WaitEvent(s.ValueChanged())
+		}
+		woken = k.Now()
+	})
+	k.Thread("setter", func(p *Process) {
+		p.Wait(30 * NS)
+		s.Write(true)
+	})
+	k.Run(RunForever)
+	if woken != 30*NS {
+		t.Errorf("woken at %v, want 30ns", woken)
+	}
+}
+
+func TestSignalMultipleRounds(t *testing.T) {
+	k := NewKernel("t")
+	s := NewSignal[int](k, "s")
+	var seen []string
+	k.MethodNoInit("watch", func(p *Process) {
+		seen = append(seen, fmt.Sprintf("%d@%v", s.Read(), k.Now()))
+	}, s.ValueChanged())
+	k.Thread("writer", func(p *Process) {
+		for i := 1; i <= 3; i++ {
+			s.Write(i * 10)
+			p.Wait(5 * NS)
+		}
+	})
+	k.Run(RunForever)
+	want := "[10@0s 20@5ns 30@10ns]"
+	if got := fmt.Sprint(seen); got != want {
+		t.Errorf("seen %v, want %v", got, want)
+	}
+	if s.Name() != "s" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}

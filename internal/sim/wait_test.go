@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestWaitAnyFirstEventWins(t *testing.T) {
+	k := NewKernel("t")
+	e1 := NewEvent(k, "e1")
+	e2 := NewEvent(k, "e2")
+	var winner string
+	var at Time
+	k.Thread("waiter", func(p *Process) {
+		e := p.WaitAny(e1, e2)
+		winner = e.Name()
+		at = k.Now()
+	})
+	k.Thread("driver", func(p *Process) {
+		e2.NotifyDelayed(10 * NS)
+		e1.NotifyDelayed(30 * NS)
+	})
+	k.Run(RunForever)
+	if winner != "e2" || at != 10*NS {
+		t.Errorf("woken by %q at %v, want e2 at 10ns", winner, at)
+	}
+}
+
+func TestWaitAnyStaleEntryDropped(t *testing.T) {
+	// After e2 wins a WaitAny, a later notify of e1 must NOT wake the
+	// thread spuriously out of an unrelated wait.
+	k := NewKernel("t")
+	e1 := NewEvent(k, "e1")
+	e2 := NewEvent(k, "e2")
+	e3 := NewEvent(k, "e3")
+	var log []string
+	k.Thread("waiter", func(p *Process) {
+		w := p.WaitAny(e1, e2)
+		log = append(log, fmt.Sprintf("any:%s@%v", w.Name(), k.Now()))
+		p.WaitEvent(e3)
+		log = append(log, fmt.Sprintf("e3@%v", k.Now()))
+	})
+	k.Thread("driver", func(p *Process) {
+		p.Wait(10 * NS)
+		e2.Notify()
+		p.Wait(10 * NS)
+		e1.Notify() // stale WaitAny entry: must be ignored
+		p.Wait(10 * NS)
+		e3.Notify()
+	})
+	k.Run(RunForever)
+	want := "[any:e2@10ns e3@30ns]"
+	if got := fmt.Sprint(log); got != want {
+		t.Errorf("log = %v, want %v", got, want)
+	}
+}
+
+func TestWaitAnySameInstant(t *testing.T) {
+	// Both events notified in the same evaluate phase: exactly one wake,
+	// attributed to the first notification.
+	k := NewKernel("t")
+	e1 := NewEvent(k, "e1")
+	e2 := NewEvent(k, "e2")
+	wakes := 0
+	var winner string
+	k.Thread("waiter", func(p *Process) {
+		w := p.WaitAny(e1, e2)
+		winner = w.Name()
+		wakes++
+	})
+	k.Thread("driver", func(p *Process) {
+		e1.Notify()
+		e2.Notify()
+	})
+	k.Run(RunForever)
+	if wakes != 1 || winner != "e1" {
+		t.Errorf("wakes = %d winner = %q, want 1, e1", wakes, winner)
+	}
+}
+
+func TestWaitAnyNoEventsPanics(t *testing.T) {
+	k := NewKernel("t")
+	caught := false
+	k.Thread("p", func(p *Process) {
+		defer func() {
+			if recover() != nil {
+				caught = true
+			}
+		}()
+		p.WaitAny()
+	})
+	k.Run(RunForever)
+	if !caught {
+		t.Error("WaitAny() with no events did not panic")
+	}
+}
+
+func TestWaitEventTimeoutEventWins(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	var ok bool
+	var at Time
+	k.Thread("waiter", func(p *Process) {
+		ok = p.WaitEventTimeout(e, 100*NS)
+		at = k.Now()
+	})
+	k.Thread("driver", func(p *Process) {
+		p.Wait(20 * NS)
+		e.Notify()
+	})
+	k.Run(RunForever)
+	if !ok || at != 20*NS {
+		t.Errorf("got ok=%v at %v, want true at 20ns", ok, at)
+	}
+	// The cancelled timeout at 120ns must not advance time.
+	if k.Now() != 20*NS {
+		t.Errorf("final Now = %v, want 20ns (timeout cancelled)", k.Now())
+	}
+}
+
+func TestWaitEventTimeoutExpires(t *testing.T) {
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	var ok bool
+	var at Time
+	k.Thread("waiter", func(p *Process) {
+		ok = p.WaitEventTimeout(e, 40*NS)
+		at = k.Now()
+	})
+	k.Run(RunForever)
+	if ok || at != 40*NS {
+		t.Errorf("got ok=%v at %v, want false at 40ns", ok, at)
+	}
+}
+
+func TestWaitEventTimeoutStaleEventEntry(t *testing.T) {
+	// The event fires after the timeout expired: the stale waiter entry
+	// must not wake the thread out of a later wait.
+	k := NewKernel("t")
+	e := NewEvent(k, "e")
+	var log []string
+	k.Thread("waiter", func(p *Process) {
+		ok := p.WaitEventTimeout(e, 10*NS)
+		log = append(log, fmt.Sprintf("timeout ok=%v@%v", ok, k.Now()))
+		p.Wait(50 * NS)
+		log = append(log, fmt.Sprintf("resumed@%v", k.Now()))
+	})
+	k.Thread("driver", func(p *Process) {
+		p.Wait(30 * NS)
+		e.Notify() // after the timeout: must be ignored by waiter
+	})
+	k.Run(RunForever)
+	want := "[timeout ok=false@10ns resumed@60ns]"
+	if got := fmt.Sprint(log); got != want {
+		t.Errorf("log = %v, want %v", got, want)
+	}
+}
+
+func TestWaitEventTimeoutZero(t *testing.T) {
+	// A zero timeout expires at the next delta unless the event fires
+	// in the current one.
+	k := NewKernel("t")
+	e := NewEvent(k, "never")
+	var ok bool
+	k.Thread("waiter", func(p *Process) {
+		ok = p.WaitEventTimeout(e, 0)
+	})
+	k.Run(RunForever)
+	if ok {
+		t.Error("zero timeout reported event fired")
+	}
+	if k.Now() != 0 {
+		t.Errorf("Now = %v, want 0", k.Now())
+	}
+}
+
+func TestWaitAnyRepeatedRounds(t *testing.T) {
+	// A consumer multiplexing two event sources over many rounds. At
+	// t=60ns both drivers notify in the same evaluate phase: the mux is
+	// woken by the first (d2 runs first — its wakeup was scheduled
+	// earlier), and the second notification is lost because events are
+	// not persistent (standard SystemC semantics); the mux then misses
+	// its sixth round and ends blocked.
+	k := NewKernel("t")
+	e1 := NewEvent(k, "e1")
+	e2 := NewEvent(k, "e2")
+	var got []string
+	k.Thread("mux", func(p *Process) {
+		for i := 0; i < 6; i++ {
+			w := p.WaitAny(e1, e2)
+			got = append(got, fmt.Sprintf("%s@%v", w.Name(), k.Now()))
+		}
+	})
+	k.Thread("d1", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Wait(20 * NS)
+			e1.Notify()
+		}
+	})
+	k.Thread("d2", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Wait(30 * NS)
+			e2.Notify()
+		}
+	})
+	k.Run(RunForever)
+	want := "[e1@20ns e2@30ns e1@40ns e2@60ns e2@90ns]"
+	if fmt.Sprint(got) != want {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if b := k.Blocked(); len(b) != 1 || b[0] != "mux" {
+		t.Errorf("Blocked = %v, want [mux]", b)
+	}
+	k.Shutdown()
+}

@@ -1,0 +1,365 @@
+// Package soc assembles the case-study system of paper §IV-C: a
+// heterogeneous many-core SoC model with
+//
+//   - a memory-mapped side (control core, shared memory, DMA engines,
+//     register files on a bus) temporally decoupled with quantum keepers,
+//     the "existing methods" for memory-mapped transactions;
+//   - a stream side: accelerator pipelines (decoupled threads) connected
+//     by hardwired FIFOs, some hops crossing a stream NoC whose routers
+//     are non-decoupled method processes and whose network interfaces
+//     packetize via the Smart FIFO's non-blocking interface;
+//   - embedded control software (a bus-mastering thread) that programs
+//     jobs, polls status registers and reads FIFO fill levels through the
+//     monitor interface for dynamic performance tuning.
+//
+// The same model builds with Smart FIFOs or with sync-on-every-access
+// FIFOs (identical timing accuracy, §IV-C baseline); Run reports wall
+// time, kernel statistics and dated results so callers can reproduce the
+// paper's 42.3% speedup comparison and verify that the two builds agree
+// date for date.
+package soc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/fifo"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// FIFOMode selects the accelerator channel implementation.
+type FIFOMode int
+
+const (
+	// SmartFIFOs uses the paper's contribution.
+	SmartFIFOs FIFOMode = iota
+	// SyncFIFOs uses regular FIFOs that synchronize on every access:
+	// same accuracy, one context switch per access (the §IV-C baseline).
+	SyncFIFOs
+)
+
+// String names the mode.
+func (m FIFOMode) String() string {
+	if m == SmartFIFOs {
+		return "smart"
+	}
+	return "sync"
+}
+
+// Config sizes the SoC and its workload.
+type Config struct {
+	// Mode selects the accelerator FIFO implementation.
+	Mode FIFOMode
+	// Pipelines is the number of accelerator chains (≥ 1).
+	Pipelines int
+	// Jobs is the number of job rounds the control core runs.
+	Jobs int
+	// WordsPerJob is the stream length per job (must be a multiple of
+	// NoCPacketLen when UseNoC).
+	WordsPerJob int
+	// FIFODepth is the accelerator FIFO depth.
+	FIFODepth int
+	// UseNoC routes the middle hop of odd pipelines through the mesh.
+	UseNoC bool
+	// NoCPacketLen is the NI packet size in words.
+	NoCPacketLen int
+	// Quantum is the memory-mapped side's global quantum.
+	Quantum sim.Time
+	// PollPeriod is the control core's status/level polling period (also
+	// the interrupt-wait timeout in IRQ mode).
+	PollPeriod sim.Time
+	// UseIRQ makes the control core sleep on an interrupt controller
+	// instead of polling status registers; accelerator sinks and the DMA
+	// writer raise lines at job completion.
+	UseIRQ bool
+	// WithDMA adds a memory-to-memory DMA pipeline exercising the bus.
+	WithDMA bool
+	// Seed feeds the generators.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Pipelines == 0 {
+		c.Pipelines = 4
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 3
+	}
+	if c.WordsPerJob == 0 {
+		c.WordsPerJob = 256
+	}
+	if c.FIFODepth == 0 {
+		c.FIFODepth = 8
+	}
+	if c.NoCPacketLen == 0 {
+		c.NoCPacketLen = 8
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 500 * sim.NS
+	}
+	if c.PollPeriod == 0 {
+		c.PollPeriod = 200 * sim.NS
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.UseNoC && c.WordsPerJob%c.NoCPacketLen != 0 {
+		panic(fmt.Sprintf("soc: WordsPerJob (%d) must be a multiple of NoCPacketLen (%d)",
+			c.WordsPerJob, c.NoCPacketLen))
+	}
+}
+
+// Result reports one SoC run.
+type Result struct {
+	// Mode echoes the configuration.
+	Mode FIFOMode
+	// Wall is the host duration of Kernel.Run.
+	Wall time.Duration
+	// SimEnd is the last job completion date across all sinks.
+	SimEnd sim.Time
+	// Checksums holds one checksum per pipeline sink (plus the DMA
+	// output checksum last, when WithDMA).
+	Checksums []uint64
+	// JobDates holds, per pipeline, the sink's dated job completions;
+	// identical across modes iff the timing is accurate.
+	JobDates [][]sim.Time
+	// MaxLevels holds the maximum FIFO fill level the control software
+	// observed per pipeline (the §III-C monitor use case).
+	MaxLevels []uint32
+	// Stats are the kernel counters (ContextSwitches is the §IV-C
+	// quantity).
+	Stats sim.Stats
+	// BusAccesses counts routed bus transactions.
+	BusAccesses uint64
+	// NoC reports mesh activity (zero when !UseNoC).
+	NoC noc.Stats
+}
+
+// pipeline groups the per-chain bookkeeping.
+type pipeline struct {
+	gen, scale, fir, sink *accel.Accel
+	regBase               uint32
+}
+
+// Run builds and executes the SoC once.
+func Run(cfg Config) Result {
+	cfg.fill()
+	k := sim.NewKernel("soc")
+	b := bus.NewBus(k, "bus", sim.NS)
+
+	newChannel := func(name string) fifo.Channel[uint32] {
+		if cfg.Mode == SmartFIFOs {
+			return core.NewSmart[uint32](k, name, cfg.FIFODepth)
+		}
+		return fifo.NewSync[uint32](k, name, cfg.FIFODepth)
+	}
+
+	// Stream NoC: one column per pipeline, two rows; odd pipelines send
+	// their middle hop to the neighbouring column's bottom row, forcing
+	// X-then-Y routing and shared links.
+	var mesh *noc.Mesh
+	if cfg.UseNoC {
+		mesh = noc.NewMesh(k, "noc", noc.Config{
+			Width:     cfg.Pipelines,
+			Height:    2,
+			Cycle:     sim.NS,
+			FIFODepth: 4,
+		})
+	}
+
+	// Interrupt controller: sink of pipeline i raises line i, the DMA
+	// writer raises line cfg.Pipelines.
+	var irq *bus.IRQController
+	const irqBase = 0xf00
+	if cfg.UseIRQ {
+		irq = bus.NewIRQController(k, "irq")
+		b.Map("irq", irqBase, bus.IRQNumRegs, irq)
+	}
+
+	// Accelerator pipelines: generator → scale → (NoC) → fir → sink.
+	pipes := make([]*pipeline, cfg.Pipelines)
+	regBase := uint32(0x1000)
+	for i := range pipes {
+		name := func(s string) string { return fmt.Sprintf("p%d.%s", i, s) }
+		c1 := newChannel(name("c1"))
+		var mid struct{ out, in fifo.Channel[uint32] }
+		if cfg.UseNoC && i%2 == 1 {
+			a := newChannel(name("toNoC"))
+			z := newChannel(name("fromNoC"))
+			dst := mesh.RouterIndex((i+1)%cfg.Pipelines, 1)
+			mesh.AttachNI(name("ni.in"), i, 0, a, nil, noc.NIConfig{
+				PacketLen: cfg.NoCPacketLen, Cycle: sim.NS, Dst: dst,
+			})
+			mesh.AttachNI(name("ni.out"), (i+1)%cfg.Pipelines, 1, nil, z, noc.NIConfig{
+				PacketLen: cfg.NoCPacketLen, Cycle: sim.NS,
+			})
+			mid.out, mid.in = a, z
+		} else {
+			c := newChannel(name("c2"))
+			mid.out, mid.in = c, c
+		}
+		c3 := newChannel(name("c3"))
+		p := &pipeline{regBase: regBase}
+		p.gen = accel.New(k, name("gen"), accel.Config{
+			Kind: accel.Generator, Out: c1, WordLat: 3 * sim.NS, Seed: cfg.Seed + int64(i),
+		})
+		p.scale = accel.New(k, name("scale"), accel.Config{
+			Kind: accel.Scale, In: c1, Out: mid.out, WordLat: 2 * sim.NS, Factor: 3,
+		})
+		p.fir = accel.New(k, name("fir"), accel.Config{
+			Kind: accel.FIR, In: mid.in, Out: c3, WordLat: 2 * sim.NS,
+		})
+		p.sink = accel.New(k, name("sink"), accel.Config{
+			Kind: accel.Sink, In: c3, WordLat: 4 * sim.NS,
+			IRQ: irq, IRQLine: i,
+		})
+		for j, a := range []*accel.Accel{p.gen, p.scale, p.fir, p.sink} {
+			b.Map(a.Name(), regBase+uint32(j)*0x10, accel.NumRegs, a.Regs())
+		}
+		pipes[i] = p
+		regBase += 0x100
+	}
+
+	// Optional memory↔memory DMA pipeline over the bus.
+	const memBase, memSize = 0x100000, 16384
+	var mem *bus.Memory
+	var dmaRd, dmaWr *accel.DMA
+	var dmaRdBase, dmaWrBase uint32
+	if cfg.WithDMA {
+		mem = bus.NewMemory(memSize, sim.NS, sim.NS)
+		b.Map("mem", memBase, memSize, mem)
+		ch := newChannel("dma.ch")
+		dmaRd = accel.NewDMA(k, "dma.rd", accel.DMAConfig{
+			Dir: accel.MemToStream, Channel: ch, Bus: b,
+			Quantum: cfg.Quantum, WordLat: 2 * sim.NS, ChunkWords: 16,
+		})
+		dmaWr = accel.NewDMA(k, "dma.wr", accel.DMAConfig{
+			Dir: accel.StreamToMem, Channel: ch, Bus: b,
+			Quantum: cfg.Quantum, WordLat: 2 * sim.NS, ChunkWords: 16,
+			IRQ: irq, IRQLine: cfg.Pipelines,
+		})
+		dmaRdBase, dmaWrBase = regBase, regBase+0x10
+		b.Map("dma.rd", dmaRdBase, accel.DMANumRegs, dmaRd.Regs())
+		b.Map("dma.wr", dmaWrBase, accel.DMANumRegs, dmaWr.Regs())
+		for i := 0; i < cfg.WordsPerJob && i < memSize/2; i++ {
+			mem.Poke(uint32(i), uint32(workload.WordAt(cfg.Seed+99, i)))
+		}
+	}
+
+	res := Result{Mode: cfg.Mode, MaxLevels: make([]uint32, cfg.Pipelines)}
+
+	// The control core: embedded software on the memory-mapped side.
+	k.Thread("ctrl", func(p *sim.Process) {
+		in := bus.NewInitiator(p, b, cfg.Quantum)
+		words := uint32(cfg.WordsPerJob)
+		for j := 0; j < cfg.Jobs; j++ {
+			// Program every pipeline, consumers first.
+			for _, pl := range pipes {
+				for _, off := range []uint32{0x30, 0x20, 0x10, 0x00} {
+					in.WriteWord(pl.regBase+off+accel.RegWords, words)
+					in.WriteWord(pl.regBase+off+accel.RegCtrl, 1)
+				}
+			}
+			if cfg.WithDMA {
+				in.WriteWord(dmaWrBase+accel.DMARegWords, words)
+				in.WriteWord(dmaWrBase+accel.DMARegAddr, memBase+memSize/2)
+				in.WriteWord(dmaWrBase+accel.DMARegCtrl, 1)
+				in.WriteWord(dmaRdBase+accel.DMARegWords, words)
+				in.WriteWord(dmaRdBase+accel.DMARegAddr, memBase)
+				in.WriteWord(dmaRdBase+accel.DMARegCtrl, 1)
+			}
+			if cfg.UseIRQ {
+				// Sleep on the interrupt controller instead of
+				// polling; the timeout is a lost-wakeup backstop
+				// (a quantum sync between the pending check and
+				// the wait could miss a one-shot notification).
+				var mask uint32
+				for i := 0; i < cfg.Pipelines; i++ {
+					mask |= 1 << i
+				}
+				if cfg.WithDMA {
+					mask |= 1 << cfg.Pipelines
+				}
+				in.WriteWord(irqBase+bus.IRQRegEnable, mask)
+				for got := uint32(0); got != mask; {
+					p.Sync()
+					pend := in.ReadWord(irqBase + bus.IRQRegPending)
+					if pend == 0 {
+						p.WaitEventTimeout(irq.Event(), cfg.PollPeriod)
+						continue
+					}
+					in.WriteWord(irqBase+bus.IRQRegPending, pend)
+					got |= pend
+					for i, pl := range pipes {
+						lvl := in.ReadWord(pl.regBase + 0x30 + accel.RegInLevel)
+						if lvl > res.MaxLevels[i] {
+							res.MaxLevels[i] = lvl
+						}
+					}
+				}
+				continue
+			}
+			// Poll until the round completes, sampling FIFO levels
+			// for dynamic performance tuning (§III-C).
+			for {
+				idle := true
+				for i, pl := range pipes {
+					if in.ReadWord(pl.regBase+0x30+accel.RegStatus) != 0 {
+						idle = false
+					}
+					// Sample the sink's input fill level: the
+					// sink is the slowest stage, so this is
+					// where congestion shows.
+					lvl := in.ReadWord(pl.regBase + 0x30 + accel.RegInLevel)
+					if lvl > res.MaxLevels[i] {
+						res.MaxLevels[i] = lvl
+					}
+				}
+				if cfg.WithDMA && in.ReadWord(dmaWrBase+accel.DMARegStatus) != 0 {
+					idle = false
+				}
+				if idle {
+					break
+				}
+				p.Inc(cfg.PollPeriod)
+			}
+		}
+		// Harvest results.
+		for _, pl := range pipes {
+			res.Checksums = append(res.Checksums, pl.sink.Checksum())
+			res.JobDates = append(res.JobDates, pl.sink.JobDates())
+		}
+		if cfg.WithDMA {
+			sum := uint64(0)
+			buf := make([]uint32, cfg.WordsPerJob)
+			in.ReadBurst(memBase+memSize/2, buf)
+			for _, w := range buf {
+				sum = workload.Checksum(sum, w)
+			}
+			res.Checksums = append(res.Checksums, sum)
+		}
+	})
+
+	start := time.Now()
+	k.Run(sim.RunForever)
+	res.Wall = time.Since(start)
+	res.Stats = k.Stats()
+	res.BusAccesses = b.Accesses()
+	if mesh != nil {
+		res.NoC = mesh.Stats()
+	}
+	for _, dates := range res.JobDates {
+		for _, d := range dates {
+			if d > res.SimEnd {
+				res.SimEnd = d
+			}
+		}
+	}
+	k.Shutdown()
+	return res
+}

@@ -1,0 +1,68 @@
+// Package td provides temporal-decoupling utilities above the simulation
+// kernel: the TLM-2.0-style quantum keeper used by memory-mapped initiators
+// (paper §II-A) and by the quantum ablation study.
+//
+// The Smart FIFO (package core) needs none of this — that is the paper's
+// point — but the memory-mapped side of the case-study SoC uses a global
+// quantum exactly as the TLM reference manual suggests.
+package td
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// QuantumKeeper accumulates local time for a thread process and
+// synchronizes when the accumulated offset reaches the quantum, following
+// tlm_utils::tlm_quantumkeeper.
+//
+// A quantum of zero disables decoupling: every Inc synchronizes
+// immediately, which degenerates to wait(d) per annotation (the paper's
+// TDless mode). A larger quantum means fewer context switches but a timing
+// error bounded by the quantum for inter-process interactions.
+type QuantumKeeper struct {
+	p       *sim.Process
+	quantum sim.Time
+}
+
+// NewQuantumKeeper returns a keeper for process p with the given quantum.
+// The quantum must be non-negative.
+func NewQuantumKeeper(p *sim.Process, quantum sim.Time) *QuantumKeeper {
+	if quantum < 0 {
+		panic(fmt.Sprintf("td: negative quantum %v", quantum))
+	}
+	return &QuantumKeeper{p: p, quantum: quantum}
+}
+
+// Process returns the process this keeper drives.
+func (q *QuantumKeeper) Process() *sim.Process { return q.p }
+
+// Quantum returns the current quantum.
+func (q *QuantumKeeper) Quantum() sim.Time { return q.quantum }
+
+// SetQuantum changes the quantum. It does not retroactively synchronize;
+// the next Inc applies the new value.
+func (q *QuantumKeeper) SetQuantum(quantum sim.Time) {
+	if quantum < 0 {
+		panic(fmt.Sprintf("td: negative quantum %v", quantum))
+	}
+	q.quantum = quantum
+}
+
+// Inc advances local time by d and synchronizes if the local offset has
+// reached the quantum (always, when the quantum is zero).
+func (q *QuantumKeeper) Inc(d sim.Time) {
+	q.p.Inc(d)
+	if q.NeedSync() {
+		q.p.Sync()
+	}
+}
+
+// NeedSync reports whether the local offset has reached the quantum.
+func (q *QuantumKeeper) NeedSync() bool {
+	return q.p.LocalOffset() >= q.quantum
+}
+
+// Sync synchronizes the process unconditionally.
+func (q *QuantumKeeper) Sync() { q.p.Sync() }

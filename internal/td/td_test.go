@@ -1,0 +1,118 @@
+package td_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/td"
+)
+
+func TestQuantumKeeperSyncsAtQuantum(t *testing.T) {
+	k := sim.NewKernel("t")
+	k.Thread("p", func(p *sim.Process) {
+		q := td.NewQuantumKeeper(p, 100*sim.NS)
+		for i := 0; i < 9; i++ {
+			q.Inc(30 * sim.NS)
+		}
+		// 270ns of annotations: syncs at 120ns and 240ns offsets.
+		if p.LocalTime() != 270*sim.NS {
+			t.Errorf("local = %v, want 270ns", p.LocalTime())
+		}
+	})
+	k.Run(sim.RunForever)
+	// Two syncs: 2 wakeups + 1 initial dispatch.
+	if cs := k.Stats().ContextSwitches; cs != 3 {
+		t.Errorf("ContextSwitches = %d, want 3", cs)
+	}
+}
+
+func TestQuantumZeroDisablesDecoupling(t *testing.T) {
+	k := sim.NewKernel("t")
+	k.Thread("p", func(p *sim.Process) {
+		q := td.NewQuantumKeeper(p, 0)
+		for i := 0; i < 5; i++ {
+			q.Inc(10 * sim.NS)
+			if !p.Synchronized() {
+				t.Error("process decoupled despite quantum 0")
+			}
+		}
+	})
+	k.Run(sim.RunForever)
+	// Every Inc synchronizes: 5 wakeups + initial.
+	if cs := k.Stats().ContextSwitches; cs != 6 {
+		t.Errorf("ContextSwitches = %d, want 6", cs)
+	}
+}
+
+func TestQuantumTimingError(t *testing.T) {
+	// The §II-A flag example: a flag set for 10ns is invisible to a
+	// second process unless the quantum is below 10ns. This is the
+	// timing-accuracy loss the Smart FIFO avoids.
+	observe := func(quantum sim.Time) bool {
+		k := sim.NewKernel("t")
+		flag := false
+		k.Thread("setter", func(p *sim.Process) {
+			q := td.NewQuantumKeeper(p, quantum)
+			flag = true
+			q.Inc(10 * sim.NS)
+			flag = false
+		})
+		seen := false
+		k.Thread("watcher", func(p *sim.Process) {
+			for i := 0; i < 4; i++ {
+				p.Wait(5 * sim.NS)
+				if flag {
+					seen = true
+				}
+			}
+		})
+		k.Run(sim.RunForever)
+		k.Shutdown()
+		return seen
+	}
+	if observe(5*sim.NS) != true {
+		t.Error("flag invisible with quantum 5ns < 10ns")
+	}
+	if observe(1000*sim.NS) != false {
+		t.Error("flag visible with quantum 1000ns: expected the documented inaccuracy")
+	}
+}
+
+func TestNeedSyncAndSetQuantum(t *testing.T) {
+	k := sim.NewKernel("t")
+	k.Thread("p", func(p *sim.Process) {
+		q := td.NewQuantumKeeper(p, 50*sim.NS)
+		p.Inc(30 * sim.NS)
+		if q.NeedSync() {
+			t.Error("NeedSync at 30/50")
+		}
+		q.SetQuantum(20 * sim.NS)
+		if !q.NeedSync() {
+			t.Error("no NeedSync at 30/20")
+		}
+		if q.Quantum() != 20*sim.NS {
+			t.Errorf("Quantum = %v", q.Quantum())
+		}
+		q.Sync()
+		if !p.Synchronized() {
+			t.Error("not synchronized after Sync")
+		}
+		if q.Process() != p {
+			t.Error("Process() mismatch")
+		}
+	})
+	k.Run(sim.RunForever)
+}
+
+func TestNegativeQuantumPanics(t *testing.T) {
+	k := sim.NewKernel("t")
+	k.Thread("p", func(p *sim.Process) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for negative quantum")
+			}
+		}()
+		td.NewQuantumKeeper(p, -sim.NS)
+	})
+	k.Run(sim.RunForever)
+}

@@ -1,0 +1,177 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func entry(d sim.Time, p, m string) trace.Entry {
+	return trace.Entry{Date: d, Proc: p, Msg: m}
+}
+
+func TestSortedReordersByDate(t *testing.T) {
+	r := trace.NewRecorder()
+	r.Log(entry(30*sim.NS, "b", "x"))
+	r.Log(entry(10*sim.NS, "a", "y"))
+	r.Log(entry(20*sim.NS, "c", "z"))
+	s := r.Sorted()
+	if s[0].Date != 10*sim.NS || s[1].Date != 20*sim.NS || s[2].Date != 30*sim.NS {
+		t.Errorf("sorted = %v", s)
+	}
+	// Original order untouched.
+	if r.Entries()[0].Date != 30*sim.NS {
+		t.Error("Sorted mutated the recorder")
+	}
+}
+
+func TestEqualIgnoresSchedule(t *testing.T) {
+	a := trace.NewRecorder()
+	a.Log(entry(10*sim.NS, "w", "wrote 1"))
+	a.Log(entry(10*sim.NS, "r", "read 1"))
+	a.Log(entry(20*sim.NS, "w", "wrote 2"))
+	b := trace.NewRecorder()
+	// Decoupled schedule: same entries, emitted in a different order,
+	// dates even decrease between processes.
+	b.Log(entry(10*sim.NS, "w", "wrote 1"))
+	b.Log(entry(20*sim.NS, "w", "wrote 2"))
+	b.Log(entry(10*sim.NS, "r", "read 1"))
+	if !trace.Equal(a, b) {
+		t.Errorf("reordered traces not equal: %s", trace.Diff(a, b))
+	}
+}
+
+func TestDiffDetectsTimingChange(t *testing.T) {
+	a := trace.NewRecorder()
+	a.Log(entry(10*sim.NS, "r", "read 1"))
+	b := trace.NewRecorder()
+	b.Log(entry(15*sim.NS, "r", "read 1"))
+	if trace.Equal(a, b) {
+		t.Error("timing change not detected")
+	}
+	if d := trace.Diff(a, b); !strings.Contains(d, "differs") {
+		t.Errorf("Diff = %q", d)
+	}
+}
+
+func TestDiffDetectsMissingEntry(t *testing.T) {
+	a := trace.NewRecorder()
+	a.Log(entry(10*sim.NS, "r", "read 1"))
+	a.Log(entry(20*sim.NS, "r", "read 2"))
+	b := trace.NewRecorder()
+	b.Log(entry(10*sim.NS, "r", "read 1"))
+	if d := trace.Diff(a, b); !strings.Contains(d, "lengths differ") {
+		t.Errorf("Diff = %q", d)
+	}
+}
+
+func TestDuplicateEntriesCounted(t *testing.T) {
+	a := trace.NewRecorder()
+	a.Log(entry(10*sim.NS, "p", "tick"))
+	a.Log(entry(10*sim.NS, "p", "tick"))
+	b := trace.NewRecorder()
+	b.Log(entry(10*sim.NS, "p", "tick"))
+	if trace.Equal(a, b) {
+		t.Error("multiset semantics broken: duplicate count ignored")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := trace.NewRecorder()
+	r.Log(entry(0, "a", "start"))
+	r.Log(entry(1500*sim.PS, "b", "msg with spaces"))
+	r.Log(entry(20*sim.NS, "c", "end"))
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.Equal(r, got) {
+		t.Errorf("round trip: %s", trace.Diff(r, got))
+	}
+}
+
+func TestReadBadLine(t *testing.T) {
+	if _, err := trace.Read(strings.NewReader("garbage line\n")); err == nil {
+		t.Error("no error for malformed line")
+	}
+	if _, err := trace.Read(strings.NewReader("10xx\ta\tb\n")); err == nil {
+		t.Error("no error for bad time unit")
+	}
+}
+
+func TestLogfStampsLocalDate(t *testing.T) {
+	k := sim.NewKernel("t")
+	r := trace.NewRecorder()
+	k.Thread("p", func(p *sim.Process) {
+		p.Inc(42 * sim.NS)
+		r.Logf(p, "hello %d", 7)
+	})
+	k.Run(sim.RunForever)
+	e := r.Entries()[0]
+	if e.Date != 42*sim.NS || e.Proc != "p" || e.Msg != "hello 7" {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestParseTimeUnits(t *testing.T) {
+	cases := map[string]sim.Time{
+		"0s":     0,
+		"20ns":   20 * sim.NS,
+		"1500ps": 1500 * sim.PS,
+		"3us":    3 * sim.US,
+		"7ms":    7 * sim.MS,
+		"2s":     2 * sim.SEC,
+		"-5ns":   -5 * sim.NS,
+	}
+	for s, want := range cases {
+		got, err := trace.ParseTime(s)
+		if err != nil || got != want {
+			t.Errorf("ParseTime(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+}
+
+func TestQuickTimeStringRoundTrip(t *testing.T) {
+	prop := func(raw int64) bool {
+		v := sim.Time(raw % (1 << 40))
+		got, err := trace.ParseTime(v.String())
+		return err == nil && got == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSortedIsPermutation(t *testing.T) {
+	prop := func(dates []int16) bool {
+		r := trace.NewRecorder()
+		for i, d := range dates {
+			r.Log(entry(sim.Time(d)*sim.NS, "p", string(rune('a'+i%26))))
+		}
+		s := r.Sorted()
+		if len(s) != len(dates) {
+			return false
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i].Date < s[i-1].Date {
+				return false
+			}
+		}
+		// Same multiset: compare against itself via Equal.
+		r2 := trace.NewRecorder()
+		for _, e := range s {
+			r2.Log(e)
+		}
+		return trace.Equal(r, r2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

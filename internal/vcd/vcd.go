@@ -1,0 +1,151 @@
+// Package vcd writes IEEE 1364 Value Change Dump files from simulation
+// models, so FIFO fill levels, decoupling offsets and other quantities can
+// be inspected in any waveform viewer. It complements the Smart FIFO's
+// monitor interface (paper §III-C): the level a probe records is exactly
+// what embedded software would read at that date.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/fifo"
+	"repro/internal/sim"
+)
+
+// Writer emits a VCD file. Declare signals with AddSignal before the first
+// value change; changes must be recorded in non-decreasing time order
+// (changes at one date are coalesced into a single #timestamp block).
+type Writer struct {
+	bw      *bufio.Writer
+	signals []*Signal
+
+	headerDone bool
+	curTime    sim.Time
+	haveTime   bool
+	err        error
+}
+
+// Signal is one VCD variable.
+type Signal struct {
+	w     *Writer
+	name  string
+	width int
+	id    string
+
+	cur     uint64
+	haveCur bool
+}
+
+// NewWriter creates a VCD writer with a 1 ps timescale (matching
+// sim.Time's resolution).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// AddSignal declares a variable of the given bit width (1..64). The name
+// may contain dots for hierarchy (kept literal, viewers split on it).
+func (w *Writer) AddSignal(name string, width int) *Signal {
+	if w.headerDone {
+		panic("vcd: AddSignal after the first value change")
+	}
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("vcd: bad width %d for %s", width, name))
+	}
+	s := &Signal{w: w, name: name, width: width, id: idCode(len(w.signals))}
+	w.signals = append(w.signals, s)
+	return s
+}
+
+// idCode builds the compact VCD identifier for signal index i from the
+// printable ASCII range ! .. ~.
+func idCode(i int) string {
+	const lo, hi = 33, 127
+	var b []byte
+	for {
+		b = append(b, byte(lo+i%(hi-lo)))
+		i /= hi - lo
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return string(b)
+}
+
+func (w *Writer) writeHeader() {
+	w.headerDone = true
+	fmt.Fprintln(w.bw, "$comment Smart FIFO TLM reproduction $end")
+	fmt.Fprintln(w.bw, "$timescale 1ps $end")
+	fmt.Fprintln(w.bw, "$scope module top $end")
+	ss := make([]*Signal, len(w.signals))
+	copy(ss, w.signals)
+	sort.Slice(ss, func(i, j int) bool { return ss[i].name < ss[j].name })
+	for _, s := range ss {
+		fmt.Fprintf(w.bw, "$var wire %d %s %s $end\n", s.width, s.id, s.name)
+	}
+	fmt.Fprintln(w.bw, "$upscope $end")
+	fmt.Fprintln(w.bw, "$enddefinitions $end")
+}
+
+// advance emits the #timestamp line when the date moves.
+func (w *Writer) advance(t sim.Time) {
+	if !w.headerDone {
+		w.writeHeader()
+	}
+	if w.haveTime && t < w.curTime {
+		panic(fmt.Sprintf("vcd: time going backwards: %v after %v", t, w.curTime))
+	}
+	if !w.haveTime || t > w.curTime {
+		fmt.Fprintf(w.bw, "#%d\n", int64(t))
+		w.curTime = t
+		w.haveTime = true
+	}
+}
+
+// Set records signal value v at date t. Equal consecutive values are
+// deduplicated.
+func (s *Signal) Set(t sim.Time, v uint64) {
+	if s.haveCur && s.cur == v {
+		return
+	}
+	s.w.advance(t)
+	s.cur, s.haveCur = v, true
+	if s.width == 1 {
+		fmt.Fprintf(s.w.bw, "%d%s\n", v&1, s.id)
+		return
+	}
+	fmt.Fprintf(s.w.bw, "b%b %s\n", v, s.id)
+}
+
+// Close flushes the stream. The Writer must not be used afterwards.
+func (w *Writer) Close() error {
+	if !w.headerDone {
+		w.writeHeader()
+	}
+	return w.bw.Flush()
+}
+
+// ProbeFIFO registers a thread process that samples a channel's monitored
+// Size into signal name every period, producing a fill-level waveform.
+// Sampling stops at date until; with until == 0 the probe runs forever, in
+// which case the kernel must be run with a time limit.
+func ProbeFIFO(k *sim.Kernel, w *Writer, ch fifo.Monitor, name string, period, until sim.Time) *Signal {
+	if period <= 0 {
+		panic("vcd: non-positive probe period")
+	}
+	width := 1
+	for 1<<width <= ch.Depth() {
+		width++
+	}
+	s := w.AddSignal(name, width)
+	k.Thread("vcd."+name, func(p *sim.Process) {
+		for until == 0 || k.Now() <= until {
+			s.Set(k.Now(), uint64(ch.Size()))
+			p.Wait(period)
+		}
+	})
+	return s
+}

@@ -1,0 +1,139 @@
+package vcd_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/vcd"
+)
+
+func TestHeaderAndChanges(t *testing.T) {
+	var sb strings.Builder
+	w := vcd.NewWriter(&sb)
+	a := w.AddSignal("top.a", 1)
+	b := w.AddSignal("top.b", 8)
+	a.Set(0, 1)
+	b.Set(0, 0xA5)
+	a.Set(10*sim.PS, 0)
+	b.Set(10*sim.PS, 0xA5) // unchanged: deduplicated
+	b.Set(25*sim.PS, 3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$var wire 1 ! top.a $end",
+		"$var wire 8 \" top.b $end",
+		"$enddefinitions $end",
+		"#0\n1!\nb10100101 \"\n",
+		"#10\n0!\n",
+		"#25\nb11 \"\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The dedup must have suppressed a second b-change at #10.
+	if strings.Count(out, "b10100101") != 1 {
+		t.Errorf("duplicate value emitted:\n%s", out)
+	}
+}
+
+func TestTimeBackwardsPanics(t *testing.T) {
+	w := vcd.NewWriter(&strings.Builder{})
+	s := w.AddSignal("x", 4)
+	s.Set(10*sim.PS, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for backwards time")
+		}
+	}()
+	s.Set(5*sim.PS, 2)
+}
+
+func TestAddSignalAfterChangePanics(t *testing.T) {
+	w := vcd.NewWriter(&strings.Builder{})
+	s := w.AddSignal("x", 1)
+	s.Set(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for late AddSignal")
+		}
+	}()
+	w.AddSignal("y", 1)
+}
+
+func TestIDCodesUnique(t *testing.T) {
+	var sb strings.Builder
+	w := vcd.NewWriter(&sb)
+	const n = 300 // forces multi-character identifiers
+	sigs := make([]*vcd.Signal, n)
+	for i := range sigs {
+		sigs[i] = w.AddSignal(strings.Repeat("s", 1+i%3)+string(rune('a'+i%26)), 1)
+	}
+	for i, s := range sigs {
+		s.Set(sim.Time(i)*sim.PS, 1)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Each $var line must use a distinct id.
+	ids := map[string]bool{}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, "$var wire 1 ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		id := fields[3]
+		if ids[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		ids[id] = true
+	}
+	if len(ids) != n {
+		t.Fatalf("declared %d ids, want %d", len(ids), n)
+	}
+}
+
+func TestProbeFIFOWaveform(t *testing.T) {
+	k := sim.NewKernel("t")
+	f := core.NewSmart[int](k, "f", 4)
+	var sb strings.Builder
+	w := vcd.NewWriter(&sb)
+	vcd.ProbeFIFO(k, w, f, "f.level", 5*sim.NS, 200*sim.NS)
+	k.Thread("writer", func(p *sim.Process) {
+		for i := 0; i < 4; i++ {
+			f.Write(i)
+			p.Inc(20 * sim.NS)
+		}
+	})
+	k.Thread("reader", func(p *sim.Process) {
+		p.Wait(100 * sim.NS)
+		for i := 0; i < 4; i++ {
+			f.Read()
+			p.Inc(10 * sim.NS)
+		}
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "$var wire 3 ! f.level $end") {
+		t.Errorf("missing level variable (width 3 for depth 4):\n%s", out)
+	}
+	// The fill level must reach 4 (b100) while the reader sleeps and
+	// return to 0 after draining.
+	if !strings.Contains(out, "b100 !") {
+		t.Errorf("level never reached 4:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if last != "b0 !" {
+		t.Errorf("final change %q, want b0 ! (drained)", last)
+	}
+}

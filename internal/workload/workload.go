@@ -1,0 +1,60 @@
+// Package workload provides deterministic workload generators for the
+// evaluation (paper §IV): block streams of words and per-word rate
+// schedules. Everything is a pure function of a seed so the two modes of a
+// dual-mode run see identical inputs.
+package workload
+
+import "repro/internal/sim"
+
+// Word is the data unit moved through the FIFOs, as in the paper's
+// benchmark (1000 blocks of 1000 words).
+type Word = uint32
+
+// WordAt returns the i-th word of the stream with the given seed, via a
+// SplitMix64-style mix: deterministic, stateless, well distributed.
+func WordAt(seed int64, i int) Word {
+	z := uint64(seed) + uint64(i)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return Word(z ^ (z >> 31))
+}
+
+// Checksum folds a word into a running checksum; sinks use it to prove
+// data integrity across modes.
+func Checksum(sum uint64, w Word) uint64 {
+	sum ^= uint64(w)
+	sum *= 0x100000001b3 // FNV-1a prime
+	return sum
+}
+
+// Rate gives the annotation period before/after handling word i.
+type Rate func(i int) sim.Time
+
+// Constant returns a fixed per-word period.
+func Constant(d sim.Time) Rate {
+	return func(int) sim.Time { return d }
+}
+
+// Steps cycles through the given periods word by word ("varying data
+// rates" in §IV-B).
+func Steps(periods ...sim.Time) Rate {
+	return func(i int) sim.Time { return periods[i%len(periods)] }
+}
+
+// Random returns periods uniformly drawn from {0, step, 2*step, ...,
+// (levels-1)*step}, deterministically from the seed.
+func Random(seed int64, levels int, step sim.Time) Rate {
+	return func(i int) sim.Time {
+		return sim.Time(WordAt(seed, i)%Word(levels)) * step
+	}
+}
+
+// Bursty emits burstLen words at perWord spacing, then one gap period.
+func Bursty(burstLen int, perWord, gap sim.Time) Rate {
+	return func(i int) sim.Time {
+		if (i+1)%burstLen == 0 {
+			return gap
+		}
+		return perWord
+	}
+}

@@ -1,0 +1,71 @@
+package workload_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestWordAtDeterministic(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if workload.WordAt(42, i) != workload.WordAt(42, i) {
+			t.Fatal("WordAt not deterministic")
+		}
+	}
+	if workload.WordAt(1, 0) == workload.WordAt(2, 0) {
+		t.Error("different seeds give identical first word (suspicious)")
+	}
+}
+
+func TestWordAtSpread(t *testing.T) {
+	// Cheap distribution check: over 4096 words, all four bytes of the
+	// word must take many distinct values.
+	seen := [4]map[byte]bool{{}, {}, {}, {}}
+	for i := 0; i < 4096; i++ {
+		w := workload.WordAt(7, i)
+		for b := 0; b < 4; b++ {
+			seen[b][byte(w>>(8*b))] = true
+		}
+	}
+	for b, m := range seen {
+		if len(m) < 200 {
+			t.Errorf("byte %d takes only %d values", b, len(m))
+		}
+	}
+}
+
+func TestChecksumOrderSensitive(t *testing.T) {
+	a := workload.Checksum(workload.Checksum(0, 1), 2)
+	b := workload.Checksum(workload.Checksum(0, 2), 1)
+	if a == b {
+		t.Error("checksum insensitive to order")
+	}
+}
+
+func TestRates(t *testing.T) {
+	c := workload.Constant(5 * sim.NS)
+	if c(0) != 5*sim.NS || c(99) != 5*sim.NS {
+		t.Error("Constant wrong")
+	}
+	s := workload.Steps(1*sim.NS, 2*sim.NS)
+	if s(0) != 1*sim.NS || s(1) != 2*sim.NS || s(2) != 1*sim.NS {
+		t.Error("Steps wrong")
+	}
+	b := workload.Bursty(4, 1*sim.NS, 50*sim.NS)
+	if b(0) != 1*sim.NS || b(3) != 50*sim.NS || b(7) != 50*sim.NS {
+		t.Error("Bursty wrong")
+	}
+}
+
+func TestQuickRandomRateBounded(t *testing.T) {
+	prop := func(seed int64, i uint16) bool {
+		r := workload.Random(seed, 5, 10*sim.NS)
+		d := r(int(i))
+		return d >= 0 && d <= 40*sim.NS && d%(10*sim.NS) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
