@@ -7,9 +7,10 @@
 // reporting wall time and the maximum timing error versus the TDless
 // reference for a sweep of quantum values.
 //
-// Output is a whitespace-separated table (or CSV with -csv) with one row
-// per (depth, mode): wall-clock milliseconds, kernel context switches and
-// the simulated end date. The paper's claims to check:
+// Output is a whitespace-separated table (or CSV with -csv, or a single
+// JSON document with -json for machine-recorded perf trajectories) with one
+// row per (depth, mode): wall-clock milliseconds, kernel context switches
+// and the simulated end date. The paper's claims to check:
 //
 //   - TDless is flat across depths (one context switch per access);
 //   - untimed and TDfull speed up as the depth grows;
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,26 @@ import (
 	"repro/internal/sim"
 )
 
+// row is one (depth, mode) measurement, shared by the CSV and JSON outputs.
+type row struct {
+	Depth       int     `json:"depth"`
+	Mode        string  `json:"mode"`
+	QuantumNS   int64   `json:"quantum_ns,omitempty"`
+	WallMS      float64 `json:"wall_ms"`
+	CtxSwitches uint64  `json:"ctx_switches"`
+	SimEndNS    int64   `json:"sim_end_ns"`
+	MaxErrNS    int64   `json:"max_err_ns"`
+}
+
+// report is the -json document.
+type report struct {
+	Benchmark string `json:"benchmark"`
+	Blocks    int    `json:"blocks"`
+	Words     int    `json:"words"`
+	Reps      int    `json:"reps"`
+	Rows      []row  `json:"rows"`
+}
+
 func main() {
 	var (
 		blocks  = flag.Int("blocks", 200, "blocks to transfer (paper: 1000)")
@@ -37,6 +59,7 @@ func main() {
 		reps    = flag.Int("reps", 1, "repetitions per point (best wall time kept)")
 		quantum = flag.Bool("quantum", false, "run the quantum-keeper ablation instead of Fig. 5")
 		csv     = flag.Bool("csv", false, "emit CSV")
+		jsonOut = flag.Bool("json", false, "emit a single JSON document (for BENCH_*.json trajectories)")
 	)
 	flag.Parse()
 
@@ -50,11 +73,24 @@ func main() {
 		depthList = append(depthList, d)
 	}
 
+	var rows []row
+	name := "fig5"
 	if *quantum {
-		runQuantumAblation(*blocks, *words, depthList, *reps, *csv)
-		return
+		name = "quantum"
+		rows = runQuantumAblation(*blocks, *words, depthList, *reps, *csv && !*jsonOut, *jsonOut)
+	} else {
+		rows = runFig5(*blocks, *words, depthList, *reps, *csv && !*jsonOut, *jsonOut)
 	}
-	runFig5(*blocks, *words, depthList, *reps, *csv)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{
+			Benchmark: name, Blocks: *blocks, Words: *words, Reps: *reps, Rows: rows,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "fifobench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // best runs cfg reps times and keeps the fastest wall time (other fields
@@ -70,14 +106,17 @@ func best(cfg pipeline.Config, reps int) pipeline.Result {
 	return res
 }
 
-func runFig5(blocks, words int, depths []int, reps int, csv bool) {
-	if csv {
-		fmt.Println("depth,mode,wall_ms,ctx_switches,sim_end_ns,err_ns")
-	} else {
-		fmt.Printf("Fig. 5 — %d blocks x %d words\n", blocks, words)
-		fmt.Printf("%6s  %-8s  %10s  %12s  %14s  %8s\n",
-			"depth", "mode", "wall(ms)", "ctx switches", "sim end", "err")
+func runFig5(blocks, words int, depths []int, reps int, csv, quiet bool) []row {
+	if !quiet {
+		if csv {
+			fmt.Println("depth,mode,wall_ms,ctx_switches,sim_end_ns,err_ns")
+		} else {
+			fmt.Printf("Fig. 5 — %d blocks x %d words\n", blocks, words)
+			fmt.Printf("%6s  %-8s  %10s  %12s  %14s  %8s\n",
+				"depth", "mode", "wall(ms)", "ctx switches", "sim end", "err")
+		}
 	}
+	var rows []row
 	for _, d := range depths {
 		var ref pipeline.Result
 		for _, m := range []pipeline.Mode{pipeline.Untimed, pipeline.TDless, pipeline.TDfull} {
@@ -91,6 +130,16 @@ func runFig5(blocks, words int, depths []int, reps int, csv bool) {
 				errNS = pipeline.MaxTimingError(ref, r)
 				errStr = errNS.String()
 			}
+			rows = append(rows, row{
+				Depth: d, Mode: m.String(),
+				WallMS:      float64(r.Wall.Microseconds()) / 1000,
+				CtxSwitches: r.Stats.ContextSwitches,
+				SimEndNS:    int64(r.SimEnd / sim.NS),
+				MaxErrNS:    int64(errNS / sim.NS),
+			})
+			if quiet {
+				continue
+			}
 			if csv {
 				fmt.Printf("%d,%s,%.3f,%d,%d,%d\n",
 					d, m, float64(r.Wall.Microseconds())/1000, r.Stats.ContextSwitches,
@@ -101,21 +150,35 @@ func runFig5(blocks, words int, depths []int, reps int, csv bool) {
 			}
 		}
 	}
+	return rows
 }
 
-func runQuantumAblation(blocks, words int, depths []int, reps int, csv bool) {
+func runQuantumAblation(blocks, words int, depths []int, reps int, csv, quiet bool) []row {
 	quanta := []sim.Time{0, 100 * sim.NS, 1 * sim.US, 10 * sim.US, 100 * sim.US}
-	if csv {
-		fmt.Println("depth,mode,quantum_ns,wall_ms,ctx_switches,max_err_ns")
-	} else {
-		fmt.Printf("Quantum ablation — %d blocks x %d words\n", blocks, words)
-		fmt.Printf("%6s  %-10s  %10s  %10s  %12s  %12s\n",
-			"depth", "mode", "quantum", "wall(ms)", "ctx switches", "max err")
+	if !quiet {
+		if csv {
+			fmt.Println("depth,mode,quantum_ns,wall_ms,ctx_switches,max_err_ns")
+		} else {
+			fmt.Printf("Quantum ablation — %d blocks x %d words\n", blocks, words)
+			fmt.Printf("%6s  %-10s  %10s  %10s  %12s  %12s\n",
+				"depth", "mode", "quantum", "wall(ms)", "ctx switches", "max err")
+		}
 	}
+	var rows []row
 	for _, d := range depths {
 		ref := best(pipeline.Config{Mode: pipeline.TDless, Depth: d, Blocks: blocks, WordsPerBlock: words}, reps)
 		emit := func(mode string, quantum sim.Time, r pipeline.Result) {
 			e := pipeline.MaxTimingError(ref, r)
+			rows = append(rows, row{
+				Depth: d, Mode: mode, QuantumNS: int64(quantum / sim.NS),
+				WallMS:      float64(r.Wall.Microseconds()) / 1000,
+				CtxSwitches: r.Stats.ContextSwitches,
+				SimEndNS:    int64(r.SimEnd / sim.NS),
+				MaxErrNS:    int64(e / sim.NS),
+			})
+			if quiet {
+				return
+			}
 			if csv {
 				fmt.Printf("%d,%s,%d,%.3f,%d,%d\n", d, mode, int64(quantum/sim.NS),
 					float64(r.Wall.Microseconds())/1000, r.Stats.ContextSwitches, int64(e/sim.NS))
@@ -133,4 +196,5 @@ func runQuantumAblation(blocks, words int, depths []int, reps int, csv bool) {
 		smart := best(pipeline.Config{Mode: pipeline.TDfull, Depth: d, Blocks: blocks, WordsPerBlock: words}, reps)
 		emit("TDfull", 0, smart)
 	}
+	return rows
 }

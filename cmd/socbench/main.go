@@ -5,9 +5,13 @@
 // accuracy, reporting the wall-time gain. The paper measured 38.0 s →
 // 21.9 s, a 42.3% gain; the claim to check here is a substantial gain at
 // zero timing difference ("dates equal: true").
+//
+// With -json the results are emitted as a single JSON document, so perf
+// trajectories can be recorded across PRs (BENCH_*.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +19,29 @@ import (
 	"repro/internal/sim"
 	"repro/internal/soc"
 )
+
+// runJSON is one mode's measurement in the -json document.
+type runJSON struct {
+	Mode        string  `json:"mode"`
+	WallMS      float64 `json:"wall_ms"`
+	CtxSwitches uint64  `json:"ctx_switches"`
+	SimEndNS    int64   `json:"sim_end_ns"`
+}
+
+// reportJSON is the -json document.
+type reportJSON struct {
+	Pipelines      int     `json:"pipelines"`
+	Jobs           int     `json:"jobs"`
+	WordsPerJob    int     `json:"words_per_job"`
+	FIFODepth      int     `json:"fifo_depth"`
+	UseNoC         bool    `json:"use_noc"`
+	WithDMA        bool    `json:"with_dma"`
+	Sync           runJSON `json:"sync"`
+	Smart          runJSON `json:"smart"`
+	GainPct        float64 `json:"gain_pct"`
+	DatesEqual     bool    `json:"dates_equal"`
+	ChecksumsEqual bool    `json:"checksums_equal"`
+}
 
 func main() {
 	var (
@@ -27,6 +54,7 @@ func main() {
 		quantum   = flag.Int64("quantum-ns", 500, "memory-mapped side quantum (ns)")
 		dma       = flag.Bool("dma", true, "include the memory-to-memory DMA pipeline")
 		reps      = flag.Int("reps", 1, "repetitions (best wall time kept)")
+		jsonOut   = flag.Bool("json", false, "emit a single JSON document")
 	)
 	flag.Parse()
 
@@ -53,25 +81,47 @@ func main() {
 		return r
 	}
 
-	fmt.Printf("Case study SoC: %d pipelines, %d jobs x %d words, FIFO depth %d, NoC %v, DMA %v\n\n",
-		*pipelines, *jobs, *words, *depth, *useNoC, *dma)
-	sync := run(soc.SyncFIFOs)
+	syncRes := run(soc.SyncFIFOs)
 	smart := run(soc.SmartFIFOs)
-	for _, r := range []soc.Result{sync, smart} {
-		fmt.Printf("%-6s  wall %12v  ctx switches %10d  sim end %v\n",
-			r.Mode, r.Wall, r.Stats.ContextSwitches, r.SimEnd)
-	}
-	gain := 100 * (1 - float64(smart.Wall)/float64(sync.Wall))
-	fmt.Printf("\nwall-time gain: %.1f%%  (paper: 42.3%% on the industrial model)\n", gain)
+	gain := 100 * (1 - float64(smart.Wall)/float64(syncRes.Wall))
+	datesEqual := fmt.Sprint(smart.JobDates) == fmt.Sprint(syncRes.JobDates)
+	sumsEqual := fmt.Sprint(smart.Checksums) == fmt.Sprint(syncRes.Checksums)
 
-	datesEqual := fmt.Sprint(smart.JobDates) == fmt.Sprint(sync.JobDates)
-	sumsEqual := fmt.Sprint(smart.Checksums) == fmt.Sprint(sync.Checksums)
-	fmt.Printf("job completion dates identical: %v\n", datesEqual)
-	fmt.Printf("checksums identical:            %v\n", sumsEqual)
-	if smart.NoC.PacketsInjected > 0 {
-		fmt.Printf("NoC: %d packets, %d flit-hops\n", smart.NoC.PacketsInjected, smart.NoC.FlitsForwarded)
+	if *jsonOut {
+		asJSON := func(r soc.Result) runJSON {
+			return runJSON{
+				Mode:        r.Mode.String(),
+				WallMS:      float64(r.Wall.Microseconds()) / 1000,
+				CtxSwitches: r.Stats.ContextSwitches,
+				SimEndNS:    int64(r.SimEnd / sim.NS),
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reportJSON{
+			Pipelines: *pipelines, Jobs: *jobs, WordsPerJob: *words, FIFODepth: *depth,
+			UseNoC: *useNoC, WithDMA: *dma,
+			Sync: asJSON(syncRes), Smart: asJSON(smart), GainPct: gain,
+			DatesEqual: datesEqual, ChecksumsEqual: sumsEqual,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("Case study SoC: %d pipelines, %d jobs x %d words, FIFO depth %d, NoC %v, DMA %v\n\n",
+			*pipelines, *jobs, *words, *depth, *useNoC, *dma)
+		for _, r := range []soc.Result{syncRes, smart} {
+			fmt.Printf("%-6s  wall %12v  ctx switches %10d  sim end %v\n",
+				r.Mode, r.Wall, r.Stats.ContextSwitches, r.SimEnd)
+		}
+		fmt.Printf("\nwall-time gain: %.1f%%  (paper: 42.3%% on the industrial model)\n", gain)
+		fmt.Printf("job completion dates identical: %v\n", datesEqual)
+		fmt.Printf("checksums identical:            %v\n", sumsEqual)
+		if smart.NoC.PacketsInjected > 0 {
+			fmt.Printf("NoC: %d packets, %d flit-hops\n", smart.NoC.PacketsInjected, smart.NoC.FlitsForwarded)
+		}
+		fmt.Printf("monitor max FIFO levels: %v\n", smart.MaxLevels)
 	}
-	fmt.Printf("monitor max FIFO levels: %v\n", smart.MaxLevels)
 	if !datesEqual || !sumsEqual {
 		fmt.Fprintln(os.Stderr, "socbench: ACCURACY VIOLATION: the two builds disagree")
 		os.Exit(1)

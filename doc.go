@@ -13,4 +13,23 @@
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
 // bench_test.go regenerate every figure of the evaluation section.
+//
+// # Performance notes
+//
+// The kernel hot paths are allocation-free in steady state: each Process
+// and Event embeds its one reusable timed-queue entry, the timed queue is
+// a concrete 4-ary min-heap with in-place reschedule (internal/sim/timedq.go),
+// and the delta/waiter queues recycle their backing arrays. The Smart
+// FIFO's external NotEmpty/NotFull notifications are subscriber-aware and
+// computed lazily: while no waiter, static method or dynamic trigger is
+// attached, a state change merely records the authoritative
+// insertion/freeing date (sim.Event.NotifyAtReplace); the recorded date is
+// scheduled as a real notification when the first subscriber attaches
+// (keeping its original same-date firing order), and expires at the same
+// boundary where an unobserved real notification would have been lost.
+// Subscribers observe exactly the wakeups they always did; the one
+// deliberate divergence is that unobservable notifications no longer keep
+// the kernel alive, so Run quiesces without advancing Now to their dates.
+// Allocation regressions are pinned by testing.AllocsPerRun tests in
+// internal/sim and internal/core.
 package repro

@@ -83,9 +83,10 @@ func (c *IRQController) visiblePending(t sim.Time) uint32 {
 }
 
 // rearm (re)schedules the interrupt event for the earliest enabled pending
-// raise date, replacing any stale pending notification.
+// raise date, replacing any stale pending notification. The date is
+// authoritative, so this uses NotifyAtReplace — which also elides all
+// queue traffic while no handler is subscribed to the line.
 func (c *IRQController) rearm() {
-	c.ev.CancelNotify()
 	var earliest sim.Time = -1
 	for line := 0; line < 32; line++ {
 		bit := uint32(1) << line
@@ -97,13 +98,10 @@ func (c *IRQController) rearm() {
 		}
 	}
 	if earliest < 0 {
+		c.ev.CancelNotify()
 		return
 	}
-	if earliest <= c.k.Now() {
-		c.ev.NotifyDelta()
-		return
-	}
-	c.ev.NotifyAt(earliest)
+	c.ev.NotifyAtReplace(earliest)
 }
 
 // BTransport implements Target: pending (read/ack) and enable registers.

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Allocation-regression tests for the Smart FIFO hot paths (§IV-B "the
+// cost of timing accuracy"): a decoupled Write/Read stream — the pure Kahn
+// case, nothing subscribed to NotEmpty/NotFull — must run at zero heap
+// allocations per access in steady state. This pins the subscriber-aware
+// notification elision and the embedded timed-queue entries.
+
+func TestSmartFIFODecoupledZeroAlloc(t *testing.T) {
+	k := sim.NewKernel("alloc")
+	f := core.NewSmart[int](k, "f", 64)
+	k.Thread("writer", func(p *sim.Process) {
+		for i := 0; ; i++ {
+			f.Write(i)
+			p.Inc(sim.NS)
+		}
+	})
+	k.Thread("reader", func(p *sim.Process) {
+		for {
+			f.Read()
+			p.Inc(sim.NS)
+		}
+	})
+	var end sim.Time
+	step := func() { end += 2 * sim.US; k.Run(end) }
+	step() // warm-up: grow queues and goroutine stacks
+	if n := testing.AllocsPerRun(50, step); n != 0 {
+		t.Errorf("decoupled Write/Read steady state: %v allocs per step, want 0", n)
+	}
+	k.Shutdown()
+}
+
+func TestSmartFIFODepthOneZeroAlloc(t *testing.T) {
+	// The blocking-heavy ping-pong: every access parks on the internal
+	// events, exercising Sync, WaitEvent and the delta queues.
+	k := sim.NewKernel("alloc")
+	f := core.NewSmart[int](k, "f", 1)
+	k.Thread("writer", func(p *sim.Process) {
+		for i := 0; ; i++ {
+			f.Write(i)
+			p.Inc(3 * sim.NS)
+		}
+	})
+	k.Thread("reader", func(p *sim.Process) {
+		for {
+			f.Read()
+			p.Inc(7 * sim.NS)
+		}
+	})
+	var end sim.Time
+	step := func() { end += 2 * sim.US; k.Run(end) }
+	step()
+	if n := testing.AllocsPerRun(50, step); n != 0 {
+		t.Errorf("depth-1 ping-pong steady state: %v allocs per step, want 0", n)
+	}
+	k.Shutdown()
+}

@@ -308,19 +308,20 @@ func (f *SmartFIFO[T]) Read() T {
 // authoritative next-availability date at every state change, and an
 // earlier stale notification would be both spurious and — worse — would
 // swallow the recomputed one, stranding event-driven consumers.
+//
+// Replacement happens through sim.Event.NotifyAtReplace, which elides all
+// timed-queue traffic while the event has no subscribers (the pure Kahn
+// case: blocking Read/Write only). The authoritative date is recorded and
+// turned into a real notification lazily, the moment a waiter, static
+// method or dynamic trigger attaches, so event-driven consumers observe
+// exactly the dates they always did while the common case pays nothing.
 func (f *SmartFIFO[T]) notifyAtOrDelta(e *sim.Event, at sim.Time) {
 	if f.fault == FaultNotifyNow {
 		e.CancelNotify()
 		e.NotifyDelta()
 		return
 	}
-	now := f.k.Now()
-	e.CancelNotify()
-	if at <= now {
-		e.NotifyDelta()
-		return
-	}
-	e.NotifyAt(at)
+	e.NotifyAtReplace(at)
 }
 
 // IsEmpty implements the §III-B two-test rule, evaluated at the caller's

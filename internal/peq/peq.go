@@ -14,7 +14,6 @@
 package peq
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/sim"
@@ -27,23 +26,55 @@ type entry[T any] struct {
 	v   T
 }
 
-// queue is a min-heap of entries ordered by (date, insertion).
+// queue is a concrete binary min-heap of entries ordered by (date,
+// insertion). Entries are stored by value and sifted directly — no
+// container/heap, whose interface methods box every pushed and popped
+// entry through `any` (one heap allocation per Notify/Get).
 type queue[T any] []entry[T]
 
-func (q queue[T]) Len() int { return len(q) }
-func (q queue[T]) Less(i, j int) bool {
+func (q queue[T]) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q queue[T]) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *queue[T]) Push(x any)   { *q = append(*q, x.(entry[T])) }
-func (q *queue[T]) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
+
+func (q *queue[T]) push(e entry[T]) {
+	*q = append(*q, e)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *queue[T]) pop() entry[T] {
+	h := *q
+	e := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	var zero entry[T]
+	h[last] = zero // release any pointers held by the payload
+	h = h[:last]
+	*q = h
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= last {
+			break
+		}
+		if c+1 < last && h.less(c+1, c) {
+			c++
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
 	return e
 }
 
@@ -82,22 +113,19 @@ func (p *PEQ[T]) Notify(v T, delay sim.Time) {
 		base = cur.LocalTime()
 	}
 	p.seq++
-	heap.Push(&p.q, entry[T]{at: base + delay, seq: p.seq, v: v})
+	p.q.push(entry[T]{at: base + delay, seq: p.seq, v: v})
 	p.arm()
 }
 
-// arm schedules the ready event for the earliest pending payload.
+// arm schedules the ready event for the earliest pending payload. The date
+// is authoritative (recomputed at every queue change), so the pending
+// notification is replaced rather than merged earliest-wins — and elided
+// entirely while no consumer is subscribed (see sim.Event.NotifyAtReplace).
 func (p *PEQ[T]) arm() {
 	if len(p.q) == 0 {
 		return
 	}
-	at := p.q[0].at
-	p.ev.CancelNotify()
-	if at <= p.k.Now() {
-		p.ev.NotifyDelta()
-		return
-	}
-	p.ev.NotifyAt(at)
+	p.ev.NotifyAtReplace(p.q[0].at)
 }
 
 // Get pops the earliest payload whose date has been reached, evaluated at
@@ -112,7 +140,7 @@ func (p *PEQ[T]) Get() (v T, ok bool) {
 		var zero T
 		return zero, false
 	}
-	e := heap.Pop(&p.q).(entry[T])
+	e := p.q.pop()
 	// Lift a decoupled consumer to the payload date, as a Smart FIFO
 	// read would.
 	if cur := p.k.Current(); cur != nil {

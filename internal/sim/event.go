@@ -8,38 +8,103 @@ package sim
 // notification; following SystemC semantics, a new delayed notification
 // only replaces the pending one if it would fire earlier, and an immediate
 // notification overrides everything.
+//
+// # Subscriber-aware elision
+//
+// Channels that recompute an authoritative notification date at every state
+// change (the Smart FIFO's NotEmpty/NotFull, the PEQ's ready event) use
+// NotifyAtReplace. When nothing is subscribed — no parked thread, no
+// static or dynamic method sensitivity — the notification is elided: no
+// timed-queue traffic at all, just a recorded date. The record is turned
+// back into a real notification the moment a subscriber attaches, or
+// silently expires at the same boundary where the real notification would
+// have fired and been lost. Every subscriber observes exactly the wakeups
+// it always did, and the pure Kahn case (blocking Read/Write only, nobody
+// listening) pays nothing.
+//
+// One deliberate divergence: an elided notification no longer keeps the
+// kernel alive, so Run quiesces without advancing Now to dates only such
+// unobservable notifications would have reached. A model's end date is
+// driven by its processes, not by notifications nobody can see.
 type Event struct {
 	k    *Kernel
 	name string
 
 	// waiting holds dynamically attached processes: parked threads and
-	// methods armed with NextTriggerEvent. Cleared on fire.
+	// methods armed with NextTriggerEvent. Cleared on fire; the backing
+	// array is recycled through spare to keep steady-state park/wake
+	// cycles allocation-free.
 	waiting []procRef
+	spare   []procRef
 	// static holds statically sensitive method processes. Never cleared.
 	static []*Process
 
-	pending      *timedEntry // pending timed notification, nil if none
-	deltaPending bool        // pending delta notification
+	// pend is the event's single reusable timed-queue entry (pend.ev is
+	// this event); timedPending reports whether it is live. deltaPending
+	// marks a pending delta notification.
+	pend         timedEntry
+	timedPending bool
+	deltaPending bool
+
+	// Elided-notification record (see NotifyAtReplace): the authoritative
+	// date recorded while the event had no subscribers, plus the global
+	// date and delta-promotion count at recording time, which bound the
+	// window in which a would-have-been-delta notification is still
+	// deliverable. elidedSeq is the timed-queue sequence number drawn at
+	// recording time, so a record materialized later still fires in issue
+	// order among same-date notifications.
+	elided      bool
+	elidedAt    Time
+	elidedNow   Time
+	elidedPromo uint64
+	elidedSeq   uint64
 
 	// onFire, if non-nil, runs first when the event fires. Internal
-	// hook used by Signal's update phase.
+	// hook used by Signal's update phase. An event with an onFire hook
+	// always counts as subscribed.
 	onFire func()
 }
 
 // NewEvent creates an event bound to kernel k.
 func NewEvent(k *Kernel, name string) *Event {
-	return &Event{k: k, name: name}
+	e := &Event{k: k, name: name}
+	e.pend.ev = e
+	e.pend.index = -1
+	return e
 }
 
 // Name returns the event's name.
 func (e *Event) Name() string { return e.name }
 
+// HasSubscribers reports whether anything can observe a notification of e:
+// a parked thread, a statically sensitive method, a dynamically armed
+// method, or an internal fire hook. Stale waiter entries (e.g. the losing
+// events of a WaitAny) conservatively count until the next fire clears
+// them.
+func (e *Event) HasSubscribers() bool {
+	return len(e.waiting) > 0 || len(e.static) > 0 || e.onFire != nil
+}
+
 func (e *Event) addWaiter(p *Process) {
+	if e.elided {
+		e.deliverElided()
+	}
 	e.waiting = append(e.waiting, procRef{p: p, gen: p.waitSeq, evWait: true})
 }
 
 func (e *Event) addDynMethod(p *Process, gen uint64) {
+	if e.elided {
+		e.deliverElided()
+	}
 	e.waiting = append(e.waiting, procRef{p: p, gen: gen})
+}
+
+// addStatic registers a statically sensitive method process.
+func (e *Event) addStatic(p *Process) {
+	if e.elided {
+		e.deliverElided()
+	}
+	e.static = append(e.static, p)
 }
 
 // fire activates every attached process: dynamically waiting threads,
@@ -52,7 +117,8 @@ func (e *Event) fire() {
 	}
 	if len(e.waiting) > 0 {
 		ws := e.waiting
-		e.waiting = nil
+		e.waiting = e.spare[:0]
+		e.spare = ws
 		for _, r := range ws {
 			if r.valid() && k.runnableAdd(r.p) && !r.p.isMethod {
 				r.p.wokenBy = e
@@ -80,12 +146,13 @@ func (e *Event) Notify() {
 // itself overridden by an immediate one.
 func (e *Event) NotifyDelta() {
 	e.k.stats.Notifications++
+	e.elided = false
 	if e.deltaPending {
 		return
 	}
-	if e.pending != nil {
-		e.pending.cancelled = true
-		e.pending = nil
+	if e.timedPending {
+		e.k.timed.remove(&e.pend)
+		e.timedPending = false
 	}
 	e.deltaPending = true
 	e.k.deltaEvents = append(e.k.deltaEvents, e)
@@ -103,17 +170,16 @@ func (e *Event) NotifyDelayed(d Time) {
 		return
 	}
 	e.k.stats.Notifications++
+	e.elided = false
 	at := e.k.now + d
 	if e.deltaPending {
 		return // a delta notification fires earlier than any timed one
 	}
-	if e.pending != nil {
-		if e.pending.at <= at {
-			return
-		}
-		e.pending.cancelled = true
+	if e.timedPending && e.pend.at <= at {
+		return
 	}
-	e.pending = e.k.scheduleEvent(e, at)
+	e.timedPending = true
+	e.k.scheduleEntry(&e.pend, at)
 }
 
 // NotifyAt is NotifyDelayed in absolute time: schedule a notification at
@@ -125,28 +191,132 @@ func (e *Event) NotifyAt(at Time) {
 	e.NotifyDelayed(at - e.k.now)
 }
 
+// NotifyAtReplace schedules a notification at absolute date at — at the
+// next delta cycle if at is not in the future — REPLACING any pending
+// notification instead of applying the earliest-wins rule. It is the
+// primitive for channels that recompute the authoritative
+// next-availability date at every state change: a stale earlier
+// notification would be both spurious and, worse, would swallow the
+// recomputed one.
+//
+// When the event has no subscribers the notification is elided (see the
+// type comment): the hot path costs a few stores and no queue traffic.
+func (e *Event) NotifyAtReplace(at Time) {
+	k := e.k
+	if !e.HasSubscribers() {
+		// Nobody can observe the notification: record it instead of
+		// scheduling. Any previously scheduled notification is
+		// superseded (replace semantics), so drop it too.
+		if e.timedPending {
+			k.timed.remove(&e.pend)
+			e.timedPending = false
+		}
+		e.deltaPending = false
+		k.timedSeq++
+		e.elided = true
+		e.elidedAt = at
+		e.elidedNow = k.now
+		e.elidedPromo = k.deltaPromos
+		e.elidedSeq = k.timedSeq
+		return
+	}
+	e.elided = false
+	k.stats.Notifications++
+	if at <= k.now {
+		if e.timedPending {
+			k.timed.remove(&e.pend)
+			e.timedPending = false
+		}
+		if !e.deltaPending {
+			e.deltaPending = true
+			k.deltaEvents = append(k.deltaEvents, e)
+		}
+		return
+	}
+	e.deltaPending = false
+	e.timedPending = true
+	k.scheduleEntry(&e.pend, at)
+}
+
+// elidedLive reports whether the elided notification record would still be
+// pending had it been scheduled for real: a future-dated record is pending
+// until its date; a record that would have been a delta notification is
+// pending only until the next delta-promotion boundary of the same instant
+// (after which the real notification would have fired, observed by nobody,
+// and been lost — events are not persistent).
+func (e *Event) elidedLive() bool {
+	if !e.elided {
+		return false
+	}
+	if e.elidedAt > e.k.now {
+		return true
+	}
+	return e.elidedNow == e.k.now && e.elidedPromo == e.k.deltaPromos
+}
+
+// deliverElided converts the elided record into a real notification if it
+// is still live, and consumes it either way. Called when a subscriber
+// attaches. A timed delivery reuses the sequence number drawn when the
+// record was made, so same-date notifications fire exactly in the order
+// they were issued, as if none had been elided.
+func (e *Event) deliverElided() {
+	live := e.elidedLive()
+	at := e.elidedAt
+	e.elided = false
+	if !live {
+		return
+	}
+	k := e.k
+	k.stats.Notifications++
+	if at <= k.now {
+		if !e.deltaPending {
+			e.deltaPending = true
+			k.deltaEvents = append(k.deltaEvents, e)
+		}
+		return
+	}
+	e.timedPending = true
+	e.pend.at = at
+	e.pend.seq = e.elidedSeq
+	if e.pend.index >= 0 {
+		k.timed.fix(&e.pend)
+	} else {
+		k.timed.push(&e.pend)
+	}
+}
+
 // CancelNotify cancels any pending delayed or delta notification
-// (sc_event::cancel).
+// (sc_event::cancel), including an elided one.
 func (e *Event) CancelNotify() {
-	if e.pending != nil {
-		e.pending.cancelled = true
-		e.pending = nil
+	e.elided = false
+	if e.timedPending {
+		e.k.timed.remove(&e.pend)
+		e.timedPending = false
 	}
 	e.deltaPending = false
 }
 
-// HasPending reports whether a delayed or delta notification is pending.
-func (e *Event) HasPending() bool { return e.pending != nil || e.deltaPending }
+// HasPending reports whether a delayed or delta notification is pending,
+// counting a still-live elided record.
+func (e *Event) HasPending() bool {
+	return e.timedPending || e.deltaPending || e.elidedLive()
+}
 
 // PendingAt returns the date of the pending timed notification and true, or
 // (0, false) if none is pending (a delta notification reports the current
-// date).
+// date). An elided record reports the date it would fire at.
 func (e *Event) PendingAt() (Time, bool) {
 	if e.deltaPending {
 		return e.k.now, true
 	}
-	if e.pending != nil {
-		return e.pending.at, true
+	if e.timedPending {
+		return e.pend.at, true
+	}
+	if e.elidedLive() {
+		if e.elidedAt <= e.k.now {
+			return e.k.now, true
+		}
+		return e.elidedAt, true
 	}
 	return 0, false
 }

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Stats aggregates kernel activity counters. The Fig. 5 reproduction reports
 // ContextSwitches alongside wall time: the paper's whole argument is that
@@ -22,7 +19,9 @@ type Stats struct {
 	DeltaCycles uint64
 	// TimedSteps counts time advances.
 	TimedSteps uint64
-	// Notifications counts event notifications of any kind.
+	// Notifications counts event notifications of any kind. Elided
+	// notifications (NotifyAtReplace on an event with no subscribers) are
+	// not counted until they materialize.
 	Notifications uint64
 }
 
@@ -33,6 +32,11 @@ type Stats struct {
 // caller of Run, between dispatches); there is no concurrent access and
 // hence no locking. The coroutine handoff channels provide the necessary
 // happens-before edges.
+//
+// The kernel's hot paths — Wait, Sync, delayed notification, the
+// evaluate/delta/timed loop — are allocation-free in steady state: timed
+// entries are embedded in their owning Process or Event (see timedq.go) and
+// every kernel queue recycles its backing array.
 type Kernel struct {
 	name string
 	now  Time
@@ -46,8 +50,18 @@ type Kernel struct {
 	head     int
 
 	// deltaProcs and deltaEvents are activated at the next delta cycle.
-	deltaProcs  []procRef
-	deltaEvents []*Event
+	// The spare slices recycle the backing arrays across promotions so the
+	// steady state never allocates.
+	deltaProcs       []procRef
+	deltaEvents      []*Event
+	spareDeltaProcs  []procRef
+	spareDeltaEvents []*Event
+
+	// deltaPromos counts delta-notification (promotion) phases. Together
+	// with now it identifies the boundary at which a pending delta
+	// notification fires; Event elision uses it to expire recorded
+	// notifications exactly where the real ones would have been lost.
+	deltaPromos uint64
 
 	timed    timedQueue
 	timedSeq uint64
@@ -126,7 +140,8 @@ func (r procRef) valid() bool {
 }
 
 // scheduleWake arranges for thread p to become runnable after d. d == 0
-// means the next delta cycle.
+// means the next delta cycle. The timed case reuses the thread's embedded
+// wake entry: no allocation.
 func (k *Kernel) scheduleWake(p *Process, d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: %s: Wait with negative duration %v", p.name, d))
@@ -135,16 +150,8 @@ func (k *Kernel) scheduleWake(p *Process, d Time) {
 		k.deltaProcs = append(k.deltaProcs, procRef{p: p})
 		return
 	}
-	k.timedSeq++
-	heap.Push(&k.timed, &timedEntry{at: k.now + d, seq: k.timedSeq, proc: p})
-}
-
-// scheduleEvent arranges a timed notification of e at absolute date at.
-func (k *Kernel) scheduleEvent(e *Event, at Time) *timedEntry {
-	k.timedSeq++
-	te := &timedEntry{at: at, seq: k.timedSeq, ev: e}
-	heap.Push(&k.timed, te)
-	return te
+	p.wake.evWait = false
+	k.scheduleEntry(&p.wake, k.now+d)
 }
 
 // dispatch runs one process for one activation.
@@ -204,8 +211,10 @@ func (k *Kernel) Run(limit Time) {
 		}
 		// Delta notification phase.
 		if len(k.deltaProcs) > 0 || len(k.deltaEvents) > 0 {
+			k.deltaPromos++
 			procs, evs := k.deltaProcs, k.deltaEvents
-			k.deltaProcs, k.deltaEvents = nil, nil
+			k.deltaProcs = k.spareDeltaProcs[:0]
+			k.deltaEvents = k.spareDeltaEvents[:0]
 			for _, r := range procs {
 				if r.valid() {
 					k.runnableAdd(r.p)
@@ -217,6 +226,8 @@ func (k *Kernel) Run(limit Time) {
 					e.fire()
 				}
 			}
+			k.spareDeltaProcs = procs[:0]
+			k.spareDeltaEvents = evs[:0]
 			continue
 		}
 		// Timed notification phase: advance to the earliest date.
@@ -237,12 +248,8 @@ func (k *Kernel) Run(limit Time) {
 			if te == nil || te.at != k.now {
 				break
 			}
-			heap.Pop(&k.timed)
-			if te.cancelled {
-				continue
-			}
-			switch {
-			case te.proc != nil:
+			k.timed.pop()
+			if te.proc != nil {
 				if te.proc.isMethod {
 					if (procRef{p: te.proc, gen: te.methodGen}).valid() {
 						k.runnableAdd(te.proc)
@@ -250,9 +257,10 @@ func (k *Kernel) Run(limit Time) {
 				} else if !te.evWait || te.waitGen == te.proc.waitSeq {
 					k.runnableAdd(te.proc)
 				}
-			case te.ev != nil:
-				te.ev.pending = nil
-				te.ev.fire()
+			} else {
+				ev := te.ev
+				ev.timedPending = false
+				ev.fire()
 			}
 		}
 	}
@@ -287,57 +295,4 @@ func (k *Kernel) Shutdown() {
 		p.resume <- struct{}{}
 		<-p.yield
 	}
-}
-
-// timedEntry is a pending timed activity: either a thread wakeup (proc) or
-// an event notification (ev).
-type timedEntry struct {
-	at        Time
-	seq       uint64
-	proc      *Process
-	methodGen uint64 // trigger generation for method proc entries
-	waitGen   uint64 // wait sequence for thread timeout entries
-	evWait    bool   // entry is a WaitEventTimeout timeout
-	ev        *Event
-	cancelled bool
-	index     int
-}
-
-// timedQueue is a min-heap of timedEntry ordered by (at, seq).
-type timedQueue []*timedEntry
-
-func (q timedQueue) Len() int { return len(q) }
-func (q timedQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q timedQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *timedQueue) Push(x any) {
-	te := x.(*timedEntry)
-	te.index = len(*q)
-	*q = append(*q, te)
-}
-func (q *timedQueue) Pop() any {
-	old := *q
-	n := len(old)
-	te := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return te
-}
-func (q *timedQueue) peek() *timedEntry {
-	for len(*q) > 0 && (*q)[0].cancelled {
-		// Lazily drop cancelled heads so peek reports a live entry.
-		heap.Pop(q)
-	}
-	if len(*q) == 0 {
-		return nil
-	}
-	return (*q)[0]
 }

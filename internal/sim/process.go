@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // killSentinel is the panic value used to unwind a killed thread goroutine.
 type killPanic struct{}
@@ -52,6 +49,14 @@ type Process struct {
 
 	// waitingOn is the event list this thread is parked on, for cleanup.
 	waitingOn *Event
+
+	// wake is the process's single reusable timed-queue entry: a thread
+	// has at most one live wakeup (Wait, Sync or a WaitEventTimeout
+	// timeout), a method at most one live timed trigger, so every timed
+	// activation reuses this embedded entry — zero allocation (see
+	// timedq.go). A stale queued entry (a lost timeout, a superseded
+	// trigger) is simply rescheduled in place.
+	wake timedEntry
 }
 
 // Thread registers a thread process. fn runs in its own goroutine but the
@@ -83,7 +88,7 @@ func (k *Kernel) MethodNoInit(name string, fn func(p *Process), sensitive ...*Ev
 func (k *Kernel) methodNoRun(name string, fn func(p *Process), sensitive ...*Event) *Process {
 	p := k.newProcess(name, fn, true)
 	for _, e := range sensitive {
-		e.static = append(e.static, p)
+		e.addStatic(p)
 	}
 	p.static = append(p.static, sensitive...)
 	return p
@@ -102,6 +107,8 @@ func (k *Kernel) newProcess(name string, fn func(p *Process), isMethod bool) *Pr
 		p.resume = make(chan struct{})
 		p.yield = make(chan struct{})
 	}
+	p.wake.proc = p
+	p.wake.index = -1
 	k.procs = append(k.procs, p)
 	return p
 }
@@ -205,13 +212,13 @@ func (p *Process) WaitEventTimeout(e *Event, d Time) bool {
 	}
 	e.addWaiter(p)
 	k := p.k
-	k.timedSeq++
-	te := &timedEntry{at: k.now + d, seq: k.timedSeq, proc: p, waitGen: p.waitSeq, evWait: true}
-	heap.Push(&k.timed, te)
+	p.wake.evWait = true
+	p.wake.waitGen = p.waitSeq
+	k.scheduleEntry(&p.wake, k.now+d)
 	p.wokenBy = nil
 	p.park()
 	if p.wokenBy == e {
-		te.cancelled = true // the timeout lost the race
+		k.timed.remove(&p.wake) // the timeout lost the race
 		return true
 	}
 	return false
@@ -288,8 +295,9 @@ func (p *Process) NextTrigger(d Time) {
 		return
 	}
 	k := p.k
-	k.timedSeq++
-	heap.Push(&k.timed, &timedEntry{at: k.now + d, seq: k.timedSeq, proc: p, methodGen: p.trigGen})
+	p.wake.evWait = false
+	p.wake.methodGen = p.trigGen
+	k.scheduleEntry(&p.wake, k.now+d)
 }
 
 // NextTriggerEvent overrides the method's sensitivity for its next

@@ -1,0 +1,175 @@
+package sim
+
+// The timed-notification queue is the kernel's hottest data structure:
+// every Wait, Sync, delayed notification and NextTrigger passes through it.
+// It is a concrete 4-ary min-heap of *timedEntry ordered by (at, seq) — no
+// container/heap, so pushes and pops move typed pointers instead of boxing
+// through `any`, and no entry is ever allocated on a hot path: each Process
+// and each Event embeds its single reusable entry (a process has at most
+// one pending wakeup or trigger, an event at most one pending timed
+// notification), and rescheduling an entry that is already queued fixes its
+// position in place instead of the cancel-and-repush that used to strand
+// cancelled garbage in the heap.
+//
+// A 4-ary layout halves the tree depth of a binary heap; sift-down does a
+// few more comparisons per level but they hit one cache line, which is the
+// better trade for the push/pop mix the kernel generates.
+
+// timedEntry is a pending timed activity: either a process activation
+// (proc != nil — a thread wakeup, a thread wait-timeout, or a method's
+// timed dynamic trigger) or an event notification (ev != nil). Entries are
+// embedded in their owning Process or Event and reused across rounds; the
+// discriminating pointer is set once at initialization.
+type timedEntry struct {
+	at        Time
+	seq       uint64
+	proc      *Process
+	methodGen uint64 // trigger generation for method proc entries
+	waitGen   uint64 // wait sequence for thread timeout entries
+	evWait    bool   // entry is a WaitEventTimeout timeout
+	ev        *Event
+	index     int // position in the heap, -1 when not queued
+}
+
+// queued reports whether the entry is currently in the timed queue.
+func (te *timedEntry) queued() bool { return te.index >= 0 }
+
+// timedQueue is a 4-ary min-heap of timedEntry ordered by (at, seq), so
+// same-date activities fire in schedule order (the determinism the §IV-A
+// validation relies on).
+type timedQueue struct {
+	h []*timedEntry
+}
+
+func entryLess(a, b *timedEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *timedQueue) len() int { return len(q.h) }
+
+// peek returns the earliest entry without removing it, or nil.
+func (q *timedQueue) peek() *timedEntry {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// push inserts te, which must not already be queued.
+func (q *timedQueue) push(te *timedEntry) {
+	te.index = len(q.h)
+	q.h = append(q.h, te)
+	q.siftUp(te.index)
+}
+
+// pop removes and returns the earliest entry. The queue must be non-empty.
+func (q *timedQueue) pop() *timedEntry {
+	h := q.h
+	te := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[0].index = 0
+	h[last] = nil // drop the reference so the slot doesn't pin the entry
+	q.h = h[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	te.index = -1
+	return te
+}
+
+// remove deletes te from the queue in place; a no-op if it is not queued.
+func (q *timedQueue) remove(te *timedEntry) {
+	i := te.index
+	if i < 0 {
+		return
+	}
+	h := q.h
+	last := len(h) - 1
+	if i != last {
+		h[i] = h[last]
+		h[i].index = i
+	}
+	h[last] = nil
+	q.h = h[:last]
+	if i != last {
+		q.fixAt(i)
+	}
+	te.index = -1
+}
+
+// fix restores the heap order around te after its (at, seq) key changed.
+func (q *timedQueue) fix(te *timedEntry) { q.fixAt(te.index) }
+
+func (q *timedQueue) fixAt(i int) {
+	if i > 0 && entryLess(q.h[i], q.h[(i-1)/4]) {
+		q.siftUp(i)
+	} else {
+		q.siftDown(i)
+	}
+}
+
+func (q *timedQueue) siftUp(i int) {
+	h := q.h
+	te := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !entryLess(te, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].index = i
+		i = parent
+	}
+	h[i] = te
+	te.index = i
+}
+
+func (q *timedQueue) siftDown(i int) {
+	h := q.h
+	n := len(h)
+	te := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if entryLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !entryLess(h[min], te) {
+			break
+		}
+		h[i] = h[min]
+		h[i].index = i
+		i = min
+	}
+	h[i] = te
+	te.index = i
+}
+
+// scheduleEntry (re)schedules te at absolute date at under a fresh sequence
+// number: in place if te is already queued (replacing whatever it was
+// scheduled for, including a stale trigger or timeout left behind by an
+// earlier round), pushing it otherwise. This is the only scheduling
+// primitive; it never allocates.
+func (k *Kernel) scheduleEntry(te *timedEntry, at Time) {
+	k.timedSeq++
+	te.at = at
+	te.seq = k.timedSeq
+	if te.index >= 0 {
+		k.timed.fix(te)
+	} else {
+		k.timed.push(te)
+	}
+}

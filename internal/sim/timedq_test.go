@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkHeapInvariants verifies the 4-ary heap property and the index
+// bookkeeping the in-place operations rely on.
+func checkHeapInvariants(t *testing.T, q *timedQueue) {
+	t.Helper()
+	for i, te := range q.h {
+		if te.index != i {
+			t.Fatalf("entry at slot %d has index %d", i, te.index)
+		}
+		if i > 0 {
+			parent := (i - 1) / 4
+			if entryLess(te, q.h[parent]) {
+				t.Fatalf("heap violation: slot %d (%v,%d) < parent %d (%v,%d)",
+					i, te.at, te.seq, parent, q.h[parent].at, q.h[parent].seq)
+			}
+		}
+	}
+}
+
+// oracle is a plain sorted-slice model of the queue.
+type oracle []*timedEntry
+
+func (o oracle) sorted() []*timedEntry {
+	s := append([]*timedEntry(nil), o...)
+	sort.SliceStable(s, func(i, j int) bool { return entryLess(s[i], s[j]) })
+	return s
+}
+
+func (o *oracle) delete(te *timedEntry) {
+	for i, e := range *o {
+		if e == te {
+			*o = append((*o)[:i], (*o)[i+1:]...)
+			return
+		}
+	}
+}
+
+// TestTimedQueueProperty drives random push/pop/remove/reschedule sequences
+// against the oracle, checking peek, pop order (including the (at, seq)
+// FIFO tie-break) and structural invariants after every step.
+func TestTimedQueueProperty(t *testing.T) {
+	for trial := int64(0); trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(trial))
+		var q timedQueue
+		var o oracle
+		var seq uint64
+		newEntry := func() *timedEntry {
+			seq++
+			// A narrow date range forces plenty of seq tie-breaks.
+			return &timedEntry{at: Time(rng.Intn(16)), seq: seq, index: -1}
+		}
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // push
+				te := newEntry()
+				q.push(te)
+				o = append(o, te)
+			case op < 6: // pop
+				if q.len() == 0 {
+					if q.peek() != nil {
+						t.Fatal("peek on empty queue != nil")
+					}
+					continue
+				}
+				want := o.sorted()[0]
+				got := q.pop()
+				if got != want {
+					t.Fatalf("trial %d step %d: pop = (%v,%d), oracle min (%v,%d)",
+						trial, step, got.at, got.seq, want.at, want.seq)
+				}
+				if got.index != -1 {
+					t.Fatalf("popped entry keeps index %d", got.index)
+				}
+				o.delete(got)
+			case op < 8: // remove a random live entry (in-place cancel)
+				if len(o) == 0 {
+					// Removing a non-queued entry must be a no-op.
+					q.remove(&timedEntry{index: -1})
+					continue
+				}
+				te := o[rng.Intn(len(o))]
+				q.remove(te)
+				if te.index != -1 {
+					t.Fatalf("removed entry keeps index %d", te.index)
+				}
+				q.remove(te) // second remove: no-op
+				o.delete(te)
+			default: // reschedule a random live entry in place
+				if len(o) == 0 {
+					continue
+				}
+				te := o[rng.Intn(len(o))]
+				seq++
+				te.at = Time(rng.Intn(16))
+				te.seq = seq
+				q.fix(te)
+			}
+			checkHeapInvariants(t, &q)
+			if q.len() != len(o) {
+				t.Fatalf("trial %d step %d: len %d != oracle %d", trial, step, q.len(), len(o))
+			}
+			if q.len() > 0 {
+				want := o.sorted()[0]
+				if got := q.peek(); got != want {
+					t.Fatalf("trial %d step %d: peek = (%v,%d), oracle min (%v,%d)",
+						trial, step, got.at, got.seq, want.at, want.seq)
+				}
+			}
+		}
+		// Drain: the queue must yield exactly the oracle's sorted order.
+		want := o.sorted()
+		for i, w := range want {
+			got := q.pop()
+			if got != w {
+				t.Fatalf("trial %d drain %d: pop = (%v,%d), want (%v,%d)",
+					trial, i, got.at, got.seq, w.at, w.seq)
+			}
+		}
+		if q.len() != 0 || q.peek() != nil {
+			t.Fatalf("trial %d: queue not empty after drain", trial)
+		}
+	}
+}
+
+// TestScheduleEntryReschedulesInPlace covers the kernel-level primitive: an
+// already-queued entry moves instead of being duplicated, and gets a fresh
+// sequence number (a reschedule is a new notification for tie-breaks).
+func TestScheduleEntryReschedulesInPlace(t *testing.T) {
+	k := NewKernel("t")
+	a := &timedEntry{index: -1}
+	b := &timedEntry{index: -1}
+	k.scheduleEntry(a, 50*NS)
+	k.scheduleEntry(b, 40*NS)
+	if got := k.timed.peek(); got != b {
+		t.Fatalf("peek = %v, want b@40ns", got.at)
+	}
+	k.scheduleEntry(a, 10*NS) // in place, ahead of b
+	if k.timed.len() != 2 {
+		t.Fatalf("len = %d after reschedule, want 2", k.timed.len())
+	}
+	if got := k.timed.peek(); got != a || got.at != 10*NS {
+		t.Fatalf("peek after reschedule = %v@%v, want a@10ns", got, got.at)
+	}
+	k.scheduleEntry(a, 40*NS) // same date as b, but later seq: b first
+	if got := k.timed.pop(); got != b {
+		t.Fatal("same-date tie-break: rescheduled entry must fire after b")
+	}
+	if got := k.timed.pop(); got != a {
+		t.Fatal("rescheduled entry lost")
+	}
+}
