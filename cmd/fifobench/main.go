@@ -35,6 +35,7 @@ import (
 type row struct {
 	Depth       int     `json:"depth"`
 	Mode        string  `json:"mode"`
+	Shards      int     `json:"shards,omitempty"`
 	QuantumNS   int64   `json:"quantum_ns,omitempty"`
 	WallMS      float64 `json:"wall_ms"`
 	CtxSwitches uint64  `json:"ctx_switches"`
@@ -58,6 +59,7 @@ func main() {
 		depths  = flag.String("depths", "1,2,4,8,16,32,64,128,256,512,1024", "comma-separated FIFO depths")
 		reps    = flag.Int("reps", 1, "repetitions per point (best wall time kept)")
 		quantum = flag.Bool("quantum", false, "run the quantum-keeper ablation instead of Fig. 5")
+		shards  = flag.Int("shards", 0, "additionally run TDfull partitioned over N kernels (TDpar rows)")
 		csv     = flag.Bool("csv", false, "emit CSV")
 		jsonOut = flag.Bool("json", false, "emit a single JSON document (for BENCH_*.json trajectories)")
 	)
@@ -79,7 +81,7 @@ func main() {
 		name = "quantum"
 		rows = runQuantumAblation(*blocks, *words, depthList, *reps, *csv && !*jsonOut, *jsonOut)
 	} else {
-		rows = runFig5(*blocks, *words, depthList, *reps, *csv && !*jsonOut, *jsonOut)
+		rows = runFig5(*blocks, *words, depthList, *reps, *shards, *csv && !*jsonOut, *jsonOut)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -106,7 +108,7 @@ func best(cfg pipeline.Config, reps int) pipeline.Result {
 	return res
 }
 
-func runFig5(blocks, words int, depths []int, reps int, csv, quiet bool) []row {
+func runFig5(blocks, words int, depths []int, reps, shards int, csv, quiet bool) []row {
 	if !quiet {
 		if csv {
 			fmt.Println("depth,mode,wall_ms,ctx_switches,sim_end_ns,err_ns")
@@ -119,35 +121,51 @@ func runFig5(blocks, words int, depths []int, reps int, csv, quiet bool) []row {
 	var rows []row
 	for _, d := range depths {
 		var ref pipeline.Result
-		for _, m := range []pipeline.Mode{pipeline.Untimed, pipeline.TDless, pipeline.TDfull} {
-			r := best(pipeline.Config{Mode: m, Depth: d, Blocks: blocks, WordsPerBlock: words}, reps)
+		emit := func(label string, cfg pipeline.Config, isRef bool) {
+			r := best(cfg, reps)
 			errStr := "-"
 			var errNS sim.Time
-			switch m {
-			case pipeline.TDless:
+			if isRef {
 				ref = r
-			case pipeline.TDfull:
+			} else if cfg.Mode == pipeline.TDfull {
 				errNS = pipeline.MaxTimingError(ref, r)
 				errStr = errNS.String()
 			}
+			// Report the shard count the run actually used: runSharded
+			// clamps to the module count, so -shards 5 still runs on 3.
+			rowShards := 0
+			if cfg.Shards > 1 {
+				rowShards = r.Shards
+			}
 			rows = append(rows, row{
-				Depth: d, Mode: m.String(),
+				Depth: d, Mode: label, Shards: rowShards,
 				WallMS:      float64(r.Wall.Microseconds()) / 1000,
 				CtxSwitches: r.Stats.ContextSwitches,
 				SimEndNS:    int64(r.SimEnd / sim.NS),
 				MaxErrNS:    int64(errNS / sim.NS),
 			})
 			if quiet {
-				continue
+				return
 			}
 			if csv {
 				fmt.Printf("%d,%s,%.3f,%d,%d,%d\n",
-					d, m, float64(r.Wall.Microseconds())/1000, r.Stats.ContextSwitches,
+					d, label, float64(r.Wall.Microseconds())/1000, r.Stats.ContextSwitches,
 					int64(r.SimEnd/sim.NS), int64(errNS/sim.NS))
 			} else {
 				fmt.Printf("%6d  %-8s  %10.3f  %12d  %14v  %8s\n",
-					d, m, float64(r.Wall.Microseconds())/1000, r.Stats.ContextSwitches, r.SimEnd, errStr)
+					d, label, float64(r.Wall.Microseconds())/1000, r.Stats.ContextSwitches, r.SimEnd, errStr)
 			}
+		}
+		for _, m := range []pipeline.Mode{pipeline.Untimed, pipeline.TDless, pipeline.TDfull} {
+			emit(m.String(), pipeline.Config{Mode: m, Depth: d, Blocks: blocks, WordsPerBlock: words}, m == pipeline.TDless)
+		}
+		if shards > 1 {
+			// TDpar: the same TDfull model partitioned over the
+			// conservative multi-kernel coordinator. Same dates (the
+			// err column must stay 0), different wall clock.
+			emit("TDpar", pipeline.Config{
+				Mode: pipeline.TDfull, Depth: d, Blocks: blocks, WordsPerBlock: words, Shards: shards,
+			}, false)
 		}
 	}
 	return rows

@@ -6,8 +6,14 @@
 // 21.9 s, a 42.3% gain; the claim to check here is a substantial gain at
 // zero timing difference ("dates equal: true").
 //
-// With -json the results are emitted as a single JSON document, so perf
-// trajectories can be recorded across PRs (BENCH_*.json).
+// With -shards=N it additionally runs the clustered variant of the model
+// (soc.RunClustered) on 1 kernel and on N kernels, checks that the job
+// dates and checksums are identical, and reports the parallel speedup:
+// the conservative multi-kernel execution over Smart-FIFO dates.
+//
+// Output is human-readable by default, CSV with -csv, or a single JSON
+// document with -json, so perf trajectories can be recorded across PRs
+// (BENCH_socbench.json).
 package main
 
 import (
@@ -20,7 +26,7 @@ import (
 	"repro/internal/soc"
 )
 
-// runJSON is one mode's measurement in the -json document.
+// runJSON is one measurement in the -json document (and one CSV row).
 type runJSON struct {
 	Mode        string  `json:"mode"`
 	WallMS      float64 `json:"wall_ms"`
@@ -28,19 +34,39 @@ type runJSON struct {
 	SimEndNS    int64   `json:"sim_end_ns"`
 }
 
+// shardedJSON reports the -shards comparison.
+type shardedJSON struct {
+	Shards     int     `json:"shards"`
+	Single     runJSON `json:"single"`
+	Sharded    runJSON `json:"sharded"`
+	Rounds     uint64  `json:"rounds"`
+	SpeedupX   float64 `json:"speedup_x"`
+	DatesEqual bool    `json:"dates_equal"`
+}
+
 // reportJSON is the -json document.
 type reportJSON struct {
-	Pipelines      int     `json:"pipelines"`
-	Jobs           int     `json:"jobs"`
-	WordsPerJob    int     `json:"words_per_job"`
-	FIFODepth      int     `json:"fifo_depth"`
-	UseNoC         bool    `json:"use_noc"`
-	WithDMA        bool    `json:"with_dma"`
-	Sync           runJSON `json:"sync"`
-	Smart          runJSON `json:"smart"`
-	GainPct        float64 `json:"gain_pct"`
-	DatesEqual     bool    `json:"dates_equal"`
-	ChecksumsEqual bool    `json:"checksums_equal"`
+	Pipelines      int          `json:"pipelines"`
+	Jobs           int          `json:"jobs"`
+	WordsPerJob    int          `json:"words_per_job"`
+	FIFODepth      int          `json:"fifo_depth"`
+	UseNoC         bool         `json:"use_noc"`
+	WithDMA        bool         `json:"with_dma"`
+	Sync           runJSON      `json:"sync"`
+	Smart          runJSON      `json:"smart"`
+	GainPct        float64      `json:"gain_pct"`
+	DatesEqual     bool         `json:"dates_equal"`
+	ChecksumsEqual bool         `json:"checksums_equal"`
+	Sharded        *shardedJSON `json:"sharded,omitempty"`
+}
+
+func asJSON(mode string, r soc.Result) runJSON {
+	return runJSON{
+		Mode:        mode,
+		WallMS:      float64(r.Wall.Microseconds()) / 1000,
+		CtxSwitches: r.Stats.ContextSwitches,
+		SimEndNS:    int64(r.SimEnd / sim.NS),
+	}
 }
 
 func main() {
@@ -54,6 +80,8 @@ func main() {
 		quantum   = flag.Int64("quantum-ns", 500, "memory-mapped side quantum (ns)")
 		dma       = flag.Bool("dma", true, "include the memory-to-memory DMA pipeline")
 		reps      = flag.Int("reps", 1, "repetitions (best wall time kept)")
+		shards    = flag.Int("shards", 0, "also run the clustered model on 1 and N kernels and report the parallel speedup")
+		csvOut    = flag.Bool("csv", false, "emit CSV")
 		jsonOut   = flag.Bool("json", false, "emit a single JSON document")
 	)
 	flag.Parse()
@@ -69,16 +97,21 @@ func main() {
 		WithDMA:      *dma,
 	}
 
-	run := func(m soc.FIFOMode) soc.Result {
-		cfg.Mode = m
-		r := soc.Run(cfg)
+	best := func(run func() soc.Result) soc.Result {
+		r := run()
 		for i := 1; i < *reps; i++ {
-			r2 := soc.Run(cfg)
-			if r2.Wall < r.Wall {
+			if r2 := run(); r2.Wall < r.Wall {
 				r = r2
 			}
 		}
 		return r
+	}
+	run := func(m soc.FIFOMode) soc.Result {
+		return best(func() soc.Result {
+			c := cfg
+			c.Mode = m
+			return soc.Run(c)
+		})
 	}
 
 	syncRes := run(soc.SyncFIFOs)
@@ -87,27 +120,47 @@ func main() {
 	datesEqual := fmt.Sprint(smart.JobDates) == fmt.Sprint(syncRes.JobDates)
 	sumsEqual := fmt.Sprint(smart.Checksums) == fmt.Sprint(syncRes.Checksums)
 
-	if *jsonOut {
-		asJSON := func(r soc.Result) runJSON {
-			return runJSON{
-				Mode:        r.Mode.String(),
-				WallMS:      float64(r.Wall.Microseconds()) / 1000,
-				CtxSwitches: r.Stats.ContextSwitches,
-				SimEndNS:    int64(r.SimEnd / sim.NS),
-			}
+	var shardedRep *shardedJSON
+	if *shards > 1 {
+		// Clustered variant: NoC/DMA/IRQ knobs do not apply.
+		ccfg := cfg
+		single := best(func() soc.Result { return soc.RunClustered(ccfg, 1) })
+		multi := best(func() soc.Result { return soc.RunClustered(ccfg, *shards) })
+		shardedRep = &shardedJSON{
+			Shards:   multi.Shards,
+			Single:   asJSON("clustered-1", single),
+			Sharded:  asJSON(fmt.Sprintf("clustered-%d", multi.Shards), multi),
+			Rounds:   multi.Rounds,
+			SpeedupX: float64(single.Wall) / float64(multi.Wall),
+			DatesEqual: fmt.Sprint(single.JobDates) == fmt.Sprint(multi.JobDates) &&
+				fmt.Sprint(single.Checksums) == fmt.Sprint(multi.Checksums),
 		}
+	}
+
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reportJSON{
 			Pipelines: *pipelines, Jobs: *jobs, WordsPerJob: *words, FIFODepth: *depth,
 			UseNoC: *useNoC, WithDMA: *dma,
-			Sync: asJSON(syncRes), Smart: asJSON(smart), GainPct: gain,
+			Sync: asJSON("sync", syncRes), Smart: asJSON("smart", smart), GainPct: gain,
 			DatesEqual: datesEqual, ChecksumsEqual: sumsEqual,
+			Sharded: shardedRep,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
 			os.Exit(1)
 		}
-	} else {
+	case *csvOut:
+		fmt.Println("mode,wall_ms,ctx_switches,sim_end_ns")
+		rows := []runJSON{asJSON("sync", syncRes), asJSON("smart", smart)}
+		if shardedRep != nil {
+			rows = append(rows, shardedRep.Single, shardedRep.Sharded)
+		}
+		for _, r := range rows {
+			fmt.Printf("%s,%.3f,%d,%d\n", r.Mode, r.WallMS, r.CtxSwitches, r.SimEndNS)
+		}
+	default:
 		fmt.Printf("Case study SoC: %d pipelines, %d jobs x %d words, FIFO depth %d, NoC %v, DMA %v\n\n",
 			*pipelines, *jobs, *words, *depth, *useNoC, *dma)
 		for _, r := range []soc.Result{syncRes, smart} {
@@ -121,8 +174,16 @@ func main() {
 			fmt.Printf("NoC: %d packets, %d flit-hops\n", smart.NoC.PacketsInjected, smart.NoC.FlitsForwarded)
 		}
 		fmt.Printf("monitor max FIFO levels: %v\n", smart.MaxLevels)
+		if shardedRep != nil {
+			fmt.Printf("\nClustered model, 1 kernel vs %d kernels (%d barrier rounds):\n",
+				shardedRep.Shards, shardedRep.Rounds)
+			fmt.Printf("  1 kernel:  %8.3f ms\n", shardedRep.Single.WallMS)
+			fmt.Printf("  %d kernels: %8.3f ms\n", shardedRep.Shards, shardedRep.Sharded.WallMS)
+			fmt.Printf("  speedup: %.2fx   dates and checksums identical: %v\n",
+				shardedRep.SpeedupX, shardedRep.DatesEqual)
+		}
 	}
-	if !datesEqual || !sumsEqual {
+	if !datesEqual || !sumsEqual || (shardedRep != nil && !shardedRep.DatesEqual) {
 		fmt.Fprintln(os.Stderr, "socbench: ACCURACY VIOLATION: the two builds disagree")
 		os.Exit(1)
 	}

@@ -32,4 +32,35 @@
 // the kernel alive, so Run quiesces without advancing Now to their dates.
 // Allocation regressions are pinned by testing.AllocsPerRun tests in
 // internal/sim and internal/core.
+//
+// # Sharded parallel execution
+//
+// A simulation can be partitioned into several sim.Kernel shards run in
+// parallel by a conservative coordinator (internal/par) over cross-shard
+// Smart-FIFO bridges (core.ShardedFIFO). The contract:
+//
+//   - every cross-shard interaction is a bridge: a bounded FIFO whose
+//     writer and reader endpoints live on different kernels and carry the
+//     paper's insertion/freeing dates across the boundary with the same
+//     two-test IsEmpty/IsFull semantics;
+//   - lookahead is the §III access discipline itself: write dates on a
+//     side never decrease, so each bridge's frontier — last insertion
+//     date, writer's local clock, next free cell's freeing date, or the
+//     reader's own read floor when the writer is credit-blocked — bounds
+//     everything it can still deliver. No null messages, no quantum;
+//   - each barrier round, every shard runs ahead to the minimum frontier
+//     of its inbound bridges; staged data and credits cross at the
+//     barrier. A barrier therefore occurs when a shard exhausts that
+//     lookahead, roughly every FIFO-depth words per bridge;
+//   - when every frontier is frozen (producers parked, not terminated),
+//     the coordinator falls back to the globally earliest event date,
+//     which is always safe to process.
+//
+// Blocking Read/Write through a bridge produce local dates identical to a
+// single-kernel SmartFIFO — 1-shard and N-shard runs of the same model
+// are trace-equivalent (internal/trace), which internal/pipeline
+// (Config.Shards) and the clustered SoC variant (soc.RunClustered) pin in
+// their tests. Non-blocking and monitor views observe delivered state
+// only, exact up to the inbound frontier: fill-level samples of in-flight
+// streams are schedule-dependent, as they are on real silicon.
 package repro

@@ -74,9 +74,12 @@ func (kd Kind) String() string {
 type Config struct {
 	// Kind selects the kernel.
 	Kind Kind
-	// In and Out are the stream channels; Generator needs no In, Sink no
-	// Out.
-	In, Out fifo.Channel[uint32]
+	// In and Out are the stream channel endpoints; Generator needs no
+	// In, Sink no Out. The end interfaces (rather than full Channels)
+	// let a sharded model hand an accelerator one endpoint of a
+	// core.ShardedFIFO whose other side lives on a different kernel.
+	In  fifo.ReadEnd[uint32]
+	Out fifo.WriteEnd[uint32]
 	// WordLat is the per-word processing latency.
 	WordLat sim.Time
 	// Factor parameterizes Scale (multiplier) and Decimate (keep 1 in

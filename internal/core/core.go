@@ -186,14 +186,7 @@ func (f *SmartFIFO[T]) caller(op string) *sim.Process {
 // checkSideOrder enforces the §III requirement that two successive accesses
 // on the same side cannot have decreasing local dates.
 func (f *SmartFIFO[T]) checkSideOrder(p *sim.Process, last *sim.Time, side string) {
-	t := p.LocalTime()
-	if t < *last {
-		panic(fmt.Sprintf(
-			"core: %s: %s access by %q at local date %v after an access at %v; "+
-				"each side needs non-decreasing dates (add an Arbiter if several processes share a side)",
-			f.name, side, p.Name(), t, *last))
-	}
-	*last = t
+	checkSideOrderFor(f.name, p, last, side)
 }
 
 // Write appends v (§III-A). If every cell is internally busy the calling
@@ -393,24 +386,10 @@ func (f *SmartFIFO[T]) Size() int {
 	if !p.IsMethod() {
 		p.Sync()
 	}
-	now := p.LocalTime()
 	if f.fault == FaultSizeIgnoresDates {
 		return f.nBusy
 	}
-	n := 0
-	for i := range f.cells {
-		c := &f.cells[i]
-		if c.busy {
-			if c.insertDate <= now || c.freeDate > now {
-				n++
-			}
-		} else {
-			if c.freeDate > now && c.insertDate <= now {
-				n++
-			}
-		}
-	}
-	return n
+	return datedSize(f.cells, p.LocalTime())
 }
 
 // InternalSize returns the number of internally busy cells, ignoring

@@ -1,0 +1,505 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fifo"
+	"repro/internal/sim"
+)
+
+// ShardedFIFO is a Smart FIFO whose writer and reader sides live on
+// different kernels (simulation shards). It is the cross-shard bridge of
+// the conservative parallel scheduler (internal/par): the same cell
+// timestamps that let a single-kernel Smart FIFO advance a blocked
+// process's local clock also tell a shard coordinator how far the reading
+// shard may safely run ahead — the insertion dates are the lookahead, so no
+// null messages are needed.
+//
+// Each endpoint keeps its own mirror of the cell ring:
+//
+//   - the writer endpoint tracks which cells are busy and the freeing date
+//     of each free cell (its credit window). Write fills a cell exactly
+//     like SmartFIFO.Write — advancing the writer's local clock to the
+//     cell's freeing date, stamping the insertion date — and stages the
+//     datum in an outbox;
+//   - the reader endpoint tracks delivered data with insertion dates.
+//     Read pops exactly like SmartFIFO.Read — advancing the reader's
+//     local clock to the insertion date — and stages the freeing date for
+//     the writer.
+//
+// Flush, called only at coordinator barriers (no kernel running), moves the
+// outbox into the reader's cells and the freeing dates into the writer's
+// credit window, waking blocked endpoint processes. Because deliveries are
+// deferred to barriers, the endpoints' external views lag the real state by
+// at most one round — but every date carried is exact, so blocking
+// Read/Write produce local dates identical to a single-kernel SmartFIFO
+// (pinned by TestShardedFIFOMatchesSmart and the 1-vs-N-shard trace
+// equivalence tests). The two-test IsEmpty/IsFull rules and the dated Size
+// monitor are evaluated per endpoint over that endpoint's mirror; they are
+// exact for dates up to the bridge's frontier.
+//
+// Blocking always uses the SyncThenWait discipline (see BlockPolicy); the
+// WaitOnly ablation is not offered across shards.
+type ShardedFIFO[T any] struct {
+	name string
+
+	w ShardedWriter[T]
+	r ShardedReader[T]
+}
+
+// bridgeMsg is one staged cross-shard datum.
+type bridgeMsg[T any] struct {
+	data       T
+	insertDate sim.Time
+}
+
+// ShardedWriter is the writer-side endpoint, owned by the writer kernel.
+// It implements fifo.WriteEnd.
+type ShardedWriter[T any] struct {
+	f *ShardedFIFO[T]
+	k *sim.Kernel
+
+	cells     []cell[T] // data unused: only busy/insertDate/freeDate
+	firstBusy int
+	firstFree int
+	nBusy     int
+
+	outbox []bridgeMsg[T] // writes staged since the last Flush
+
+	cellFreed *sim.Event
+	notFull   *sim.Event
+
+	lastWriteDate sim.Time
+	writer        *sim.Process // sole writing process, nil before first write
+	multiWriter   bool         // a second process wrote: disable the local-date frontier refinement
+
+	stats Stats
+}
+
+// ShardedReader is the reader-side endpoint, owned by the reader kernel.
+// It implements fifo.ReadEnd.
+type ShardedReader[T any] struct {
+	f *ShardedFIFO[T]
+	k *sim.Kernel
+
+	cells     []cell[T]
+	firstBusy int
+	firstFree int
+	nBusy     int
+
+	pendingFrees []sim.Time // freeing dates staged since the last Flush
+
+	cellFilled *sim.Event
+	notEmpty   *sim.Event
+
+	lastReadDate sim.Time
+	// retryAt is the reader's local date while it is blocked on an empty
+	// endpoint: the date at which the next pop (and hence the next
+	// freeing) can happen. Frontier consults it when the writer is
+	// credit-blocked — the freeing-date half of the Smart-FIFO lookahead.
+	retryAt     sim.Time
+	reader      *sim.Process
+	multiReader bool
+
+	stats Stats
+}
+
+// readFloor is a lower bound on the date of the reader's next pop.
+func (r *ShardedReader[T]) readFloor() sim.Time {
+	if !r.multiReader && r.retryAt > r.lastReadDate {
+		return r.retryAt
+	}
+	return r.lastReadDate
+}
+
+// NewSharded creates a sharded Smart FIFO with the given depth, its writer
+// side on kernel wk and its reader side on kernel rk. The two kernels may
+// be the same (a degenerate bridge, still flushed at barriers), which is
+// how a sharded model collapses onto one kernel for 1-shard validation
+// runs.
+func NewSharded[T any](wk, rk *sim.Kernel, name string, depth int) *ShardedFIFO[T] {
+	if depth <= 0 {
+		panic(fmt.Sprintf("core: %s: non-positive depth %d", name, depth))
+	}
+	f := &ShardedFIFO[T]{name: name}
+	f.w = ShardedWriter[T]{
+		f:         f,
+		k:         wk,
+		cells:     make([]cell[T], depth),
+		cellFreed: sim.NewEvent(wk, name+".w.cell_freed"),
+		notFull:   sim.NewEvent(wk, name+".w.not_full"),
+	}
+	f.r = ShardedReader[T]{
+		f:          f,
+		k:          rk,
+		cells:      make([]cell[T], depth),
+		cellFilled: sim.NewEvent(rk, name+".r.cell_filled"),
+		notEmpty:   sim.NewEvent(rk, name+".r.not_empty"),
+	}
+	return f
+}
+
+// Name returns the channel name.
+func (f *ShardedFIFO[T]) Name() string { return f.name }
+
+// Depth returns the capacity in cells.
+func (f *ShardedFIFO[T]) Depth() int { return len(f.w.cells) }
+
+// Writer returns the writer-side endpoint, to be used only by processes of
+// the writer kernel.
+func (f *ShardedFIFO[T]) Writer() *ShardedWriter[T] { return &f.w }
+
+// Reader returns the reader-side endpoint, to be used only by processes of
+// the reader kernel.
+func (f *ShardedFIFO[T]) Reader() *ShardedReader[T] { return &f.r }
+
+// WriterKernel returns the kernel owning the writer side.
+func (f *ShardedFIFO[T]) WriterKernel() *sim.Kernel { return f.w.k }
+
+// ReaderKernel returns the kernel owning the reader side.
+func (f *ShardedFIFO[T]) ReaderKernel() *sim.Kernel { return f.r.k }
+
+// Stats merges both endpoints' counters. Call it only while neither kernel
+// is running (between coordinator rounds or after a run).
+func (f *ShardedFIFO[T]) Stats() Stats {
+	w, r := f.w.stats, f.r.stats
+	return Stats{
+		Writes:         w.Writes,
+		Reads:          r.Reads,
+		WriterBlocks:   w.WriterBlocks,
+		ReaderBlocks:   r.ReaderBlocks,
+		WriterAdvances: w.WriterAdvances,
+		ReaderAdvances: r.ReaderAdvances,
+	}
+}
+
+// Flush moves staged data and credits across the shard boundary and
+// reports whether anything moved. It must be called only at a coordinator
+// barrier, while neither kernel is running: the barrier provides the
+// happens-before edges, so the endpoints themselves need no locking.
+func (f *ShardedFIFO[T]) Flush() bool {
+	w, r := &f.w, &f.r
+	moved := false
+	if len(w.outbox) > 0 {
+		wasEmpty := r.nBusy == 0
+		for i := range w.outbox {
+			m := &w.outbox[i]
+			c := &r.cells[r.firstFree]
+			c.data = m.data
+			c.busy = true
+			c.insertDate = m.insertDate
+			var zero T
+			m.data = zero
+			r.firstFree = (r.firstFree + 1) % len(r.cells)
+			r.nBusy++
+		}
+		w.outbox = w.outbox[:0]
+		// Wake a blocked reader and refresh the external view: the FIFO
+		// becomes non-empty at the insertion date of the first datum.
+		r.cellFilled.NotifyDelta()
+		if wasEmpty {
+			r.notEmpty.NotifyAtReplace(r.cells[r.firstBusy].insertDate)
+		}
+		moved = true
+	}
+	if len(r.pendingFrees) > 0 {
+		wasFull := w.nBusy == len(w.cells)
+		for _, fd := range r.pendingFrees {
+			c := &w.cells[w.firstBusy]
+			c.busy = false
+			c.freeDate = fd
+			w.firstBusy = (w.firstBusy + 1) % len(w.cells)
+			w.nBusy--
+		}
+		r.pendingFrees = r.pendingFrees[:0]
+		// Wake a blocked writer; the FIFO becomes non-full at the freeing
+		// date of the first available cell.
+		w.cellFreed.NotifyDelta()
+		if wasFull {
+			w.notFull.NotifyAtReplace(w.cells[w.firstFree].freeDate)
+		}
+		moved = true
+	}
+	return moved
+}
+
+// Frontier returns a lower bound on the insertion dates of everything the
+// bridge may still deliver: the reader's shard may safely simulate up to
+// and including this date. Call it only at a barrier, after Flush (an
+// undelivered outbox entry could be older than the bound).
+//
+// The bound is the §III access discipline turned into lookahead — no null
+// messages, just the cell timestamps:
+//
+//   - write dates on a side never decrease, so the last insertion date
+//     bounds all future ones; the writer process's own local date (when a
+//     single process owns the side) and its kernel's date tighten it;
+//   - when the credit window has room, the next write lands in a known
+//     cell and advances to that cell's freeing date;
+//   - when the window is full, the writer is throttled by the reader
+//     itself: the next insertion follows the reader's next pop, so the
+//     reader's own read floor is the bound. This is what breaks the
+//     classic conservative-deadlock cycle without null messages.
+//
+// A terminated writer can never deliver again — the frontier becomes
+// sim.TimeMax and the reader runs unthrottled.
+func (f *ShardedFIFO[T]) Frontier() sim.Time {
+	w, r := &f.w, &f.r
+	if !w.multiWriter && w.writer != nil && w.writer.Terminated() {
+		return sim.TimeMax
+	}
+	front := w.lastWriteDate
+	if now := w.k.Now(); now > front {
+		front = now
+	}
+	if !w.multiWriter && w.writer != nil {
+		if lt := w.writer.LocalTime(); lt > front {
+			front = lt
+		}
+	}
+	if w.nBusy < len(w.cells) {
+		if fd := w.cells[w.firstFree].freeDate; fd > front {
+			front = fd
+		}
+	} else if rf := r.readFloor(); rf > front {
+		front = rf
+	}
+	return front
+}
+
+// --- writer endpoint ---
+
+// Name returns the channel name.
+func (w *ShardedWriter[T]) Name() string { return w.f.name }
+
+// Depth returns the capacity in cells.
+func (w *ShardedWriter[T]) Depth() int { return len(w.cells) }
+
+// Kernel returns the kernel owning this endpoint.
+func (w *ShardedWriter[T]) Kernel() *sim.Kernel { return w.k }
+
+func (w *ShardedWriter[T]) caller(op string) *sim.Process {
+	p := w.k.Current()
+	if p == nil {
+		panic(fmt.Sprintf("core: %s: %s outside a process", w.f.name, op))
+	}
+	return p
+}
+
+// Write appends v, exactly like SmartFIFO.Write: if the credit window is
+// exhausted the calling thread synchronizes and parks until Flush returns
+// freed cells; otherwise the caller's local clock advances to the freeing
+// date of the cell it fills and the write costs no context switch.
+func (w *ShardedWriter[T]) Write(v T) {
+	p := w.caller("Write")
+	checkSideOrderFor(w.f.name, p, &w.lastWriteDate, "write")
+	for w.nBusy == len(w.cells) {
+		w.stats.WriterBlocks++
+		if !p.Synchronized() {
+			p.Sync()
+			continue
+		}
+		local := p.LocalTime()
+		p.WaitEvent(w.cellFreed)
+		p.SetLocalDate(local)
+	}
+	c := &w.cells[w.firstFree]
+	if c.freeDate > p.LocalTime() {
+		w.stats.WriterAdvances++
+	}
+	p.AdvanceLocalTo(c.freeDate)
+	c.busy = true
+	c.insertDate = p.LocalTime()
+	w.firstFree = (w.firstFree + 1) % len(w.cells)
+	w.nBusy++
+	w.stats.Writes++
+	w.lastWriteDate = p.LocalTime()
+	if w.writer == nil {
+		w.writer = p
+	} else if w.writer != p {
+		w.multiWriter = true
+	}
+	w.outbox = append(w.outbox, bridgeMsg[T]{data: v, insertDate: c.insertDate})
+	// Writer-side external view: still not full, but the next free cell
+	// only frees in the future.
+	if w.nBusy < len(w.cells) {
+		if nc := &w.cells[w.firstFree]; nc.freeDate > w.k.Now() {
+			w.notFull.NotifyAtReplace(nc.freeDate)
+		}
+	}
+}
+
+// IsFull is the two-test writer rule evaluated over the credit window:
+// full iff every cell is busy, or the freeing date of the first free cell
+// is after the caller's local date.
+func (w *ShardedWriter[T]) IsFull() bool {
+	p := w.caller("IsFull")
+	if w.nBusy == len(w.cells) {
+		return true
+	}
+	return w.cells[w.firstFree].freeDate > p.LocalTime()
+}
+
+// TryWrite appends v if the endpoint is externally non-full at the
+// caller's local date. Never blocks; safe from method processes.
+func (w *ShardedWriter[T]) TryWrite(v T) bool {
+	if w.IsFull() {
+		return false
+	}
+	w.Write(v)
+	return true
+}
+
+// NotFull is the writer-side writable-event, notified at the freeing date
+// of the first available cell (as of the last barrier).
+func (w *ShardedWriter[T]) NotFull() *sim.Event { return w.notFull }
+
+// Size is the dated monitor count over the writer's mirror (§III-C rules).
+func (w *ShardedWriter[T]) Size() int {
+	p := w.caller("Size")
+	if !p.IsMethod() {
+		p.Sync()
+	}
+	return datedSize(w.cells, p.LocalTime())
+}
+
+// --- reader endpoint ---
+
+// Name returns the channel name.
+func (r *ShardedReader[T]) Name() string { return r.f.name }
+
+// Depth returns the capacity in cells.
+func (r *ShardedReader[T]) Depth() int { return len(r.cells) }
+
+// Kernel returns the kernel owning this endpoint.
+func (r *ShardedReader[T]) Kernel() *sim.Kernel { return r.k }
+
+func (r *ShardedReader[T]) caller(op string) *sim.Process {
+	p := r.k.Current()
+	if p == nil {
+		panic(fmt.Sprintf("core: %s: %s outside a process", r.f.name, op))
+	}
+	return p
+}
+
+// Read pops the oldest delivered value, exactly like SmartFIFO.Read: park
+// (after synchronizing) only when nothing has been delivered; otherwise
+// advance the reader's local clock to the datum's insertion date.
+func (r *ShardedReader[T]) Read() T {
+	p := r.caller("Read")
+	checkSideOrderFor(r.f.name, p, &r.lastReadDate, "read")
+	if r.reader == nil {
+		r.reader = p
+	} else if r.reader != p {
+		r.multiReader = true
+	}
+	for r.nBusy == 0 {
+		r.stats.ReaderBlocks++
+		if t := p.LocalTime(); t > r.retryAt {
+			r.retryAt = t
+		}
+		if !p.Synchronized() {
+			p.Sync()
+			continue
+		}
+		local := p.LocalTime()
+		p.WaitEvent(r.cellFilled)
+		p.SetLocalDate(local)
+	}
+	c := &r.cells[r.firstBusy]
+	if c.insertDate > p.LocalTime() {
+		r.stats.ReaderAdvances++
+	}
+	p.AdvanceLocalTo(c.insertDate)
+	v := c.data
+	var zero T
+	c.data = zero
+	c.busy = false
+	c.freeDate = p.LocalTime()
+	r.firstBusy = (r.firstBusy + 1) % len(r.cells)
+	r.nBusy--
+	r.stats.Reads++
+	r.lastReadDate = p.LocalTime()
+	r.pendingFrees = append(r.pendingFrees, c.freeDate)
+	// Reader-side external view: the next datum exists but becomes
+	// visible only at its (future) insertion date.
+	if r.nBusy > 0 {
+		if nc := &r.cells[r.firstBusy]; nc.insertDate > r.k.Now() {
+			r.notEmpty.NotifyAtReplace(nc.insertDate)
+		}
+	}
+	return v
+}
+
+// IsEmpty is the two-test reader rule over delivered data: empty iff no
+// cell is busy, or the insertion date of the first busy cell is after the
+// caller's local date.
+func (r *ShardedReader[T]) IsEmpty() bool {
+	p := r.caller("IsEmpty")
+	if r.nBusy == 0 {
+		return true
+	}
+	return r.cells[r.firstBusy].insertDate > p.LocalTime()
+}
+
+// TryRead pops the oldest delivered value if the endpoint is externally
+// non-empty at the caller's local date. Never blocks; safe from method
+// processes.
+func (r *ShardedReader[T]) TryRead() (T, bool) {
+	if r.IsEmpty() {
+		var zero T
+		return zero, false
+	}
+	return r.Read(), true
+}
+
+// NotEmpty is the reader-side readable-event, notified at the insertion
+// date of the first available datum (as of the last barrier).
+func (r *ShardedReader[T]) NotEmpty() *sim.Event { return r.notEmpty }
+
+// Size is the dated monitor count over the reader's mirror (§III-C rules).
+func (r *ShardedReader[T]) Size() int {
+	p := r.caller("Size")
+	if !p.IsMethod() {
+		p.Sync()
+	}
+	return datedSize(r.cells, p.LocalTime())
+}
+
+// datedSize applies the four-rule §III-C table to a cell mirror at date
+// now: the number of cells the real FIFO holds at that date, as far as
+// this endpoint can know.
+func datedSize[T any](cells []cell[T], now sim.Time) int {
+	n := 0
+	for i := range cells {
+		c := &cells[i]
+		if c.busy {
+			if c.insertDate <= now || c.freeDate > now {
+				n++
+			}
+		} else {
+			if c.freeDate > now && c.insertDate <= now {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// checkSideOrderFor enforces the §III non-decreasing-date discipline for a
+// named channel side (shared with SmartFIFO.checkSideOrder).
+func checkSideOrderFor(name string, p *sim.Process, last *sim.Time, side string) {
+	t := p.LocalTime()
+	if t < *last {
+		panic(fmt.Sprintf(
+			"core: %s: %s access by %q at local date %v after an access at %v; "+
+				"each side needs non-decreasing dates (add an Arbiter if several processes share a side)",
+			name, side, p.Name(), t, *last))
+	}
+	*last = t
+}
+
+var (
+	_ fifo.WriteEnd[int] = (*ShardedWriter[int])(nil)
+	_ fifo.ReadEnd[int]  = (*ShardedReader[int])(nil)
+)

@@ -55,6 +55,23 @@ type Monitor interface {
 	Depth() int
 }
 
+// ReadEnd is the handle a consuming module holds: the read side plus
+// monitoring. A sharded FIFO's reader endpoint implements ReadEnd but not
+// Writer — the write side lives on another kernel.
+type ReadEnd[T any] interface {
+	Reader[T]
+	Monitor
+	Name() string
+}
+
+// WriteEnd is the producing module's handle: the write side plus
+// monitoring.
+type WriteEnd[T any] interface {
+	Writer[T]
+	Monitor
+	Name() string
+}
+
 // Channel is a full-duplex handle on a FIFO: both sides plus monitoring.
 type Channel[T any] interface {
 	Reader[T]

@@ -1,0 +1,356 @@
+// Package par executes a partitioned simulation: N sim.Kernel shards, each
+// advanced on its own OS thread, coordinated by a conservative barrier
+// scheduler over the Smart-FIFO dates carried by cross-shard bridges
+// (core.ShardedFIFO).
+//
+// # Protocol
+//
+// The coordinator runs barrier rounds. Each round:
+//
+//  1. every bridge is flushed: data and freeing dates staged during the
+//     previous round cross the shard boundary and wake blocked endpoint
+//     processes;
+//  2. every shard's horizon is computed: the minimum Frontier of its
+//     inbound bridges — a lower bound on the insertion dates of anything
+//     that can still arrive. A shard with no inbound bridges is
+//     unbounded;
+//  3. every shard with pending activity dated at or before its horizon
+//     runs concurrently (Kernel.Step) up to that horizon.
+//
+// The scheme is null-message-free: the lookahead a CMB-style scheduler
+// would ship in null messages is already present in the Smart-FIFO access
+// discipline — write dates on a side never decrease, so the last insertion
+// date (plus the writer's local clock, which a temporally decoupled writer
+// pushes far ahead of its kernel's date) bounds all future traffic on the
+// bridge. A shard therefore runs ahead of the global date exactly as far
+// as the paper's cell timestamps prove safe, and blocking bridge accesses
+// reproduce single-kernel Smart-FIFO dates bit for bit.
+//
+// When no shard has work inside its horizon but events remain, the
+// coordinator falls back to the globally earliest event date (see
+// Stats.Fallbacks) — the standard conservative floor, needed only when
+// every frontier is frozen. The coordinator stops at global quiescence:
+// after flushing every bridge, no shard has any pending event inside the
+// run limit. That covers both normal termination and model deadlock;
+// Blocked distinguishes them.
+package par
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Bridge is a cross-shard channel. core.ShardedFIFO implements it; any
+// channel that can report a conservative frontier and deliver at barriers
+// can participate.
+type Bridge interface {
+	// Name identifies the bridge in diagnostics.
+	Name() string
+	// WriterKernel is the shard that produces into the bridge.
+	WriterKernel() *sim.Kernel
+	// ReaderKernel is the shard that consumes from the bridge.
+	ReaderKernel() *sim.Kernel
+	// Frontier returns a lower bound on the dates of all future
+	// deliveries. Called only at barriers, after Flush. sim.TimeMax
+	// means the bridge can never deliver again.
+	Frontier() sim.Time
+	// Flush moves staged data across the boundary and reports whether
+	// anything moved. Called only at barriers.
+	Flush() bool
+}
+
+// Stats counts coordinator activity.
+type Stats struct {
+	// Rounds is the number of barrier rounds executed.
+	Rounds uint64
+	// Steps counts Kernel.Step calls that found work.
+	Steps uint64
+	// Flushes counts bridge flushes that moved data or credits.
+	Flushes uint64
+	// Fallbacks counts rounds resolved by the global-minimum rule: no
+	// shard had work inside its frontier-derived horizon, so the shards
+	// holding the globally earliest event were advanced to exactly that
+	// date. This happens when every frontier is frozen — typically the
+	// drain phase of a model whose producers park forever instead of
+	// terminating (idle accelerators waiting for a next job).
+	Fallbacks uint64
+}
+
+// shard is one kernel plus its coordination state.
+type shard struct {
+	k       *sim.Kernel
+	inbound []Bridge
+	horizon sim.Time
+	run     bool          // selected to run this round
+	work    chan sim.Time // persistent worker's horizon feed (multi-shard runs)
+}
+
+// Coordinator drives a set of shards to global quiescence.
+type Coordinator struct {
+	shards   []*shard
+	byKernel map[*sim.Kernel]*shard
+	bridges  []Bridge
+	stats    Stats
+	running  bool
+
+	// Round barrier state, shared with the shard workers.
+	wg       sync.WaitGroup
+	panicMu  sync.Mutex
+	panicVal any
+}
+
+// NewCoordinator returns an empty coordinator.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{byKernel: make(map[*sim.Kernel]*shard)}
+}
+
+// AddShard registers a kernel as a shard. Every kernel referenced by a
+// bridge must be added before AddBridge.
+func (c *Coordinator) AddShard(k *sim.Kernel) {
+	if _, dup := c.byKernel[k]; dup {
+		panic(fmt.Sprintf("par: shard %q added twice", k.Name()))
+	}
+	s := &shard{k: k}
+	c.byKernel[k] = s
+	c.shards = append(c.shards, s)
+}
+
+// AddBridge registers a cross-shard channel. Both endpoint kernels must
+// already be shards; they may be the same shard (a degenerate bridge,
+// still flushed at barriers — how an N-shard model collapses to 1 shard).
+func (c *Coordinator) AddBridge(b Bridge) {
+	r, ok := c.byKernel[b.ReaderKernel()]
+	if !ok {
+		panic(fmt.Sprintf("par: bridge %q: reader kernel %q is not a shard", b.Name(), b.ReaderKernel().Name()))
+	}
+	if _, ok := c.byKernel[b.WriterKernel()]; !ok {
+		panic(fmt.Sprintf("par: bridge %q: writer kernel %q is not a shard", b.Name(), b.WriterKernel().Name()))
+	}
+	r.inbound = append(r.inbound, b)
+	c.bridges = append(c.bridges, b)
+}
+
+// Kernels returns the shard kernels in registration order.
+func (c *Coordinator) Kernels() []*sim.Kernel {
+	out := make([]*sim.Kernel, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.k
+	}
+	return out
+}
+
+// Stats returns a copy of the coordinator counters.
+func (c *Coordinator) Stats() Stats { return c.stats }
+
+// KernelStats sums the activity counters of every shard.
+func (c *Coordinator) KernelStats() sim.Stats {
+	var t sim.Stats
+	for _, s := range c.shards {
+		st := s.k.Stats()
+		t.ContextSwitches += st.ContextSwitches
+		t.MethodActivations += st.MethodActivations
+		t.DeltaCycles += st.DeltaCycles
+		t.TimedSteps += st.TimedSteps
+		t.Notifications += st.Notifications
+	}
+	return t
+}
+
+// Now returns the conservative global date: the minimum of the shard
+// clocks (every event before it has been simulated).
+func (c *Coordinator) Now() sim.Time {
+	if len(c.shards) == 0 {
+		return 0
+	}
+	min := c.shards[0].k.Now()
+	for _, s := range c.shards[1:] {
+		if n := s.k.Now(); n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+// Run executes barrier rounds until global quiescence, or — with
+// limit >= 0 — until no shard has activity dated at or before limit.
+// Like Kernel.Run it may be called again to resume with a larger limit.
+func (c *Coordinator) Run(limit sim.Time) {
+	if c.running {
+		panic("par: Run called re-entrantly")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+	if len(c.shards) > 1 {
+		// One persistent worker goroutine per shard for the whole run:
+		// barrier rounds are frequent (one per exhausted lookahead), so
+		// spawning goroutines per round would tax exactly the path the
+		// parallel speedup depends on.
+		c.startWorkers()
+		defer c.stopWorkers()
+	}
+
+	for {
+		// Barrier: deliver everything staged during the previous round,
+		// then bound each shard by its inbound frontiers. Flushing first
+		// makes Frontier's bound cover all undelivered traffic.
+		for _, b := range c.bridges {
+			if b.Flush() {
+				c.stats.Flushes++
+			}
+		}
+		work := 0
+		for _, s := range c.shards {
+			h := sim.TimeMax
+			for _, b := range s.inbound {
+				if f := b.Frontier(); f < h {
+					h = f
+				}
+			}
+			if limit >= 0 && limit < h {
+				h = limit
+			}
+			s.horizon = h
+			s.run = false
+			if at, ok := s.k.NextEventAt(); ok && at <= h {
+				s.run = true
+				work++
+			}
+		}
+		if work == 0 {
+			// No shard can act inside its horizon. Either the model is
+			// globally quiescent, or every frontier is frozen because
+			// the processes that would advance them are themselves
+			// waiting (a conservative stall, not a model deadlock).
+			// The globally earliest pending event is always safe to
+			// process: any shard can only act at its kernel date or
+			// later, so nothing can ever be delivered with an earlier
+			// insertion date.
+			tmin := sim.TimeMax
+			for _, s := range c.shards {
+				if at, ok := s.k.NextEventAt(); ok && at < tmin {
+					tmin = at
+				}
+			}
+			if tmin == sim.TimeMax || (limit >= 0 && tmin > limit) {
+				return
+			}
+			for _, s := range c.shards {
+				if at, ok := s.k.NextEventAt(); ok && at <= tmin {
+					s.horizon = tmin
+					s.run = true
+					work++
+				}
+			}
+			c.stats.Fallbacks++
+		}
+		c.stats.Rounds++
+		c.stats.Steps += uint64(work)
+		c.runRound()
+	}
+}
+
+// startWorkers spawns one long-lived goroutine per shard; each waits for
+// a horizon on its channel, steps its kernel, and signals the round
+// WaitGroup. The channel send / WaitGroup barrier provide the
+// happens-before edges between a shard's round and the next flush;
+// shards share no mutable state while running.
+func (c *Coordinator) startWorkers() {
+	for _, s := range c.shards {
+		s.work = make(chan sim.Time)
+		go func(s *shard, work <-chan sim.Time) {
+			for h := range work {
+				c.stepShard(s, h)
+			}
+		}(s, s.work)
+	}
+}
+
+func (c *Coordinator) stopWorkers() {
+	for _, s := range c.shards {
+		close(s.work)
+		s.work = nil
+	}
+}
+
+// stepShard runs one shard's round, capturing a model panic so the
+// barrier still completes; Run re-panics it on the caller's goroutine.
+func (c *Coordinator) stepShard(s *shard, h sim.Time) {
+	defer c.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			c.panicMu.Lock()
+			if c.panicVal == nil {
+				c.panicVal = r
+			}
+			c.panicMu.Unlock()
+		}
+	}()
+	s.k.Step(stepLimit(h))
+}
+
+// runRound advances every selected shard to its horizon, concurrently.
+func (c *Coordinator) runRound() {
+	var single *shard
+	n := 0
+	for _, s := range c.shards {
+		if s.run {
+			single = s
+			n++
+		}
+	}
+	if n == 1 {
+		// Only one shard has work: step it inline, skipping the barrier.
+		single.k.Step(stepLimit(single.horizon))
+		return
+	}
+	for _, s := range c.shards {
+		if !s.run {
+			continue
+		}
+		c.wg.Add(1)
+		s.work <- s.horizon
+	}
+	c.wg.Wait()
+	if c.panicVal != nil {
+		v := c.panicVal
+		c.panicVal = nil
+		panic(v)
+	}
+}
+
+// stepLimit maps the unbounded horizon onto Kernel.Step's sentinel.
+func stepLimit(h sim.Time) sim.Time {
+	if h == sim.TimeMax {
+		return sim.RunForever
+	}
+	return h
+}
+
+// Blocked reports, per shard, the thread processes that are neither
+// terminated nor runnable after Run returned. Shards whose names collide
+// are keyed by registration index. A non-empty result after a Run with
+// limit == sim.RunForever means the model deadlocked (or parks processes
+// by design, like idle accelerators waiting for their next job).
+func (c *Coordinator) Blocked() map[string][]string {
+	out := make(map[string][]string)
+	for i, s := range c.shards {
+		if b := s.k.Blocked(); len(b) > 0 {
+			key := s.k.Name()
+			if _, dup := out[key]; dup {
+				key = fmt.Sprintf("%s#%d", key, i)
+			}
+			out[key] = b
+		}
+	}
+	return out
+}
+
+// Shutdown force-terminates every shard's live thread processes. Call it
+// when discarding the coordinator, exactly like Kernel.Shutdown.
+func (c *Coordinator) Shutdown() {
+	for _, s := range c.shards {
+		s.k.Shutdown()
+	}
+}

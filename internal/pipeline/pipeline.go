@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fifo"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/td"
 	"repro/internal/workload"
@@ -74,6 +75,13 @@ type Config struct {
 	SinkRate     workload.Rate
 	// QuantumValue is the quantum for Mode == Quantum.
 	QuantumValue sim.Time
+	// Shards partitions the model across that many kernels (≤ 3, one
+	// per module) run in parallel by a conservative coordinator
+	// (internal/par) over core.ShardedFIFO bridges. 0 or 1 keeps the
+	// classic single-kernel build. Only Mode == TDfull can be sharded:
+	// the bridges are Smart FIFOs, and their dates are what makes the
+	// partitioning conservative.
+	Shards int
 	// Seed feeds the data generator.
 	Seed int64
 }
@@ -121,8 +129,14 @@ type Result struct {
 	// Checksum proves functional equality across modes.
 	Checksum uint64
 	// Stats are the kernel activity counters; ContextSwitches is the
-	// quantity Fig. 5 is really about.
+	// quantity Fig. 5 is really about. For a sharded run they are
+	// summed over the shards.
 	Stats sim.Stats
+	// Shards echoes the partitioning (1 for the single-kernel build);
+	// Rounds is the number of coordinator barrier rounds (0 when
+	// unsharded).
+	Shards int
+	Rounds uint64
 }
 
 // channel abstracts the FIFO implementation choice.
@@ -137,6 +151,9 @@ type delayer func(d sim.Time)
 // Run executes the benchmark once and reports the outcome.
 func Run(cfg Config) Result {
 	cfg.fill()
+	if cfg.Shards > 1 {
+		return runSharded(cfg)
+	}
 	k := sim.NewKernel("fig5")
 	timed := cfg.Mode != Untimed
 
@@ -209,6 +226,83 @@ func Run(cfg Config) Result {
 	k.Run(sim.RunForever)
 	res.Wall = time.Since(start)
 	res.Stats = k.Stats()
+	res.Shards = 1
+	return res
+}
+
+// runSharded builds the same three-module model across up to three
+// kernels — source, transmitter and sink each on their own shard — with
+// the two FIFOs as cross-shard Smart-FIFO bridges, and runs them in
+// parallel under the conservative coordinator. The dates and values are
+// identical to the single-kernel TDfull build (pinned by
+// TestShardedRunMatchesSingleKernel); only the wall time changes.
+func runSharded(cfg Config) Result {
+	if cfg.Mode != TDfull {
+		panic(fmt.Sprintf("pipeline: mode %v cannot be sharded (only TDfull carries the Smart-FIFO dates)", cfg.Mode))
+	}
+	nShards := cfg.Shards
+	if nShards > 3 {
+		nShards = 3
+	}
+	ks := make([]*sim.Kernel, nShards)
+	c := par.NewCoordinator()
+	for i := range ks {
+		ks[i] = sim.NewKernel(fmt.Sprintf("fig5.s%d", i))
+		c.AddShard(ks[i])
+	}
+	kOf := func(module int) *sim.Kernel { return ks[module%nShards] }
+
+	f1 := core.NewSharded[workload.Word](kOf(0), kOf(1), "f1", cfg.Depth)
+	f2 := core.NewSharded[workload.Word](kOf(1), kOf(2), "f2", cfg.Depth)
+	c.AddBridge(f1)
+	c.AddBridge(f2)
+
+	n := cfg.Blocks * cfg.WordsPerBlock
+	res := Result{Mode: cfg.Mode, Depth: cfg.Depth, Words: n, Shards: nShards}
+
+	// Each thread writes only its own slot: shards run concurrently.
+	var ends [3]sim.Time
+	kOf(0).Thread("source", func(p *sim.Process) {
+		w := f1.Writer()
+		for i := 0; i < n; i++ {
+			w.Write(workload.WordAt(cfg.Seed, i))
+			p.Inc(cfg.SourceRate(i))
+		}
+		ends[0] = p.LocalTime()
+	})
+	kOf(1).Thread("transmitter", func(p *sim.Process) {
+		r, w := f1.Reader(), f2.Writer()
+		for i := 0; i < n; i++ {
+			v := r.Read()
+			p.Inc(cfg.TransmitRate(i))
+			w.Write(v ^ 0xa5a5a5a5)
+		}
+		ends[1] = p.LocalTime()
+	})
+	kOf(2).Thread("sink", func(p *sim.Process) {
+		r := f2.Reader()
+		sum := uint64(0)
+		for i := 0; i < n; i++ {
+			sum = workload.Checksum(sum, r.Read())
+			p.Inc(cfg.SinkRate(i))
+			if (i+1)%cfg.WordsPerBlock == 0 {
+				res.BlockDates = append(res.BlockDates, p.LocalTime())
+			}
+		}
+		res.Checksum = sum
+		ends[2] = p.LocalTime()
+	})
+
+	start := time.Now()
+	c.Run(sim.RunForever)
+	res.Wall = time.Since(start)
+	res.Stats = c.KernelStats()
+	res.Rounds = c.Stats().Rounds
+	for _, e := range ends {
+		if e > res.SimEnd {
+			res.SimEnd = e
+		}
+	}
 	return res
 }
 

@@ -3,8 +3,11 @@ package pipeline_test
 import (
 	"testing"
 
+	"fmt"
+
 	"repro/internal/pipeline"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -149,4 +152,52 @@ func TestRandomRatesAccuracy(t *testing.T) {
 			t.Errorf("seed %d: timing error %v", seed, e)
 		}
 	}
+}
+
+// blockTrace turns a result's dated block completions into a trace, so the
+// §IV-A equivalence framework can compare runs.
+func blockTrace(r pipeline.Result) *trace.Recorder {
+	rec := trace.NewRecorder()
+	for i, d := range r.BlockDates {
+		rec.Log(trace.Entry{Date: d, Proc: "sink", Msg: fmt.Sprintf("block %d sum", i)})
+	}
+	rec.Log(trace.Entry{Date: r.SimEnd, Proc: "sink", Msg: fmt.Sprintf("checksum %x", r.Checksum)})
+	return rec
+}
+
+// TestShardedRunMatchesSingleKernel pins the tentpole claim on the Fig. 5
+// model: partitioning the three modules over 2 or 3 shards changes the
+// wall-clock schedule but not a single date or value.
+func TestShardedRunMatchesSingleKernel(t *testing.T) {
+	for _, depth := range []int{1, 4, 64} {
+		cfg := small(pipeline.TDfull, depth)
+		ref := pipeline.Run(cfg)
+		refTrace := blockTrace(ref)
+		for _, shards := range []int{2, 3} {
+			cfg.Shards = shards
+			r := pipeline.Run(cfg)
+			if r.Shards != shards {
+				t.Fatalf("depth %d: want %d shards, ran with %d", depth, shards, r.Shards)
+			}
+			if d := trace.Diff(refTrace, blockTrace(r)); d != "" {
+				t.Errorf("depth %d, %d shards: trace differs from single kernel:\n%s", depth, shards, d)
+			}
+			if r.Rounds == 0 {
+				t.Errorf("depth %d, %d shards: no coordinator rounds recorded", depth, shards)
+			}
+		}
+	}
+}
+
+// TestShardedTDlessPanics: only TDfull carries the dates that make
+// sharding conservative.
+func TestShardedTDlessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sharding a TDless run should panic")
+		}
+	}()
+	cfg := small(pipeline.TDless, 4)
+	cfg.Shards = 2
+	pipeline.Run(cfg)
 }

@@ -31,7 +31,10 @@ type Stats struct {
 // All kernel and model state is owned by the single running process (or the
 // caller of Run, between dispatches); there is no concurrent access and
 // hence no locking. The coroutine handoff channels provide the necessary
-// happens-before edges.
+// happens-before edges. Distinct kernels share nothing and may run
+// concurrently: a partitioned simulation drives one kernel per shard
+// through Step under a conservative coordinator (internal/par), with each
+// shard's clock advancing independently between barriers.
 //
 // The kernel's hot paths — Wait, Sync, delayed notification, the
 // evaluate/delta/timed loop — are allocation-free in steady state: timed
@@ -191,16 +194,46 @@ const RunForever Time = -1
 // stops once the next timed activity lies strictly beyond limit, leaving Now
 // at limit. Run may be called repeatedly to resume.
 func (k *Kernel) Run(limit Time) {
+	k.Step(limit)
+}
+
+// NextEventAt reports the date of the kernel's earliest pending activity:
+// Now if a process is runnable or a delta notification is pending, else the
+// date of the earliest timed notification. ok is false when the kernel is
+// quiescent (nothing would run). Shard coordinators use it to decide
+// whether a kernel has work inside a time horizon without dispatching
+// anything.
+func (k *Kernel) NextEventAt() (at Time, ok bool) {
+	if k.head < len(k.runnable) || len(k.deltaProcs) > 0 || len(k.deltaEvents) > 0 {
+		return k.now, true
+	}
+	if te := k.timed.peek(); te != nil {
+		return te.at, true
+	}
+	return 0, false
+}
+
+// Step is the resumable core of the evaluate/delta/timed loop: it advances
+// the simulation exactly like Run(limit) — processing every runnable
+// process, delta notification and timed notification dated at or before
+// limit (no bound when limit == RunForever) — and reports whether any
+// activity was dispatched. Each kernel is single-threaded, but distinct
+// kernels may Step concurrently; the shard coordinator (internal/par) calls
+// Step once per barrier round with the shard's conservative horizon as the
+// limit.
+func (k *Kernel) Step(limit Time) bool {
 	if k.running {
-		panic("sim: Run called re-entrantly")
+		panic("sim: kernel already running (re-entrant Run or Step)")
 	}
 	k.running = true
 	defer func() { k.running = false }()
+	did := false
 	for {
 		// Evaluate phase: drain the runnable queue. Immediate
 		// notifications extend the queue within the same phase.
 		if k.head < len(k.runnable) {
 			k.stats.DeltaCycles++
+			did = true
 			for {
 				p := k.runnablePop()
 				if p == nil {
@@ -223,6 +256,7 @@ func (k *Kernel) Run(limit Time) {
 			for _, e := range evs {
 				if e.deltaPending {
 					e.deltaPending = false
+					did = true
 					e.fire()
 				}
 			}
@@ -233,16 +267,17 @@ func (k *Kernel) Run(limit Time) {
 		// Timed notification phase: advance to the earliest date.
 		te := k.timed.peek()
 		if te == nil {
-			return
+			return did
 		}
 		if limit >= 0 && te.at > limit {
 			if k.now < limit {
 				k.now = limit
 			}
-			return
+			return did
 		}
 		k.now = te.at
 		k.stats.TimedSteps++
+		did = true
 		for {
 			te := k.timed.peek()
 			if te == nil || te.at != k.now {

@@ -1,0 +1,96 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// parkEach builds one thread per parking primitive — WaitEvent, WaitAny,
+// WaitEventTimeout (with an unreachable timeout) and plain Wait — runs the
+// kernel until all four are parked, and returns the kernel.
+func parkEach(t *testing.T) (*sim.Kernel, *int) {
+	t.Helper()
+	k := sim.NewKernel("park")
+	never1 := sim.NewEvent(k, "never1")
+	never2 := sim.NewEvent(k, "never2")
+	never3 := sim.NewEvent(k, "never3")
+	unwound := new(int)
+	k.Thread("waitevent", func(p *sim.Process) {
+		defer func() { *unwound++ }()
+		p.WaitEvent(never1)
+		t.Error("waitevent woke")
+	})
+	k.Thread("waitany", func(p *sim.Process) {
+		defer func() { *unwound++ }()
+		p.WaitAny(never1, never2, never3)
+		t.Error("waitany woke")
+	})
+	k.Thread("waittimeout", func(p *sim.Process) {
+		defer func() { *unwound++ }()
+		p.WaitEventTimeout(never2, sim.SEC)
+		t.Error("waittimeout woke")
+	})
+	k.Thread("plainwait", func(p *sim.Process) {
+		defer func() { *unwound++ }()
+		p.Wait(sim.SEC)
+		t.Error("plainwait woke")
+	})
+	// Run only to a date before both the timeout and the plain wait:
+	// all four threads end up parked, two of them with live timed
+	// entries still in the queue.
+	k.Run(1 * sim.NS)
+	return k, unwound
+}
+
+// TestShutdownUnwindsAllParkingPrimitives pins that Shutdown kills
+// threads parked in every wait primitive — not just plain Wait — running
+// their deferred cleanups and marking them terminated.
+func TestShutdownUnwindsAllParkingPrimitives(t *testing.T) {
+	k, unwound := parkEach(t)
+	if got := len(k.Blocked()); got != 4 {
+		t.Fatalf("want 4 parked threads before Shutdown, Blocked() reports %d", got)
+	}
+	k.Shutdown()
+	if *unwound != 4 {
+		t.Errorf("want 4 deferred unwinds after Shutdown, got %d", *unwound)
+	}
+	for _, p := range k.Processes() {
+		if !p.Terminated() {
+			t.Errorf("process %q not terminated after Shutdown", p.Name())
+		}
+	}
+	if got := k.Blocked(); len(got) != 0 {
+		t.Errorf("Blocked() after Shutdown: %v", got)
+	}
+}
+
+// TestShutdownThenRunIsQuiescent: the timed entries of killed threads
+// (the lost timeout, the pending wait) must not resurrect activity.
+func TestShutdownThenRunIsQuiescent(t *testing.T) {
+	k, _ := parkEach(t)
+	k.Shutdown()
+	k.Run(sim.RunForever)
+	if now := k.Now(); now > sim.SEC {
+		t.Errorf("dead threads advanced time to %v", now)
+	}
+}
+
+// TestBlockedNamesEachPrimitive: Blocked reports every parked thread by
+// name, whatever primitive parked it.
+func TestBlockedNamesEachPrimitive(t *testing.T) {
+	k, _ := parkEach(t)
+	defer k.Shutdown()
+	want := map[string]bool{
+		"waitevent": true, "waitany": true, "waittimeout": true, "plainwait": true,
+	}
+	for _, name := range k.Blocked() {
+		if !want[name] {
+			t.Errorf("unexpected blocked name %q", name)
+		}
+		delete(want, name)
+	}
+	for name := range want {
+		t.Errorf("blocked thread %q not reported", name)
+	}
+}

@@ -34,6 +34,12 @@ const (
 	SEC Time = 1000 * MS
 )
 
+// TimeMax is the largest representable date. Shard coordination uses it as
+// the "no bound" frontier: a cross-shard channel whose writer has
+// terminated can never deliver again, so its reader may run arbitrarily
+// far ahead.
+const TimeMax Time = 1<<63 - 1
+
 // String renders the time with the largest exact unit, e.g. "20ns" or
 // "1500ps".
 func (t Time) String() string {

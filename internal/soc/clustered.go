@@ -1,0 +1,177 @@
+package soc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// RunClustered builds and executes the sharding-friendly variant of the
+// case study: a multi-cluster SoC whose stream traffic crosses cluster
+// boundaries over Smart-FIFO bridges, run on `shards` kernels in parallel
+// by the conservative coordinator (internal/par).
+//
+// The model has cfg.Pipelines clusters in a ring. Pipeline i's front half
+// (generator → c1 → scale) lives on cluster i; its back half
+// (fir → c3 → sink) lives on cluster (i+1) mod C, with the middle hop a
+// core.ShardedFIFO bridge. Each cluster has its own memory-mapped side —
+// bus, register files and an embedded control core that programs every
+// job up front (consumers first), then polls its local stages' status and
+// the sink's input FIFO fill level (the §III-C monitor interface) until
+// the cluster is idle.
+//
+// Cluster c maps onto kernel c mod shards, so the same model runs on 1
+// kernel or on N: the stream dates, checksums and job completion dates
+// are identical (pinned by TestClusteredShardEquivalence) because every
+// cross-cluster interaction is a dated Kahn channel. Only the wall-clock
+// schedule — and therefore the monitor's MaxLevels samples, which observe
+// in-flight state — may differ.
+//
+// The clustered variant always uses Smart FIFOs and ignores the UseNoC,
+// WithDMA and UseIRQ knobs: it is the scaling axis of the reproduction,
+// not the accuracy-ablation axis.
+func RunClustered(cfg Config, shards int) Result {
+	cfg.fill()
+	nClusters := cfg.Pipelines
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > nClusters {
+		shards = nClusters
+	}
+
+	coord := par.NewCoordinator()
+	kernels := make([]*sim.Kernel, shards)
+	for i := range kernels {
+		kernels[i] = sim.NewKernel(fmt.Sprintf("soc.s%d", i))
+		coord.AddShard(kernels[i])
+	}
+	kOf := func(cluster int) *sim.Kernel { return kernels[cluster%shards] }
+
+	// Bridges: pipeline i's middle hop, cluster i → cluster (i+1)%C.
+	bridges := make([]*core.ShardedFIFO[uint32], nClusters)
+	for i := 0; i < nClusters; i++ {
+		bridges[i] = core.NewSharded[uint32](
+			kOf(i), kOf((i+1)%nClusters),
+			fmt.Sprintf("p%d.mid", i), cfg.FIFODepth)
+		coord.AddBridge(bridges[i])
+	}
+
+	// Per-cluster register layout on the local bus.
+	const (
+		genBase   = 0x1000
+		scaleBase = 0x1010
+		firBase   = 0x1020
+		sinkBase  = 0x1030
+	)
+
+	type cluster struct {
+		bus  *bus.Bus
+		sink *accel.Accel // sink of pipeline (c-1+C)%C, homed here
+	}
+	clusters := make([]*cluster, nClusters)
+	maxLevels := make([]uint32, nClusters) // indexed by hosting cluster
+
+	// First pass: buses and the front halves (gen → c1 → scale → bridge).
+	for c := 0; c < nClusters; c++ {
+		k := kOf(c)
+		clusters[c] = &cluster{bus: bus.NewBus(k, fmt.Sprintf("cl%d.bus", c), sim.NS)}
+		name := func(s string) string { return fmt.Sprintf("p%d.%s", c, s) }
+		c1 := core.NewSmart[uint32](k, name("c1"), cfg.FIFODepth)
+		gen := accel.New(k, name("gen"), accel.Config{
+			Kind: accel.Generator, Out: c1, WordLat: 3 * sim.NS, Seed: cfg.Seed + int64(c),
+		})
+		scale := accel.New(k, name("scale"), accel.Config{
+			Kind: accel.Scale, In: c1, Out: bridges[c].Writer(), WordLat: 2 * sim.NS, Factor: 3,
+		})
+		clusters[c].bus.Map(gen.Name(), genBase, accel.NumRegs, gen.Regs())
+		clusters[c].bus.Map(scale.Name(), scaleBase, accel.NumRegs, scale.Regs())
+	}
+	// Second pass: the back halves (bridge → fir → c3 → sink), homed one
+	// cluster downstream.
+	for i := 0; i < nClusters; i++ {
+		home := (i + 1) % nClusters
+		k := kOf(home)
+		name := func(s string) string { return fmt.Sprintf("p%d.%s", i, s) }
+		c3 := core.NewSmart[uint32](k, name("c3"), cfg.FIFODepth)
+		fir := accel.New(k, name("fir"), accel.Config{
+			Kind: accel.FIR, In: bridges[i].Reader(), Out: c3, WordLat: 2 * sim.NS,
+		})
+		sink := accel.New(k, name("sink"), accel.Config{
+			Kind: accel.Sink, In: c3, WordLat: 4 * sim.NS,
+		})
+		clusters[home].bus.Map(fir.Name(), firBase, accel.NumRegs, fir.Regs())
+		clusters[home].bus.Map(sink.Name(), sinkBase, accel.NumRegs, sink.Regs())
+		clusters[home].sink = sink
+	}
+
+	// Control cores: one per cluster, driving the four stages homed there.
+	for c := 0; c < nClusters; c++ {
+		c := c
+		k := kOf(c)
+		b := clusters[c].bus
+		k.Thread(fmt.Sprintf("cl%d.ctrl", c), func(p *sim.Process) {
+			in := bus.NewInitiator(p, b, cfg.Quantum)
+			words := uint32(cfg.WordsPerJob)
+			// Program every job up front, consumers first, so job
+			// back-to-back timing is carried by the streams alone.
+			for _, base := range []uint32{sinkBase, firBase, scaleBase, genBase} {
+				in.WriteWord(base+accel.RegWords, words)
+				for j := 0; j < cfg.Jobs; j++ {
+					in.WriteWord(base+accel.RegCtrl, 1)
+				}
+			}
+			// Poll until the cluster is idle, sampling the sink's input
+			// fill level for dynamic performance tuning (§III-C).
+			for {
+				idle := true
+				for _, base := range []uint32{genBase, scaleBase, firBase, sinkBase} {
+					if in.ReadWord(base+accel.RegStatus) != 0 {
+						idle = false
+					}
+				}
+				if lvl := in.ReadWord(sinkBase + accel.RegInLevel); lvl > maxLevels[c] {
+					maxLevels[c] = lvl
+				}
+				if idle {
+					break
+				}
+				p.Inc(cfg.PollPeriod)
+			}
+		})
+	}
+
+	res := Result{
+		Mode:      SmartFIFOs,
+		Shards:    shards,
+		MaxLevels: make([]uint32, nClusters),
+	}
+	start := time.Now()
+	coord.Run(sim.RunForever)
+	res.Wall = time.Since(start)
+	res.Stats = coord.KernelStats()
+	res.Rounds = coord.Stats().Rounds
+	for i := 0; i < nClusters; i++ {
+		sink := clusters[(i+1)%nClusters].sink
+		res.Checksums = append(res.Checksums, sink.Checksum())
+		res.JobDates = append(res.JobDates, sink.JobDates())
+		res.MaxLevels[i] = maxLevels[(i+1)%nClusters]
+	}
+	for _, b := range clusters {
+		res.BusAccesses += b.bus.Accesses()
+	}
+	for _, dates := range res.JobDates {
+		for _, d := range dates {
+			if d > res.SimEnd {
+				res.SimEnd = d
+			}
+		}
+	}
+	coord.Shutdown()
+	return res
+}

@@ -1,0 +1,117 @@
+package soc_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/soc"
+	"repro/internal/trace"
+)
+
+func clusteredCfg() soc.Config {
+	return soc.Config{
+		Pipelines:   4,
+		Jobs:        3,
+		WordsPerJob: 96,
+		FIFODepth:   8,
+		Seed:        7,
+	}
+}
+
+// jobTrace turns a result's dated job completions and checksums into a
+// trace for the §IV-A equivalence framework. MaxLevels is deliberately
+// excluded: the monitor samples in-flight state, which is
+// schedule-dependent by design.
+func jobTrace(r soc.Result) *trace.Recorder {
+	rec := trace.NewRecorder()
+	for i, dates := range r.JobDates {
+		for j, d := range dates {
+			rec.Log(trace.Entry{Date: d, Proc: fmt.Sprintf("p%d.sink", i), Msg: fmt.Sprintf("job %d done", j)})
+		}
+		rec.Log(trace.Entry{Date: r.SimEnd, Proc: fmt.Sprintf("p%d.sink", i), Msg: fmt.Sprintf("checksum %x", r.Checksums[i])})
+	}
+	return rec
+}
+
+// TestClusteredShardEquivalence pins the tentpole claim on the SoC case
+// study: the clustered model produces identical job completion dates and
+// checksums on 1 kernel and on N kernels.
+func TestClusteredShardEquivalence(t *testing.T) {
+	cfg := clusteredCfg()
+	ref := soc.RunClustered(cfg, 1)
+	if ref.SimEnd == 0 || len(ref.JobDates) != cfg.Pipelines {
+		t.Fatalf("reference run looks empty: %+v", ref)
+	}
+	for _, p := range ref.JobDates {
+		if len(p) != cfg.Jobs {
+			t.Fatalf("reference run completed %d/%d jobs: %v", len(p), cfg.Jobs, ref.JobDates)
+		}
+	}
+	refTrace := jobTrace(ref)
+	for _, shards := range []int{2, 4} {
+		r := soc.RunClustered(cfg, shards)
+		if r.Shards != shards {
+			t.Fatalf("want %d shards, ran with %d", shards, r.Shards)
+		}
+		if d := trace.Diff(refTrace, jobTrace(r)); d != "" {
+			t.Errorf("%d shards: trace differs from 1-shard reference:\n%s", shards, d)
+		}
+		if r.Rounds == 0 {
+			t.Errorf("%d shards: no coordinator rounds recorded", shards)
+		}
+	}
+}
+
+// TestClusteredMatchesWorkload: each pipeline's checksum is that of its
+// own seeded stream, so data really crossed the cluster ring unmangled.
+func TestClusteredMatchesWorkload(t *testing.T) {
+	cfg := clusteredCfg()
+	r := soc.RunClustered(cfg, 2)
+	seen := map[uint64]bool{}
+	for i, sum := range r.Checksums {
+		if sum == 0 {
+			t.Errorf("pipeline %d checksum is zero", i)
+		}
+		if seen[sum] {
+			t.Errorf("pipeline %d checksum %x duplicates another pipeline (seeds differ, streams must too)", i, sum)
+		}
+		seen[sum] = true
+	}
+	if r.BusAccesses == 0 {
+		t.Error("no bus accesses recorded: the memory-mapped side did not run")
+	}
+}
+
+// TestClusteredShardClamp: shard counts beyond the cluster count clamp.
+func TestClusteredShardClamp(t *testing.T) {
+	cfg := clusteredCfg()
+	r := soc.RunClustered(cfg, 64)
+	if r.Shards != cfg.Pipelines {
+		t.Fatalf("want clamp to %d shards, got %d", cfg.Pipelines, r.Shards)
+	}
+	if d := trace.Diff(jobTrace(soc.RunClustered(cfg, 1)), jobTrace(r)); d != "" {
+		t.Errorf("clamped run differs from 1-shard reference:\n%s", d)
+	}
+}
+
+// TestClusteredParallelSpeedup checks the point of sharding: on a
+// multi-core host, N kernels beat 1. Skipped on small machines — with
+// fewer than 4 usable cores the barrier overhead cannot amortize.
+func TestClusteredParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need >= 4 usable cores, have %d", runtime.GOMAXPROCS(0))
+	}
+	cfg := soc.Config{Pipelines: 8, Jobs: 6, WordsPerJob: 4096, FIFODepth: 64, Seed: 7}
+	single := soc.RunClustered(cfg, 1)
+	multi := soc.RunClustered(cfg, 4)
+	speedup := float64(single.Wall) / float64(multi.Wall)
+	t.Logf("1 kernel %v, 4 kernels %v: speedup %.2fx over %d rounds",
+		single.Wall, multi.Wall, speedup, multi.Rounds)
+	if speedup < 1.2 {
+		t.Errorf("4-shard run not faster: %.2fx", speedup)
+	}
+}

@@ -138,6 +138,11 @@ type Result struct {
 	BusAccesses uint64
 	// NoC reports mesh activity (zero when !UseNoC).
 	NoC noc.Stats
+	// Shards is the number of kernels the run was partitioned over (1
+	// for Run); Rounds is the number of coordinator barrier rounds (0
+	// for Run). See RunClustered.
+	Shards int
+	Rounds uint64
 }
 
 // pipeline groups the per-chain bookkeeping.
