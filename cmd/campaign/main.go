@@ -1,0 +1,123 @@
+// Command campaign drives the campaign engine from a scenario spec file:
+// the batch twin of the simd HTTP service. It expands the spec's matrix
+// axes into concrete points, executes them across a worker pool, and
+// emits the results document as JSON (default) or CSV.
+//
+// The default output is deterministic — identical spec, identical bytes,
+// regardless of worker count or host — which is what the CI smoke job
+// pins against a golden file. Wall-clock timing is opt-in via -wall.
+//
+// Usage:
+//
+//	campaign -spec sweep.json [-workers N] [-check-every K] [-format json|csv] [-wall] [-o out]
+//	campaign -models
+//
+// Exit status: 0 on success, 1 if any point failed or any trace-
+// equivalence spot check found a difference, 2 on usage or I/O errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/campaign"
+	"repro/internal/scenario"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		specPath   = fs.String("spec", "", "scenario spec file (JSON Spec or Set document, - for stdin)")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		checkEvery = fs.Int("check-every", 0, "trace-equivalence spot check every k-th point (0 = off)")
+		maxPoints  = fs.Int("max-points", 10000, "largest accepted expansion")
+		format     = fs.String("format", "json", "output format: json or csv")
+		wall       = fs.Bool("wall", false, "include nondeterministic wall-clock timing")
+		outPath    = fs.String("o", "", "output file (default stdout)")
+		models     = fs.Bool("models", false, "list registered workload models and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *models {
+		for _, name := range scenario.Models() {
+			m, _ := scenario.Lookup(name)
+			fmt.Fprintf(stdout, "%-14s %v\n", m.Name, m.Keys)
+		}
+		return 0
+	}
+	if *specPath == "" || fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: campaign -spec <file> [-workers N] [-check-every K] [-format json|csv] [-wall] [-o out]")
+		return 2
+	}
+	if *format != "json" && *format != "csv" {
+		fmt.Fprintf(stderr, "campaign: unknown format %q (want json or csv)\n", *format)
+		return 2
+	}
+
+	var data []byte
+	var err error
+	if *specPath == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*specPath)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "campaign: %v\n", err)
+		return 2
+	}
+	set, err := scenario.ParseSet(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "campaign: %v\n", err)
+		return 2
+	}
+
+	res, err := campaign.Run(context.Background(), set, campaign.Options{
+		Workers:    *workers,
+		CheckEvery: *checkEvery,
+		MaxPoints:  *maxPoints,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "campaign: %v\n", err)
+		return 2
+	}
+
+	out := io.Writer(stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "campaign: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+	switch *format {
+	case "json":
+		err = res.JSON(out, *wall)
+	case "csv":
+		err = res.WriteCSV(out, *wall)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "campaign: emitting results: %v\n", err)
+		return 2
+	}
+
+	if res.Aggregate.Errors > 0 || res.Aggregate.CheckFailures > 0 {
+		fmt.Fprintf(stderr, "campaign: %d point errors, %d check failures over %d points\n",
+			res.Aggregate.Errors, res.Aggregate.CheckFailures, res.Aggregate.Points)
+		return 1
+	}
+	fmt.Fprintf(stderr, "campaign: %d points (%d unique, %d checked) across %v\n",
+		res.Aggregate.Points, res.Aggregate.Unique, res.Aggregate.Checked, res.Aggregate.Models)
+	return 0
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGoldenSmoke pins the CI smoke campaign: the checked-in spec must
+// reproduce the checked-in results byte for byte, at any worker count.
+// Regenerate the golden with:
+//
+//	go run ./cmd/campaign -spec cmd/campaign/testdata/smoke.json -check-every 5 -o cmd/campaign/testdata/smoke.golden.json
+func TestGoldenSmoke(t *testing.T) {
+	golden, err := os.ReadFile("testdata/smoke.golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		var out, errBuf bytes.Buffer
+		code := run([]string{
+			"-spec", "testdata/smoke.json",
+			"-check-every", "5",
+			"-workers", strconv.Itoa(workers),
+		}, &out, &errBuf)
+		if code != 0 {
+			t.Fatalf("workers=%d: exit %d, stderr: %s", workers, code, errBuf.String())
+		}
+		if out.String() != string(golden) {
+			t.Errorf("workers=%d: output drifted from testdata/smoke.golden.json\nstderr: %s\n(regenerate if the change is intended)",
+				workers, errBuf.String())
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-spec", "testdata/smoke.json", "-format", "csv"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 15 { // header + 14 points
+		t.Fatalf("%d CSV lines, want 15", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "index,model,hash") {
+		t.Errorf("header: %q", lines[0])
+	}
+}
+
+func TestModelsFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-models"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, m := range []string{"pipeline", "soc", "soc-clustered", "kpn", "noc"} {
+		if !strings.Contains(out.String(), m) {
+			t.Errorf("models listing misses %q:\n%s", m, out.String())
+		}
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	tmp := t.TempDir() + "/bad.json"
+	os.WriteFile(tmp, []byte(`{"model":"pipeline","matrix":{"mode":["TDfull","warp"]}}`), 0o644)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-spec", tmp}, &out, &errBuf); code != 1 {
+		t.Errorf("campaign with a failing point: exit %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+	if code := run([]string{"-spec", "testdata/nope.json"}, &out, &errBuf); code != 2 {
+		t.Errorf("missing spec file: exit %d, want 2", code)
+	}
+	if code := run([]string{}, &out, &errBuf); code != 2 {
+		t.Errorf("no -spec: exit %d, want 2", code)
+	}
+	if code := run([]string{"-spec", tmp, "-format", "xml"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad format: exit %d, want 2", code)
+	}
+	bad := t.TempDir() + "/unknown.json"
+	os.WriteFile(bad, []byte(`{"model":"warpdrive"}`), 0o644)
+	if code := run([]string{"-spec", bad}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown model: exit %d, want 2", code)
+	}
+}

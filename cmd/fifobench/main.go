@@ -20,13 +20,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
@@ -75,18 +75,34 @@ func main() {
 		depthList = append(depthList, d)
 	}
 
+	// CSV and JSON go through the shared campaign emitters.
+	var csvW *campaign.CSV
+	if *csv && !*jsonOut {
+		if *quantum {
+			csvW = campaign.NewCSV(os.Stdout, "depth", "mode", "quantum_ns", "wall_ms", "ctx_switches", "max_err_ns")
+		} else {
+			csvW = campaign.NewCSV(os.Stdout, "depth", "mode", "wall_ms", "ctx_switches", "sim_end_ns", "err_ns")
+		}
+	}
 	var rows []row
 	name := "fig5"
 	if *quantum {
 		name = "quantum"
-		rows = runQuantumAblation(*blocks, *words, depthList, *reps, *csv && !*jsonOut, *jsonOut)
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "fifobench: -shards is ignored with -quantum (the ablation has no sharded rows)")
+		}
+		rows = runQuantumAblation(*blocks, *words, depthList, *reps, csvW, *jsonOut)
 	} else {
-		rows = runFig5(*blocks, *words, depthList, *reps, *shards, *csv && !*jsonOut, *jsonOut)
+		rows = runFig5(*blocks, *words, depthList, *reps, *shards, csvW, *jsonOut)
+	}
+	if csvW != nil {
+		if err := csvW.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "fifobench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report{
+		if err := campaign.WriteJSON(os.Stdout, report{
 			Benchmark: name, Blocks: *blocks, Words: *words, Reps: *reps, Rows: rows,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "fifobench: %v\n", err)
@@ -108,15 +124,11 @@ func best(cfg pipeline.Config, reps int) pipeline.Result {
 	return res
 }
 
-func runFig5(blocks, words int, depths []int, reps, shards int, csv, quiet bool) []row {
-	if !quiet {
-		if csv {
-			fmt.Println("depth,mode,wall_ms,ctx_switches,sim_end_ns,err_ns")
-		} else {
-			fmt.Printf("Fig. 5 — %d blocks x %d words\n", blocks, words)
-			fmt.Printf("%6s  %-8s  %10s  %12s  %14s  %8s\n",
-				"depth", "mode", "wall(ms)", "ctx switches", "sim end", "err")
-		}
+func runFig5(blocks, words int, depths []int, reps, shards int, csvW *campaign.CSV, quiet bool) []row {
+	if !quiet && csvW == nil {
+		fmt.Printf("Fig. 5 — %d blocks x %d words\n", blocks, words)
+		fmt.Printf("%6s  %-8s  %10s  %12s  %14s  %8s\n",
+			"depth", "mode", "wall(ms)", "ctx switches", "sim end", "err")
 	}
 	var rows []row
 	for _, d := range depths {
@@ -147,9 +159,8 @@ func runFig5(blocks, words int, depths []int, reps, shards int, csv, quiet bool)
 			if quiet {
 				return
 			}
-			if csv {
-				fmt.Printf("%d,%s,%.3f,%d,%d,%d\n",
-					d, label, float64(r.Wall.Microseconds())/1000, r.Stats.ContextSwitches,
+			if csvW != nil {
+				csvW.Row(d, label, float64(r.Wall.Microseconds())/1000, r.Stats.ContextSwitches,
 					int64(r.SimEnd/sim.NS), int64(errNS/sim.NS))
 			} else {
 				fmt.Printf("%6d  %-8s  %10.3f  %12d  %14v  %8s\n",
@@ -171,16 +182,12 @@ func runFig5(blocks, words int, depths []int, reps, shards int, csv, quiet bool)
 	return rows
 }
 
-func runQuantumAblation(blocks, words int, depths []int, reps int, csv, quiet bool) []row {
+func runQuantumAblation(blocks, words int, depths []int, reps int, csvW *campaign.CSV, quiet bool) []row {
 	quanta := []sim.Time{0, 100 * sim.NS, 1 * sim.US, 10 * sim.US, 100 * sim.US}
-	if !quiet {
-		if csv {
-			fmt.Println("depth,mode,quantum_ns,wall_ms,ctx_switches,max_err_ns")
-		} else {
-			fmt.Printf("Quantum ablation — %d blocks x %d words\n", blocks, words)
-			fmt.Printf("%6s  %-10s  %10s  %10s  %12s  %12s\n",
-				"depth", "mode", "quantum", "wall(ms)", "ctx switches", "max err")
-		}
+	if !quiet && csvW == nil {
+		fmt.Printf("Quantum ablation — %d blocks x %d words\n", blocks, words)
+		fmt.Printf("%6s  %-10s  %10s  %10s  %12s  %12s\n",
+			"depth", "mode", "quantum", "wall(ms)", "ctx switches", "max err")
 	}
 	var rows []row
 	for _, d := range depths {
@@ -197,8 +204,8 @@ func runQuantumAblation(blocks, words int, depths []int, reps int, csv, quiet bo
 			if quiet {
 				return
 			}
-			if csv {
-				fmt.Printf("%d,%s,%d,%.3f,%d,%d\n", d, mode, int64(quantum/sim.NS),
+			if csvW != nil {
+				csvW.Row(d, mode, int64(quantum/sim.NS),
 					float64(r.Wall.Microseconds())/1000, r.Stats.ContextSwitches, int64(e/sim.NS))
 			} else {
 				fmt.Printf("%6d  %-10s  %10v  %10.3f  %12d  %12v\n",

@@ -1,0 +1,79 @@
+// Command simd is the simulation service: an HTTP front-end over the
+// campaign engine. It accepts declarative scenario specs, fans the
+// expanded design-space points out over a worker pool (one or more
+// sim.Kernel instances per point), and serves progress and results:
+//
+//	POST /campaigns          submit a Spec or Set JSON document
+//	GET  /campaigns          list campaigns
+//	GET  /campaigns/{id}     status and progress
+//	GET  /campaigns/{id}/results[?format=csv][&wall=1]
+//	GET  /models             registered workload models and their keys
+//	GET  /healthz            liveness
+//
+// The server uses only net/http; it shuts down gracefully on SIGINT or
+// SIGTERM (in-flight requests drain, running campaigns stop dispatching
+// new points). Results stay deterministic: the default document carries
+// no wall-clock fields, so identical specs return identical bytes.
+//
+// Example:
+//
+//	simd -addr :8080 &
+//	curl -d '{"model":"pipeline","matrix":{"depth":[1,4,16]}}' localhost:8080/campaigns
+//	curl localhost:8080/campaigns/c1
+//	curl localhost:8080/campaigns/c1/results?format=csv
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS)")
+		checkEvery = flag.Int("check-every", 16, "trace-equivalence spot check every k-th point (0 = off)")
+		maxPoints  = flag.Int("max-points", 10000, "largest accepted expansion")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+
+	eng := campaign.NewEngine(campaign.Options{
+		Workers:    *workers,
+		CheckEvery: *checkEvery,
+		MaxPoints:  *maxPoints,
+	})
+	srv := &http.Server{Addr: *addr, Handler: newServer(eng)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "simd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		eng.Close()
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "simd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "simd: shutdown: %v\n", err)
+	}
+	eng.Close()
+}

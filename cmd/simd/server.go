@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/campaign"
+	"repro/internal/scenario"
+)
+
+// maxSpecBytes bounds a campaign submission body.
+const maxSpecBytes = 1 << 20
+
+// server routes the campaign API onto an engine. It is an http.Handler so
+// tests drive it through httptest.
+type server struct {
+	eng *campaign.Engine
+	mux *http.ServeMux
+}
+
+func newServer(eng *campaign.Engine) *server {
+	s := &server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.health)
+	s.mux.HandleFunc("GET /models", s.models)
+	s.mux.HandleFunc("POST /campaigns", s.submit)
+	s.mux.HandleFunc("GET /campaigns", s.list)
+	s.mux.HandleFunc("GET /campaigns/{id}", s.status)
+	s.mux.HandleFunc("GET /campaigns/{id}/results", s.results)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON emits one API response document.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	campaign.WriteJSON(w, v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "campaigns": len(s.eng.Jobs())})
+}
+
+func (s *server) models(w http.ResponseWriter, r *http.Request) {
+	type modelDoc struct {
+		Name string   `json:"name"`
+		Keys []string `json:"keys"`
+	}
+	var docs []modelDoc
+	for _, name := range scenario.Models() {
+		m, _ := scenario.Lookup(name)
+		docs = append(docs, modelDoc{Name: m.Name, Keys: m.Keys})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": docs})
+}
+
+// submit accepts a Spec or Set document and starts a campaign.
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	set, err := scenario.ParseSet(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, err := s.eng.Submit(set)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := job.Status()
+	w.Header().Set("Location", "/campaigns/"+job.ID())
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":      job.ID(),
+		"points":  st.Points,
+		"unique":  st.Total,
+		"status":  "/campaigns/" + job.ID(),
+		"results": "/campaigns/" + job.ID() + "/results",
+	})
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	jobs := s.eng.Jobs()
+	statuses := make([]campaign.Status, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": statuses})
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.eng.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// results serves the finished document as JSON (default) or CSV
+// (?format=csv). Wall-clock timing is included only with ?wall=1, keeping
+// the default document deterministic. A still-running campaign answers
+// 409 with the progress snapshot.
+func (s *server) results(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.eng.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	res, jobErr, done := job.Results()
+	if !done {
+		writeJSON(w, http.StatusConflict, job.Status())
+		return
+	}
+	if jobErr != nil {
+		writeError(w, http.StatusInternalServerError, "campaign failed: %v", jobErr)
+		return
+	}
+	includeWall := r.URL.Query().Get("wall") == "1"
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		res.JSON(w, includeWall)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		res.WriteCSV(w, includeWall)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json or csv)", format)
+	}
+}

@@ -17,11 +17,11 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/campaign"
 	"repro/internal/sim"
 	"repro/internal/soc"
 )
@@ -139,9 +139,7 @@ func main() {
 
 	switch {
 	case *jsonOut:
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(reportJSON{
+		if err := campaign.WriteJSON(os.Stdout, reportJSON{
 			Pipelines: *pipelines, Jobs: *jobs, WordsPerJob: *words, FIFODepth: *depth,
 			UseNoC: *useNoC, WithDMA: *dma,
 			Sync: asJSON("sync", syncRes), Smart: asJSON("smart", smart), GainPct: gain,
@@ -152,13 +150,17 @@ func main() {
 			os.Exit(1)
 		}
 	case *csvOut:
-		fmt.Println("mode,wall_ms,ctx_switches,sim_end_ns")
+		c := campaign.NewCSV(os.Stdout, "mode", "wall_ms", "ctx_switches", "sim_end_ns")
 		rows := []runJSON{asJSON("sync", syncRes), asJSON("smart", smart)}
 		if shardedRep != nil {
 			rows = append(rows, shardedRep.Single, shardedRep.Sharded)
 		}
 		for _, r := range rows {
-			fmt.Printf("%s,%.3f,%d,%d\n", r.Mode, r.WallMS, r.CtxSwitches, r.SimEndNS)
+			c.Row(r.Mode, r.WallMS, r.CtxSwitches, r.SimEndNS)
+		}
+		if err := c.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
+			os.Exit(1)
 		}
 	default:
 		fmt.Printf("Case study SoC: %d pipelines, %d jobs x %d words, FIFO depth %d, NoC %v, DMA %v\n\n",

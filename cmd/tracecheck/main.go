@@ -4,38 +4,84 @@
 // means the traces are identical after reordering — the model behaviour
 // and timing match; 1 means they differ; 2 means usage or I/O error.
 //
+// With -json the verdict is emitted as a machine-readable summary
+// ({"equal": ..., "entries_a": ..., "entries_b": ..., "diff": ...})
+// instead of prose, for CI jobs and the campaign tooling.
+//
 // Usage:
 //
-//	tracecheck reference.trace decoupled.trace
+//	tracecheck [-json] reference.trace decoupled.trace
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/trace"
 )
 
+// summary is the -json output document.
+type summary struct {
+	Equal    bool   `json:"equal"`
+	EntriesA int    `json:"entries_a"`
+	EntriesB int    `json:"entries_b"`
+	Diff     string `json:"diff,omitempty"`
+}
+
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck <a.trace> <b.trace>")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON summary")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: tracecheck [-json] <a.trace> <b.trace>")
+		fs.PrintDefaults()
 	}
-	a, err := load(os.Args[1])
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	a, err := load(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracecheck:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "tracecheck:", err)
+		return 2
 	}
-	b, err := load(os.Args[2])
+	b, err := load(fs.Arg(1))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracecheck:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "tracecheck:", err)
+		return 2
 	}
-	if d := trace.Diff(a, b); d != "" {
-		fmt.Printf("traces differ:\n%s\n", d)
-		os.Exit(1)
+	d := trace.Diff(a, b)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary{
+			Equal:    d == "",
+			EntriesA: a.Len(),
+			EntriesB: b.Len(),
+			Diff:     d,
+		}); err != nil {
+			fmt.Fprintln(stderr, "tracecheck:", err)
+			return 2
+		}
+	} else if d != "" {
+		fmt.Fprintf(stdout, "traces differ:\n%s\n", d)
+	} else {
+		fmt.Fprintf(stdout, "traces identical after reordering (%d entries)\n", a.Len())
 	}
-	fmt.Printf("traces identical after reordering (%d entries)\n", a.Len())
+	if d != "" {
+		return 1
+	}
+	return 0
 }
 
 func load(path string) (*trace.Recorder, error) {

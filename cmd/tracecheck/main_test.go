@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrace(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const refTrace = "10ns\tsrc\twrote 1\n20ns\tsink\tread 1\n30ns\tsink\tread 2\n"
+
+// reordered: same entries, different emission order (decoupling effect).
+const reorderedTrace = "30ns\tsink\tread 2\n10ns\tsrc\twrote 1\n20ns\tsink\tread 1\n"
+
+// divergent: one date differs.
+const divergentTrace = "10ns\tsrc\twrote 1\n20ns\tsink\tread 1\n31ns\tsink\tread 2\n"
+
+func TestExitCodeIdentical(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTrace(t, dir, "a.trace", refTrace)
+	b := writeTrace(t, dir, "b.trace", reorderedTrace)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "identical") {
+		t.Errorf("output: %q", out.String())
+	}
+}
+
+func TestExitCodeDiffer(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTrace(t, dir, "a.trace", refTrace)
+	b := writeTrace(t, dir, "b.trace", divergentTrace)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "traces differ") {
+		t.Errorf("output: %q", out.String())
+	}
+}
+
+func TestExitCodeUsageAndIO(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{}, &out, &errBuf); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"only-one.trace"}, &out, &errBuf); code != 2 {
+		t.Errorf("one arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"-nope", "a", "b"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	dir := t.TempDir()
+	a := writeTrace(t, dir, "a.trace", refTrace)
+	if code := run([]string{a, filepath.Join(dir, "missing.trace")}, &out, &errBuf); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	bad := writeTrace(t, dir, "bad.trace", "not a trace line\n")
+	if code := run([]string{a, bad}, &out, &errBuf); code != 2 {
+		t.Errorf("unparsable file: exit %d, want 2", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTrace(t, dir, "a.trace", refTrace)
+	b := writeTrace(t, dir, "b.trace", reorderedTrace)
+	c := writeTrace(t, dir, "c.trace", divergentTrace)
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-json", a, b}, &out, &errBuf); code != 0 {
+		t.Fatalf("equal traces: exit %d", code)
+	}
+	var s summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("bad JSON %q: %v", out.String(), err)
+	}
+	if !s.Equal || s.EntriesA != 3 || s.EntriesB != 3 || s.Diff != "" {
+		t.Errorf("summary = %+v", s)
+	}
+
+	out.Reset()
+	if code := run([]string{"-json", a, c}, &out, &errBuf); code != 1 {
+		t.Fatalf("differing traces: exit %d, want 1", code)
+	}
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Equal || s.Diff == "" {
+		t.Errorf("summary = %+v", s)
+	}
+}

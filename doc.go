@@ -63,4 +63,24 @@
 // their tests. Non-blocking and monitor views observe delivered state
 // only, exact up to the inbound frontier: fill-level samples of in-flight
 // streams are schedule-dependent, as they are on real silicon.
+//
+// # Scenario and campaign layers
+//
+// Above the kernels sits declarative design-space exploration — the unit
+// of work becomes many independent simulations, not one. internal/scenario
+// defines JSON-decodable Specs (model name + parameters + a Matrix of
+// sweep axes), expands them into concrete points by cartesian product,
+// hashes each point canonically for dedup, and keeps the registry the
+// workload packages (internal/pipeline, internal/soc, internal/kpn,
+// internal/noc) self-register their models in; all payload and rate
+// randomness derives from the spec seed through scenario.Rand, so a spec
+// is a complete, reproducible description of its traces. internal/campaign
+// executes expanded points across a GOMAXPROCS worker pool with
+// hash-keyed caching, runs sampled trace-equivalence spot checks
+// (decoupled vs reference via trace.Diff), and emits results in
+// deterministic expansion order: the default JSON/CSV documents carry no
+// wall-clock fields and are byte-identical across worker counts. cmd/simd
+// serves the engine over HTTP (submit/status/results, graceful shutdown);
+// cmd/campaign drives it from a spec file (the CI determinism smoke pins
+// a golden results document).
 package repro

@@ -1,0 +1,50 @@
+package campaign
+
+import (
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// Cache stores point outcomes keyed by canonical scenario hash. Outcomes
+// are deterministic functions of the hash, so a hit is always exact. All
+// methods are safe for concurrent use and on a nil receiver (a nil cache
+// never hits and never stores).
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]scenario.Outcome
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: map[string]scenario.Outcome{}} }
+
+// Get fetches the outcome cached under hash.
+func (c *Cache) Get(hash string) (scenario.Outcome, bool) {
+	if c == nil {
+		return scenario.Outcome{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, ok := c.m[hash]
+	return out, ok
+}
+
+// Put stores the outcome under hash.
+func (c *Cache) Put(hash string, out scenario.Outcome) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[hash] = out
+}
+
+// Len returns the number of cached outcomes.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,344 @@
+// Package campaign executes expanded scenario sets — many independent
+// simulations, not one — across a pool of workers, and aggregates and
+// serializes the results. It is the design-space-exploration layer the
+// paper's cheap what-if simulation exists to feed: a Spec matrix over
+// FIFO depths, quanta, shard counts and topologies becomes one kernel
+// run per point, fanned out over GOMAXPROCS workers (each point builds
+// its own sim.Kernel(s), and sharded points additionally parallelize
+// inside via internal/par).
+//
+// Guarantees:
+//
+//   - deterministic results: points are identified and cached by their
+//     canonical scenario hash, executed at most once per campaign, and
+//     reported in expansion order — the results document is byte-identical
+//     whether the campaign ran on 1 worker or N (wall-clock timing is
+//     carried separately and omitted from the deterministic document);
+//   - spot-checked accuracy: a deterministic sample of points (every
+//     CheckEvery-th expanded index) re-runs through the model's §IV-A
+//     trace-equivalence oracle (decoupled vs reference, compared with
+//     trace.Diff after date reordering);
+//   - shared caching: an Engine's Cache carries outcomes across campaigns,
+//     so overlapping sweeps only pay for new points.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Options tunes one campaign run.
+type Options struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// CheckEvery samples the trace-equivalence spot check: every k-th
+	// expanded point (by its first-occurrence index) is verified against
+	// the model's reference build. 0 disables checking.
+	CheckEvery int
+	// MaxPoints bounds the expansion (a submission guard for the HTTP
+	// front-end); 0 means the 10000 default.
+	MaxPoints int
+	// Cache, when non-nil, is consulted before running a point and
+	// updated after; share one across campaigns to skip repeated points.
+	Cache *Cache
+	// OnProgress, when non-nil, is called after each completed point
+	// with the number of finished points and the total. Calls may come
+	// from worker goroutines.
+	OnProgress func(done, total int)
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxPoints <= 0 {
+		o.MaxPoints = 10000
+	}
+}
+
+// PointResult is one expanded point's report. All fields except WallMS
+// are deterministic functions of the spec.
+type PointResult struct {
+	// Index is the point's position in expansion order.
+	Index int `json:"index"`
+	// Model and Params echo the concrete scenario; Hash is its
+	// canonical content hash.
+	Model  string          `json:"model"`
+	Hash   string          `json:"hash"`
+	Params scenario.Params `json:"params"`
+	// Outcome is the simulation result (nil when Err is set).
+	Outcome *scenario.Outcome `json:"outcome,omitempty"`
+	// Err reports a per-point failure (bad parameters, model panic).
+	Err string `json:"error,omitempty"`
+	// Dedup marks a point whose hash already appeared at a lower index;
+	// its outcome is copied from that canonical point.
+	Dedup bool `json:"dedup,omitempty"`
+	// Checked marks a point that ran the trace-equivalence spot check;
+	// CheckDiff holds the first difference ("" = traces identical).
+	Checked   bool   `json:"checked,omitempty"`
+	CheckDiff string `json:"check_diff,omitempty"`
+	// WallMS is the point's host execution time. Nondeterministic:
+	// zeroed in the canonical results document (see Results.JSON).
+	WallMS float64 `json:"wall_ms,omitempty"`
+}
+
+// Aggregate summarizes a campaign deterministically.
+type Aggregate struct {
+	// Points counts expanded points; Unique counts distinct hashes.
+	Points int `json:"points"`
+	Unique int `json:"unique"`
+	// Models lists the distinct model names, sorted.
+	Models []string `json:"models"`
+	// Errors counts failed points; Checked and CheckFailures count the
+	// trace-equivalence spot checks and their failures.
+	Errors        int `json:"errors"`
+	Checked       int `json:"checked"`
+	CheckFailures int `json:"check_failures"`
+	// MinSimEndNS/MaxSimEndNS/MeanSimEndNS summarize the final
+	// simulated dates across successful points.
+	MinSimEndNS  int64   `json:"min_sim_end_ns"`
+	MaxSimEndNS  int64   `json:"max_sim_end_ns"`
+	MeanSimEndNS float64 `json:"mean_sim_end_ns"`
+	// TotalCtxSwitches sums the kernel dispatch counters: the paper's
+	// simulation-cost metric, summed over the whole design space.
+	TotalCtxSwitches uint64 `json:"total_ctx_switches"`
+}
+
+// Timing is the nondeterministic half of a campaign report.
+type Timing struct {
+	// WallMS is the whole campaign's host duration; PointWallMS sums
+	// the per-point durations (compute time if run serially).
+	WallMS      float64 `json:"wall_ms"`
+	PointWallMS float64 `json:"point_wall_ms"`
+	// SpeedupX is PointWallMS / WallMS: the realized parallelism.
+	SpeedupX float64 `json:"speedup_x"`
+	// Workers echoes the pool size; CacheHits counts points served
+	// from the shared engine cache.
+	Workers   int `json:"workers"`
+	CacheHits int `json:"cache_hits"`
+}
+
+// Results is a full campaign report.
+type Results struct {
+	// Name echoes the set name.
+	Name string `json:"name,omitempty"`
+	// Points holds one entry per expanded point, in expansion order.
+	Points []PointResult `json:"points"`
+	// Aggregate is the deterministic summary.
+	Aggregate Aggregate `json:"aggregate"`
+	// Timing is the nondeterministic summary; omitted by Results.JSON
+	// unless requested.
+	Timing *Timing `json:"timing,omitempty"`
+}
+
+// Run executes the set and blocks until every point completed (or ctx was
+// cancelled, which marks the remaining points as errors). The returned
+// error covers submission-level problems only — validation, expansion,
+// oversize — while per-point failures land in the results.
+func Run(ctx context.Context, set scenario.Set, opt Options) (*Results, error) {
+	opt.fill()
+	points, err := expandChecked(set, opt.MaxPoints)
+	if err != nil {
+		return nil, err
+	}
+	return runPoints(ctx, set.Name, points, opt), nil
+}
+
+// expandChecked sizes the expansion before materializing it — the count
+// (and the scenario.MaxExpansion overflow guard inside it) runs first, so
+// an oversize matrix in a small JSON body is rejected without paying for
+// a single point.
+func expandChecked(set scenario.Set, maxPoints int) ([]scenario.Point, error) {
+	n, err := set.NumPoints()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("campaign: the set expands to no points")
+	}
+	if n > maxPoints {
+		return nil, fmt.Errorf("campaign: %d points exceed the %d-point limit", n, maxPoints)
+	}
+	return set.Expand()
+}
+
+// runPoints is the engine core: opt must be filled and points expanded
+// and within limits.
+func runPoints(ctx context.Context, name string, points []scenario.Point, opt Options) *Results {
+	res := &Results{Name: name, Points: make([]PointResult, len(points))}
+	// Group by hash: the lowest index computes, the rest copy.
+	canonical := map[string]int{}
+	var uniques []int
+	for i, p := range points {
+		res.Points[i] = PointResult{Index: i, Model: p.Model, Hash: p.Hash, Params: p.Params}
+		if _, seen := canonical[p.Hash]; !seen {
+			canonical[p.Hash] = i
+			uniques = append(uniques, i)
+		} else {
+			res.Points[i].Dedup = true
+		}
+	}
+
+	var (
+		done      atomic.Int64
+		cacheHits atomic.Int64
+		wg        sync.WaitGroup
+		jobs      = make(chan int)
+	)
+	start := time.Now()
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				runOne(ctx, &res.Points[idx], points[idx], opt, &cacheHits)
+				n := int(done.Add(1))
+				if opt.OnProgress != nil {
+					opt.OnProgress(n, len(uniques))
+				}
+			}
+		}()
+	}
+	for _, idx := range uniques {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Duplicates copy their canonical point's outcome; checks are not
+	// repeated (Checked stays false so the flag is deterministic).
+	for i := range res.Points {
+		if !res.Points[i].Dedup {
+			continue
+		}
+		src := &res.Points[canonical[res.Points[i].Hash]]
+		res.Points[i].Outcome = src.Outcome
+		res.Points[i].Err = src.Err
+	}
+
+	res.Aggregate = aggregate(res.Points)
+	wall := time.Since(start)
+	t := &Timing{
+		WallMS:    float64(wall.Microseconds()) / 1000,
+		Workers:   opt.Workers,
+		CacheHits: int(cacheHits.Load()),
+	}
+	for i := range res.Points {
+		t.PointWallMS += res.Points[i].WallMS
+	}
+	if t.WallMS > 0 {
+		t.SpeedupX = t.PointWallMS / t.WallMS
+	}
+	res.Timing = t
+	return res
+}
+
+// runOne executes (or fetches) one canonical point and its sampled check.
+func runOne(ctx context.Context, pr *PointResult, pt scenario.Point, opt Options, cacheHits *atomic.Int64) {
+	model, ok := scenario.Lookup(pt.Model)
+	if !ok { // unreachable after Expand validation; belt and braces
+		pr.Err = fmt.Sprintf("unknown model %q", pt.Model)
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		pr.Err = fmt.Sprintf("cancelled: %v", err)
+		return
+	}
+	start := time.Now()
+	if out, hit := opt.Cache.Get(pt.Hash); hit {
+		pr.Outcome = &out
+		cacheHits.Add(1)
+	} else {
+		out, err := safeRun(model, pt.Params)
+		if err != nil {
+			pr.Err = err.Error()
+		} else {
+			pr.Outcome = &out
+			opt.Cache.Put(pt.Hash, out)
+		}
+	}
+	if pr.Err == "" && opt.CheckEvery > 0 && pr.Index%opt.CheckEvery == 0 && model.Check != nil {
+		diff, err := safeCheck(model, pt.Params)
+		if err != nil {
+			pr.Err = fmt.Sprintf("check: %v", err)
+		} else {
+			pr.Checked = true
+			pr.CheckDiff = diff
+		}
+	}
+	pr.WallMS = float64(time.Since(start).Microseconds()) / 1000
+}
+
+// safeRun converts a model panic (bad config deep in a builder) into a
+// per-point error instead of killing the whole campaign.
+func safeRun(m scenario.Model, p scenario.Params) (out scenario.Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return m.Run(p)
+}
+
+func safeCheck(m scenario.Model, p scenario.Params) (diff string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return m.Check(p)
+}
+
+// aggregate folds the per-point reports, iterating in index order so the
+// float mean is reproducible.
+func aggregate(points []PointResult) Aggregate {
+	a := Aggregate{Points: len(points)}
+	models := map[string]bool{}
+	var sum float64
+	var n int
+	for i := range points {
+		p := &points[i]
+		models[p.Model] = true
+		if !p.Dedup {
+			a.Unique++
+		}
+		if p.Err != "" {
+			a.Errors++
+			continue
+		}
+		if p.Checked {
+			a.Checked++
+			if p.CheckDiff != "" {
+				a.CheckFailures++
+			}
+		}
+		if p.Outcome == nil {
+			continue
+		}
+		e := p.Outcome.SimEndNS
+		if n == 0 || e < a.MinSimEndNS {
+			a.MinSimEndNS = e
+		}
+		if n == 0 || e > a.MaxSimEndNS {
+			a.MaxSimEndNS = e
+		}
+		sum += float64(e)
+		n++
+		a.TotalCtxSwitches += p.Outcome.CtxSwitches
+	}
+	if n > 0 {
+		a.MeanSimEndNS = sum / float64(n)
+	}
+	for m := range models {
+		a.Models = append(a.Models, m)
+	}
+	sort.Strings(a.Models)
+	return a
+}

@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON writes v to w as one indented JSON document, newline
+// terminated — the shared emitter behind campaign reports and the
+// fifobench/socbench -json trajectories.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// CSV emits formatted rows under a fixed header, quoting via
+// encoding/csv. Floats render with three decimals (the bench wall-time
+// convention); everything else with %v. Errors stick: check Err (or the
+// Flush return) once after the last row.
+type CSV struct {
+	w    *csv.Writer
+	cols int
+	err  error
+}
+
+// NewCSV writes the header and returns the row writer.
+func NewCSV(w io.Writer, columns ...string) *CSV {
+	c := &CSV{w: csv.NewWriter(w), cols: len(columns)}
+	c.err = c.w.Write(columns)
+	return c
+}
+
+// Row formats and writes one record; extra or missing fields are an error.
+func (c *CSV) Row(values ...any) {
+	if c.err != nil {
+		return
+	}
+	if len(values) != c.cols {
+		c.err = fmt.Errorf("campaign: CSV row has %d fields, header has %d", len(values), c.cols)
+		return
+	}
+	rec := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			rec[i] = fmt.Sprintf("%.3f", x)
+		case float32:
+			rec[i] = fmt.Sprintf("%.3f", x)
+		default:
+			rec[i] = fmt.Sprint(v)
+		}
+	}
+	c.err = c.w.Write(rec)
+}
+
+// Err returns the first write or shape error.
+func (c *CSV) Err() error { return c.err }
+
+// Flush drains the writer and returns the first error.
+func (c *CSV) Flush() error {
+	c.w.Flush()
+	if c.err != nil {
+		return c.err
+	}
+	return c.w.Error()
+}
+
+// JSON writes the canonical results document: with includeTiming false
+// (the default everywhere determinism matters — golden files, the
+// 1-vs-N-worker equality check) the nondeterministic wall-clock fields
+// are stripped, and the bytes depend only on the spec.
+func (r *Results) JSON(w io.Writer, includeTiming bool) error {
+	doc := *r
+	if !includeTiming {
+		doc.Timing = nil
+		doc.Points = make([]PointResult, len(r.Points))
+		copy(doc.Points, r.Points)
+		for i := range doc.Points {
+			doc.Points[i].WallMS = 0
+		}
+	}
+	return WriteJSON(w, &doc)
+}
+
+// CSVColumns is the header of the per-point CSV emitted by WriteCSV.
+var CSVColumns = []string{"index", "model", "hash", "sim_end_ns", "ctx_switches",
+	"checksums", "dates_hash", "dedup", "checked", "check_diff", "error", "wall_ms", "params"}
+
+// WriteCSV emits one row per point. As with JSON, wall times are zeroed
+// unless includeTiming is set.
+func (r *Results) WriteCSV(w io.Writer, includeTiming bool) error {
+	c := NewCSV(w, CSVColumns...)
+	for i := range r.Points {
+		p := &r.Points[i]
+		var simEnd int64
+		var ctx uint64
+		sums, dates := "", ""
+		if p.Outcome != nil {
+			simEnd, ctx, dates = p.Outcome.SimEndNS, p.Outcome.CtxSwitches, p.Outcome.DatesHash
+			for j, s := range p.Outcome.Checksums {
+				if j > 0 {
+					sums += " "
+				}
+				sums += fmt.Sprintf("%016x", s)
+			}
+		}
+		wall := p.WallMS
+		if !includeTiming {
+			wall = 0
+		}
+		params, err := json.Marshal(p.Params)
+		if err != nil {
+			return err
+		}
+		c.Row(p.Index, p.Model, p.Hash, simEnd, ctx, sums, dates,
+			p.Dedup, p.Checked, p.CheckDiff, p.Err, wall, string(params))
+	}
+	return c.Flush()
+}

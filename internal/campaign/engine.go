@@ -1,0 +1,225 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// Engine runs campaigns asynchronously and tracks them by id — the
+// execution backend shared by the simd HTTP service and embedders. One
+// engine owns one outcome cache, so campaigns submitted to it share work.
+type Engine struct {
+	opts   Options
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	seq    int
+	closed bool
+}
+
+// NewEngine returns an engine applying opts to every campaign. A nil
+// Cache in opts is replaced by a fresh shared cache; per-job progress
+// callbacks are managed by the engine (opts.OnProgress is ignored).
+func NewEngine(opts Options) *Engine {
+	if opts.Cache == nil {
+		opts.Cache = NewCache()
+	}
+	opts.OnProgress = nil
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Engine{opts: opts, ctx: ctx, cancel: cancel, jobs: map[string]*Job{}}
+}
+
+// JobState names a job's lifecycle stage.
+type JobState string
+
+const (
+	// JobRunning means points are still executing.
+	JobRunning JobState = "running"
+	// JobDone means the results document is complete.
+	JobDone JobState = "done"
+	// JobFailed means the run aborted (engine shutdown mid-campaign).
+	JobFailed JobState = "failed"
+)
+
+// Job is one submitted campaign.
+type Job struct {
+	id     string
+	name   string
+	points int // expanded
+	total  int // unique
+
+	done     chan struct{}
+	progress func() int
+
+	mu      sync.Mutex
+	state   JobState
+	results *Results
+	err     error
+}
+
+// Status is a job snapshot for serving.
+type Status struct {
+	// ID addresses the job; Name echoes the set name.
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// State is running, done or failed.
+	State JobState `json:"state"`
+	// Points counts the expanded points; Total counts the unique
+	// simulations to execute (after hash dedup); Done counts the
+	// finished ones.
+	Points int `json:"points"`
+	Total  int `json:"total"`
+	Done   int `json:"done"`
+	// Error reports a failed job's cause.
+	Error string `json:"error,omitempty"`
+	// Aggregate is present once the job is done.
+	Aggregate *Aggregate `json:"aggregate,omitempty"`
+}
+
+// Submit validates, sizes and expands the set synchronously — malformed
+// or oversize submissions fail here, before an id is allocated — then
+// starts the campaign in the background.
+func (e *Engine) Submit(set scenario.Set) (*Job, error) {
+	opts := e.opts
+	opts.fill()
+	points, err := expandChecked(set, opts.MaxPoints)
+	if err != nil {
+		return nil, err
+	}
+	unique := map[string]bool{}
+	for _, p := range points {
+		unique[p.Hash] = true
+	}
+
+	// Build the job completely — progress plumbing included — before it
+	// becomes visible to Status() readers via the job table.
+	var finished int
+	var pmu sync.Mutex
+	opts.OnProgress = func(done, total int) {
+		pmu.Lock()
+		finished = done
+		pmu.Unlock()
+	}
+	j := &Job{
+		name:   set.Name,
+		points: len(points),
+		total:  len(unique),
+		state:  JobRunning,
+		done:   make(chan struct{}),
+		progress: func() int {
+			pmu.Lock()
+			defer pmu.Unlock()
+			return finished
+		},
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("campaign: engine is shut down")
+	}
+	e.seq++
+	j.id = fmt.Sprintf("c%d", e.seq)
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
+	e.wg.Add(1)
+	e.mu.Unlock()
+
+	go func() {
+		defer e.wg.Done()
+		res := runPoints(e.ctx, set.Name, points, opts)
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if err := e.ctx.Err(); err != nil {
+			j.state, j.err = JobFailed, err
+		} else {
+			j.state, j.results = JobDone, res
+		}
+		close(j.done)
+	}()
+	return j, nil
+}
+
+// Job returns the job registered under id.
+func (e *Engine) Job(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in submission order.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Job, len(e.order))
+	for i, id := range e.order {
+		out[i] = e.jobs[id]
+	}
+	return out
+}
+
+// Cache exposes the engine's shared outcome cache.
+func (e *Engine) Cache() *Cache { return e.opts.Cache }
+
+// Close rejects further submissions, cancels the points not yet started
+// (a running kernel cannot be interrupted mid-simulation; its point
+// completes) and waits for all jobs to settle.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.cancel()
+	e.wg.Wait()
+}
+
+// ID returns the job id.
+func (j *Job) ID() string { return j.id }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{ID: j.id, Name: j.name, State: j.state, Points: j.points, Total: j.total}
+	switch j.state {
+	case JobDone:
+		s.Done = j.total
+		s.Aggregate = &j.results.Aggregate
+	case JobFailed:
+		s.Error = j.err.Error()
+	default:
+		if j.progress != nil {
+			s.Done = j.progress()
+		}
+	}
+	return s
+}
+
+// Results returns the finished document, or ok=false while running.
+func (j *Job) Results() (res *Results, err error, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == JobRunning {
+		return nil, nil, false
+	}
+	return j.results, j.err, true
+}
+
+// Wait blocks until the job settles (or ctx expires) and returns the
+// results or the job's failure.
+func (j *Job) Wait(ctx context.Context) (*Results, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	res, err, _ := j.Results()
+	return res, err
+}

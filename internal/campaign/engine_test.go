@@ -1,0 +1,112 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func smallSet() scenario.Set {
+	return scenario.Set{Name: "eng", Specs: []scenario.Spec{
+		{Model: "kpn", Params: scenario.Params{"tokens": 6},
+			Matrix: map[string][]any{"depth": []any{1, 2}}},
+	}}
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	e := NewEngine(Options{Workers: 2})
+	defer e.Close()
+	j, err := e.Submit(smallSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := e.Job(j.ID()); !ok || got != j {
+		t.Fatalf("Job(%q) lookup failed", j.ID())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := j.Status()
+	if st.State != JobDone || st.Done != st.Total || st.Points != 2 {
+		t.Errorf("status after Wait: %+v", st)
+	}
+	if st.Aggregate == nil || st.Aggregate.Points != 2 {
+		t.Errorf("aggregate missing from done status: %+v", st)
+	}
+	if res.Aggregate.Errors != 0 {
+		t.Errorf("errors: %+v", res.Aggregate)
+	}
+	if len(e.Jobs()) != 1 {
+		t.Errorf("Jobs() = %d entries, want 1", len(e.Jobs()))
+	}
+}
+
+func TestEngineSharedCache(t *testing.T) {
+	e := NewEngine(Options{Workers: 2})
+	defer e.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	j1, err := e.Submit(smallSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := e.Submit(smallSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := j2.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Timing == nil || res2.Timing.CacheHits != 2 {
+		t.Errorf("second submission should be fully cache-served: %+v", res2.Timing)
+	}
+}
+
+func TestEngineRejects(t *testing.T) {
+	e := NewEngine(Options{})
+	if _, err := e.Submit(scenario.Set{Specs: []scenario.Spec{{Model: "ghost"}}}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := e.Submit(scenario.Set{}); err == nil {
+		t.Error("empty set accepted")
+	}
+	e.Close()
+	if _, err := e.Submit(smallSet()); err == nil {
+		t.Error("submission accepted after Close")
+	}
+}
+
+func TestJobResultsBeforeDone(t *testing.T) {
+	e := NewEngine(Options{Workers: 1})
+	defer e.Close()
+	j, err := e.Submit(scenario.Set{Specs: []scenario.Spec{
+		{Model: "pipeline", Params: scenario.Params{"blocks": 5, "words_per_block": 200},
+			Matrix: map[string][]any{"depth": []any{1, 2, 4, 8}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Immediately after submit the job may or may not still be running;
+	// both Results contracts must hold.
+	if res, jerr, ok := j.Results(); ok {
+		if jerr != nil || res == nil {
+			t.Errorf("finished job: res=%v err=%v", res, jerr)
+		}
+	} else if res != nil || jerr != nil {
+		t.Errorf("running job leaked results: res=%v err=%v", res, jerr)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

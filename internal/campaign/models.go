@@ -1,0 +1,12 @@
+package campaign
+
+// Importing campaign registers every built-in workload model: the
+// workload packages self-register in their init (the scenario registry
+// hooks), and this is the one place that links them all in, so the CLI,
+// the HTTP service and embedders see the same model set.
+import (
+	_ "repro/internal/kpn"
+	_ "repro/internal/noc"
+	_ "repro/internal/pipeline"
+	_ "repro/internal/soc"
+)

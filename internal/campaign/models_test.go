@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestRegisteredModels exercises every built-in model adapter directly:
+// default-parameter runs succeed, repeat deterministically, and pass
+// their own trace-equivalence check.
+func TestRegisteredModels(t *testing.T) {
+	want := []string{"kpn", "noc", "pipeline", "soc", "soc-clustered"}
+	for _, name := range want {
+		m, ok := scenario.Lookup(name)
+		if !ok {
+			t.Fatalf("model %q not registered (have %v)", name, scenario.Models())
+		}
+		out1, err := m.Run(scenario.Params{})
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		out2, err := m.Run(scenario.Params{})
+		if err != nil {
+			t.Fatalf("%s: second Run: %v", name, err)
+		}
+		if out1.DatesHash != out2.DatesHash || out1.SimEndNS != out2.SimEndNS ||
+			out1.CtxSwitches != out2.CtxSwitches {
+			t.Errorf("%s: nondeterministic outcome:\n  %+v\n  %+v", name, out1, out2)
+		}
+		if out1.SimEndNS <= 0 {
+			t.Errorf("%s: SimEndNS = %d, want > 0", name, out1.SimEndNS)
+		}
+		if m.Check == nil {
+			t.Errorf("%s: no trace-equivalence check registered", name)
+			continue
+		}
+		diff, err := m.Check(scenario.Params{})
+		if err != nil {
+			t.Fatalf("%s: Check: %v", name, err)
+		}
+		if diff != "" {
+			t.Errorf("%s: decoupled vs reference traces differ:\n%s", name, diff)
+		}
+	}
+}
+
+// TestModelSeedsChangeTraces guards the scenario.Rand wiring: different
+// spec seeds must reach the payload generators.
+func TestModelSeedsChangeTraces(t *testing.T) {
+	for _, name := range []string{"pipeline", "kpn", "noc"} {
+		m, _ := scenario.Lookup(name)
+		a, err := m.Run(scenario.Params{"seed": 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Run(scenario.Params{"seed": 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Checksums) > 0 && len(b.Checksums) > 0 && a.Checksums[0] == b.Checksums[0] {
+			t.Errorf("%s: seed does not reach the payload generator (checksums equal)", name)
+		}
+	}
+}
+
+// TestModelBadParams: parameter errors surface as errors, not panics.
+func TestModelBadParams(t *testing.T) {
+	cases := []struct {
+		model string
+		p     scenario.Params
+	}{
+		{"pipeline", scenario.Params{"mode": "warp"}},
+		{"pipeline", scenario.Params{"depth": 0}},
+		{"pipeline", scenario.Params{"mode": "quantum", "shards": 3}},
+		{"soc", scenario.Params{"mode": "nope"}},
+		{"soc", scenario.Params{"use_noc": true, "words_per_job": 30, "packet_len": 8}},
+		{"soc-clustered", scenario.Params{"shards": 0}},
+		{"kpn", scenario.Params{"stages": 1}},
+		{"noc", scenario.Params{"streams": 99}},
+		{"noc", scenario.Params{"words": 33, "packet_len": 4}},
+		{"kpn", scenario.Params{"tokens": "many"}},
+	}
+	for _, c := range cases {
+		m, _ := scenario.Lookup(c.model)
+		if _, err := m.Run(c.p); err == nil {
+			t.Errorf("%s %v: Run accepted bad params", c.model, c.p)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fifo"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Scenario registry hook: a standalone mesh streaming workload as a
+// campaign model — N producer/consumer pairs crossing the mesh through
+// packetizing NIs, with rates and payloads derived from the spec's "seed"
+// through the deterministic scenario RNG.
+func init() {
+	scenario.Register(scenario.Model{
+		Name: "noc",
+		Keys: []string{"width", "height", "streams", "packet_len", "words",
+			"fifo_depth", "cycle_ns", "seed", "decoupled"},
+		Run:   runScenario,
+		Check: checkScenario,
+	})
+}
+
+type streamParams struct {
+	width, height, streams int
+	packetLen, words       int
+	fifoDepth              int
+	cycle                  sim.Time
+	decoupled              bool
+	rateSeed, paySeed      int64
+}
+
+func streamConfig(p scenario.Params) (streamParams, error) {
+	r := scenario.NewReader(p)
+	c := streamParams{
+		width:     r.Int("width", 2),
+		height:    r.Int("height", 2),
+		streams:   r.Int("streams", 1),
+		packetLen: r.Int("packet_len", 4),
+		words:     r.Int("words", 32),
+		fifoDepth: r.Int("fifo_depth", 4),
+		cycle:     r.Time("cycle_ns", sim.NS),
+		decoupled: r.Bool("decoupled", true),
+	}
+	rng := scenario.Rand(r.Int64("seed", 1))
+	c.rateSeed, c.paySeed = rng.Int63(), rng.Int63()
+	if err := r.Err(); err != nil {
+		return c, err
+	}
+	if c.width < 1 || c.height < 1 {
+		return c, fmt.Errorf("noc: bad mesh dimensions %dx%d", c.width, c.height)
+	}
+	if c.streams < 1 || c.streams > c.width {
+		return c, fmt.Errorf("noc: streams (%d) must be in 1..width (%d)", c.streams, c.width)
+	}
+	if c.packetLen < 1 || c.words < 1 || c.words%c.packetLen != 0 {
+		return c, fmt.Errorf("noc: words (%d) must be a positive multiple of packet_len (%d)", c.words, c.packetLen)
+	}
+	if c.fifoDepth < 1 {
+		return c, fmt.Errorf("noc: fifo_depth must be >= 1")
+	}
+	return c, nil
+}
+
+// buildStreams wires the mesh and its producer/consumer pairs on k.
+// Stream s injects at router (s, 0) and drains at (width-1-s, height-1),
+// so streams share links and exercise arbitration. The consumers log
+// dated deliveries into rec; checksums land in sums.
+func buildStreams(k *sim.Kernel, c streamParams, rec *trace.Recorder, sums []uint64) *Mesh {
+	m := NewMesh(k, "noc", Config{Width: c.width, Height: c.height, Cycle: c.cycle, FIFODepth: c.fifoDepth})
+	newChannel := func(name string) fifo.Channel[uint32] {
+		if c.decoupled {
+			return core.NewSmart[uint32](k, name, c.fifoDepth)
+		}
+		return fifo.New[uint32](k, name, c.fifoDepth)
+	}
+	for s := 0; s < c.streams; s++ {
+		s := s
+		src := newChannel(fmt.Sprintf("s%d.src", s))
+		dst := newChannel(fmt.Sprintf("s%d.dst", s))
+		m.AttachNI(fmt.Sprintf("s%d.ni.in", s), s, 0, src, nil, NIConfig{
+			PacketLen: c.packetLen, Cycle: c.cycle,
+			Dst: m.RouterIndex(c.width-1-s, c.height-1),
+		})
+		m.AttachNI(fmt.Sprintf("s%d.ni.out", s), c.width-1-s, c.height-1, nil, dst, NIConfig{
+			PacketLen: c.packetLen, Cycle: c.cycle,
+		})
+		prodRate := workload.Random(c.rateSeed+2*int64(s), 5, sim.NS)
+		consRate := workload.Random(c.rateSeed+2*int64(s)+1, 3, sim.NS)
+		delay := func(p *sim.Process, d sim.Time) {
+			if c.decoupled {
+				p.Inc(d)
+			} else {
+				p.Wait(d)
+			}
+		}
+		k.Thread(fmt.Sprintf("s%d.prod", s), func(p *sim.Process) {
+			for i := 0; i < c.words; i++ {
+				src.Write(workload.WordAt(c.paySeed+int64(s), i))
+				delay(p, prodRate(i)+sim.NS)
+			}
+		})
+		k.Thread(fmt.Sprintf("s%d.cons", s), func(p *sim.Process) {
+			sum := uint64(0)
+			for i := 0; i < c.words; i++ {
+				v := dst.Read()
+				sum = workload.Checksum(sum, v)
+				delay(p, consRate(i))
+				rec.Logf(p, "got %08x", v)
+			}
+			sums[s] = sum
+		})
+	}
+	return m
+}
+
+func runScenario(p scenario.Params) (scenario.Outcome, error) {
+	c, err := streamConfig(p)
+	if err != nil {
+		return scenario.Outcome{}, err
+	}
+	k := sim.NewKernel("noc")
+	rec := trace.NewRecorder()
+	sums := make([]uint64, c.streams)
+	m := buildStreams(k, c, rec, sums)
+	k.Run(sim.RunForever)
+	blocked := k.Blocked()
+	stats := k.Stats()
+	k.Shutdown()
+	if len(blocked) != 0 {
+		return scenario.Outcome{}, fmt.Errorf("noc: deadlock, blocked processes: %v", blocked)
+	}
+	entries := rec.Sorted()
+	if len(entries) != c.streams*c.words {
+		return scenario.Outcome{}, fmt.Errorf("noc: delivered %d words, want %d", len(entries), c.streams*c.words)
+	}
+	d := scenario.NewDigest()
+	var simEnd sim.Time
+	for _, e := range entries {
+		d.Time(e.Date)
+		d.Str(e.Msg)
+		if e.Date > simEnd {
+			simEnd = e.Date
+		}
+	}
+	st := m.Stats()
+	return scenario.Outcome{
+		SimEndNS:    int64(simEnd / sim.NS),
+		CtxSwitches: stats.ContextSwitches,
+		Checksums:   sums,
+		DatesHash:   d.Sum(),
+		Counters: map[string]uint64{
+			"flits":              st.FlitsForwarded,
+			"packets":            st.PacketsDelivered,
+			"method_activations": stats.MethodActivations,
+		},
+	}, nil
+}
+
+// checkScenario runs the point's stream shape in the decoupled build
+// (Smart FIFO endpoints + Inc) and the reference build (regular FIFOs +
+// Wait) and diffs the consumers' dated delivery traces — the §IV-A oracle
+// applied to the NI/mesh boundary.
+func checkScenario(p scenario.Params) (string, error) {
+	c, err := streamConfig(p)
+	if err != nil {
+		return "", err
+	}
+	run := func(decoupled bool) (*trace.Recorder, error) {
+		cc := c
+		cc.decoupled = decoupled
+		k := sim.NewKernel("noc")
+		rec := trace.NewRecorder()
+		sums := make([]uint64, cc.streams)
+		buildStreams(k, cc, rec, sums)
+		k.Run(sim.RunForever)
+		blocked := k.Blocked()
+		k.Shutdown()
+		if len(blocked) != 0 {
+			return nil, fmt.Errorf("noc: deadlock (decoupled=%v): %v", decoupled, blocked)
+		}
+		return rec, nil
+	}
+	ref, err := run(false)
+	if err != nil {
+		return "", err
+	}
+	dec, err := run(true)
+	if err != nil {
+		return "", err
+	}
+	return trace.Diff(ref, dec), nil
+}

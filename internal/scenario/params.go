@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Reader extracts typed values from a Params map, accumulating the first
+// error instead of forcing per-call error handling; model adapters read
+// every parameter, then consult Err once.
+type Reader struct {
+	p   Params
+	err error
+}
+
+// NewReader wraps p for typed access.
+func NewReader(p Params) *Reader { return &Reader{p: p} }
+
+// Err returns the first conversion error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(key string, v any, want string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("scenario: parameter %q: want %s, got %T(%v)", key, want, v, v)
+	}
+}
+
+// toInt64 converts any accepted numeric kind (JSON numbers arrive as
+// float64) to an integer, rejecting fractional values.
+func toInt64(v any) (int64, bool) {
+	switch n := v.(type) {
+	case int:
+		return int64(n), true
+	case int8:
+		return int64(n), true
+	case int16:
+		return int64(n), true
+	case int32:
+		return int64(n), true
+	case int64:
+		return n, true
+	case uint:
+		return int64(n), true
+	case uint8:
+		return int64(n), true
+	case uint16:
+		return int64(n), true
+	case uint32:
+		return int64(n), true
+	case uint64:
+		return int64(n), true
+	case float32:
+		return toInt64(float64(n))
+	case float64:
+		if n != math.Trunc(n) || math.IsInf(n, 0) || math.IsNaN(n) {
+			return 0, false
+		}
+		return int64(n), true
+	}
+	return 0, false
+}
+
+// Int reads key as an integer, returning def when absent.
+func (r *Reader) Int(key string, def int) int {
+	return int(r.Int64(key, int64(def)))
+}
+
+// Int64 reads key as a 64-bit integer, returning def when absent.
+func (r *Reader) Int64(key string, def int64) int64 {
+	v, ok := r.p[key]
+	if !ok {
+		return def
+	}
+	n, ok := toInt64(v)
+	if !ok {
+		r.fail(key, v, "integer")
+		return def
+	}
+	return n
+}
+
+// Bool reads key as a boolean, returning def when absent.
+func (r *Reader) Bool(key string, def bool) bool {
+	v, ok := r.p[key]
+	if !ok {
+		return def
+	}
+	b, ok := v.(bool)
+	if !ok {
+		r.fail(key, v, "bool")
+		return def
+	}
+	return b
+}
+
+// String reads key as a string, returning def when absent.
+func (r *Reader) String(key string, def string) string {
+	v, ok := r.p[key]
+	if !ok {
+		return def
+	}
+	s, ok := v.(string)
+	if !ok {
+		r.fail(key, v, "string")
+		return def
+	}
+	return s
+}
+
+// Time reads key as a duration in integer nanoseconds, returning def when
+// absent. By convention such keys carry a _ns suffix.
+func (r *Reader) Time(key string, def sim.Time) sim.Time {
+	v, ok := r.p[key]
+	if !ok {
+		return def
+	}
+	n, ok := toInt64(v)
+	if !ok {
+		r.fail(key, v, "integer nanoseconds")
+		return def
+	}
+	return sim.Time(n) * sim.NS
+}
+
+// Digest accumulates a deterministic FNV-1a hash over 64-bit values; model
+// adapters fold their dated completion logs into one so Outcomes stay
+// compact regardless of trace length.
+type Digest struct {
+	h uint64
+	n uint64
+}
+
+// NewDigest returns an empty digest.
+func NewDigest() *Digest { return &Digest{h: 14695981039346656037} }
+
+// U64 folds one value.
+func (d *Digest) U64(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.h ^= v & 0xff
+		d.h *= 1099511628211
+		v >>= 8
+	}
+	d.n++
+}
+
+// Time folds one simulated date.
+func (d *Digest) Time(t sim.Time) { d.U64(uint64(t)) }
+
+// Str folds a string (trace messages, process names).
+func (d *Digest) Str(s string) {
+	for i := 0; i < len(s); i++ {
+		d.h ^= uint64(s[i])
+		d.h *= 1099511628211
+	}
+	d.n++
+}
+
+// Times folds a date slice in order.
+func (d *Digest) Times(ts []sim.Time) {
+	for _, t := range ts {
+		d.Time(t)
+	}
+}
+
+// Sum renders the digest: "<count>:<hash>" so an empty log is
+// distinguishable from a colliding one.
+func (d *Digest) Sum() string { return fmt.Sprintf("%d:%016x", d.n, d.h) }

@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Outcome is the deterministic result of running one scenario point: a
+// pure function of the point's parameters, independent of wall clock,
+// worker count and scheduling — the campaign layer relies on that to cache
+// by hash and to emit byte-identical reports across worker counts.
+type Outcome struct {
+	// SimEndNS is the final simulated date in nanoseconds.
+	SimEndNS int64 `json:"sim_end_ns"`
+	// CtxSwitches counts kernel thread dispatches (summed over shards):
+	// the paper's cost metric.
+	CtxSwitches uint64 `json:"ctx_switches"`
+	// Checksums prove functional equality (one per sink/stream).
+	Checksums []uint64 `json:"checksums,omitempty"`
+	// DatesHash digests the dated completion log (block/job/token
+	// dates): equal hashes mean date-identical behaviour.
+	DatesHash string `json:"dates_hash,omitempty"`
+	// Counters holds model-specific activity counters (bus accesses,
+	// NoC flits, coordinator rounds, ...). Maps marshal with sorted
+	// keys, keeping the JSON canonical.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// Model is a registered workload: a named parameter schema plus run and
+// check entry points.
+type Model struct {
+	// Name is the registry key ("pipeline", "soc", ...).
+	Name string
+	// Keys lists the accepted parameter names; Spec.Validate rejects
+	// anything else.
+	Keys []string
+	// Run executes one concrete point.
+	Run func(Params) (Outcome, error)
+	// Check is the §IV-A trace-equivalence oracle for the point's
+	// workload shape: it runs the decoupled and the reference build and
+	// returns a non-empty description if their dated traces differ
+	// after reordering (via trace.Diff). Nil if the model has no
+	// reference build.
+	Check func(Params) (string, error)
+}
+
+var (
+	regMu  sync.RWMutex
+	models = map[string]Model{}
+)
+
+// Register adds a model to the registry; the workload packages call it
+// from init. Registering a duplicate or anonymous model panics.
+func Register(m Model) {
+	if m.Name == "" || m.Run == nil {
+		panic("scenario: Register: model needs a name and a Run function")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := models[m.Name]; dup {
+		panic(fmt.Sprintf("scenario: Register: duplicate model %q", m.Name))
+	}
+	models[m.Name] = m
+}
+
+// Lookup returns the model registered under name.
+func Lookup(name string) (Model, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := models[name]
+	return m, ok
+}
+
+// Models returns the registered model names, sorted.
+func Models() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(models))
+	for n := range models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

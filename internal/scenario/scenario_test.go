@@ -1,0 +1,267 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// testModel registers a throwaway model for spec-level tests.
+func init() {
+	Register(Model{
+		Name: "test",
+		Keys: []string{"a", "b", "c", "mode"},
+		Run: func(p Params) (Outcome, error) {
+			r := NewReader(p)
+			a, b := r.Int("a", 0), r.Int("b", 0)
+			if err := r.Err(); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{SimEndNS: int64(a*100 + b)}, nil
+		},
+	})
+}
+
+func TestExpandCartesianOrder(t *testing.T) {
+	s := Spec{
+		Model:  "test",
+		Params: Params{"c": 7},
+		Matrix: map[string][]any{
+			"b": {10, 20},
+			"a": {1, 2, 3},
+		},
+	}
+	points, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("expanded %d points, want 6", len(points))
+	}
+	// Axes sorted (a before b), last axis fastest.
+	want := [][2]int{{1, 10}, {1, 20}, {2, 10}, {2, 20}, {3, 10}, {3, 20}}
+	for i, p := range points {
+		a, _ := toInt64(p.Params["a"])
+		b, _ := toInt64(p.Params["b"])
+		if int(a) != want[i][0] || int(b) != want[i][1] {
+			t.Errorf("point %d = (a=%d, b=%d), want %v", i, a, b, want[i])
+		}
+		if c, _ := toInt64(p.Params["c"]); c != 7 {
+			t.Errorf("point %d lost fixed param c: %v", i, p.Params["c"])
+		}
+		if p.Hash == "" {
+			t.Errorf("point %d has no hash", i)
+		}
+	}
+}
+
+func TestHashNormalizesNumericKinds(t *testing.T) {
+	h1, err := HashPoint("test", Params{"a": 16, "b": int64(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashPoint("test", Params{"b": float64(3), "a": float64(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("hash differs across numeric kinds / key order: %s vs %s", h1, h2)
+	}
+	h3, _ := HashPoint("test", Params{"a": 17, "b": 3})
+	if h3 == h1 {
+		t.Error("hash ignores parameter values")
+	}
+	h4, _ := HashPoint("other", Params{"a": 16, "b": 3})
+	if h4 == h1 {
+		t.Error("hash ignores the model name")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Spec
+	}{
+		{"unknown model", Spec{Model: "nope"}},
+		{"unknown param", Spec{Model: "test", Params: Params{"zz": 1}}},
+		{"unknown axis", Spec{Model: "test", Matrix: map[string][]any{"zz": {1}}}},
+		{"fixed and swept", Spec{Model: "test", Params: Params{"a": 1}, Matrix: map[string][]any{"a": {2}}}},
+		{"empty axis", Spec{Model: "test", Matrix: map[string][]any{"a": {}}}},
+		{"non-scalar param", Spec{Model: "test", Params: Params{"a": []any{1}}}},
+		{"non-scalar axis value", Spec{Model: "test", Matrix: map[string][]any{"a": {map[string]any{}}}}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the spec", c.name)
+		}
+	}
+}
+
+func TestParseSetForms(t *testing.T) {
+	set, err := ParseSet([]byte(`{"name":"n","specs":[{"model":"test"},{"model":"test","params":{"a":1}}]}`))
+	if err != nil || len(set.Specs) != 2 || set.Name != "n" {
+		t.Fatalf("set form: %+v, %v", set, err)
+	}
+	set, err = ParseSet([]byte(`{"model":"test","matrix":{"a":[1,2]}}`))
+	if err != nil || len(set.Specs) != 1 {
+		t.Fatalf("bare spec form: %+v, %v", set, err)
+	}
+	if _, err := ParseSet([]byte(`{"nothing":true}`)); err == nil {
+		t.Error("accepted a document with no model and no specs")
+	}
+	if _, err := ParseSet([]byte(`{bad json`)); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+	if _, err := ParseSet([]byte(`{"model":"x","specs":[{"model":"y"}]}`)); err == nil {
+		t.Error("accepted both top-level model and specs")
+	}
+}
+
+func TestExpandJSONRoundTrip(t *testing.T) {
+	// A spec decoded from JSON (values become float64) must hash
+	// identically to the same spec built from Go ints.
+	doc := []byte(`{"model":"test","params":{"c":7},"matrix":{"a":[1,2],"b":[10]}}`)
+	var s Spec
+	if err := json.Unmarshal(doc, &s); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := Spec{Model: "test", Params: Params{"c": 7},
+		Matrix: map[string][]any{"a": {1, 2}, "b": {10}}}
+	fromGo, err := native.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fromJSON {
+		if fromJSON[i].Hash != fromGo[i].Hash {
+			t.Errorf("point %d: JSON hash %s != Go hash %s", i, fromJSON[i].Hash, fromGo[i].Hash)
+		}
+	}
+}
+
+func TestReaderTypesAndErrors(t *testing.T) {
+	r := NewReader(Params{"a": float64(5), "mode": "fast", "b": true})
+	if got := r.Int("a", 0); got != 5 {
+		t.Errorf("Int(a) = %d, want 5", got)
+	}
+	if got := r.String("mode", ""); got != "fast" {
+		t.Errorf("String(mode) = %q", got)
+	}
+	if got := r.Bool("b", false); !got {
+		t.Error("Bool(b) = false")
+	}
+	if got := r.Int("missing", 42); got != 42 {
+		t.Errorf("Int default = %d, want 42", got)
+	}
+	if r.Err() != nil {
+		t.Errorf("unexpected error: %v", r.Err())
+	}
+	bad := NewReader(Params{"a": 1.5})
+	bad.Int("a", 0)
+	if bad.Err() == nil {
+		t.Error("fractional value accepted as Int")
+	}
+	bad2 := NewReader(Params{"mode": 3})
+	bad2.String("mode", "")
+	if bad2.Err() == nil {
+		t.Error("number accepted as String")
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if _, ok := Lookup("test"); !ok {
+		t.Fatal("test model not registered")
+	}
+	if _, ok := Lookup("missing"); ok {
+		t.Fatal("phantom model")
+	}
+	names := Models()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Models() not sorted: %v", names)
+		}
+	}
+}
+
+func TestNumPointsGuardsHugeProducts(t *testing.T) {
+	// Three modest axes whose product (~5e14) would OOM if materialized:
+	// NumPoints must reject it without expanding, and Expand must refuse
+	// through the same guard.
+	axis := make([]any, 80000)
+	for i := range axis {
+		axis[i] = i
+	}
+	s := Spec{Model: "test", Matrix: map[string][]any{"a": axis, "b": axis, "c": axis}}
+	if _, err := s.NumPoints(); err == nil {
+		t.Fatal("NumPoints accepted a ~5e14-point product")
+	}
+	if _, err := s.Expand(); err == nil {
+		t.Fatal("Expand accepted a ~5e14-point product")
+	}
+	small := Spec{Model: "test", Matrix: map[string][]any{"a": {1, 2}, "b": {3, 4, 5}}}
+	if n, err := small.NumPoints(); err != nil || n != 6 {
+		t.Fatalf("NumPoints = %d, %v, want 6", n, err)
+	}
+	set := Set{Specs: []Spec{small, small}}
+	if n, err := set.NumPoints(); err != nil || n != 12 {
+		t.Fatalf("Set.NumPoints = %d, %v, want 12", n, err)
+	}
+}
+
+func TestSetExpandConcatenates(t *testing.T) {
+	set := Set{Specs: []Spec{
+		{Model: "test", Matrix: map[string][]any{"a": {1, 2}}},
+		{Model: "test", Matrix: map[string][]any{"b": {3}}},
+	}}
+	points, err := set.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+	bad := Set{Specs: []Spec{{Model: "ghost"}}}
+	if _, err := bad.Expand(); err == nil {
+		t.Error("set with unknown model expanded")
+	}
+}
+
+func TestDigest(t *testing.T) {
+	d1, d2 := NewDigest(), NewDigest()
+	for i := 0; i < 10; i++ {
+		d1.U64(uint64(i) * 977)
+		d2.U64(uint64(i) * 977)
+	}
+	if d1.Sum() != d2.Sum() {
+		t.Error("digest not deterministic")
+	}
+	d3 := NewDigest()
+	for i := 9; i >= 0; i-- {
+		d3.U64(uint64(i) * 977)
+	}
+	if d3.Sum() == d1.Sum() {
+		t.Error("digest ignores order")
+	}
+	if NewDigest().Sum() == d1.Sum() {
+		t.Error("empty digest collides")
+	}
+}
+
+func ExampleSpec_Expand() {
+	s := Spec{
+		Model:  "test",
+		Matrix: map[string][]any{"a": {1, 2}, "b": {10, 20}},
+	}
+	points, _ := s.Expand()
+	for _, p := range points {
+		fmt.Println(p.Params["a"], p.Params["b"])
+	}
+	// Output:
+	// 1 10
+	// 1 20
+	// 2 10
+	// 2 20
+}

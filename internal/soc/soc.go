@@ -256,7 +256,7 @@ func Run(cfg Config) Result {
 		}
 	}
 
-	res := Result{Mode: cfg.Mode, MaxLevels: make([]uint32, cfg.Pipelines)}
+	res := Result{Mode: cfg.Mode, Shards: 1, MaxLevels: make([]uint32, cfg.Pipelines)}
 
 	// The control core: embedded software on the memory-mapped side.
 	k.Thread("ctrl", func(p *sim.Process) {
