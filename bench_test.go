@@ -124,6 +124,147 @@ func BenchmarkSmartFIFOOps(b *testing.B) {
 	k.Run(sim.RunForever)
 }
 
+// BenchmarkWriteBurst measures the per-word cost of moving chunks into the
+// Smart FIFO: the bulk run-based fast path ("bulk") versus the equivalent
+// scalar Write loop ("scalar"). b.N counts words, so ns/op is ns/word; the
+// bulk path must stay ≥ 5× cheaper and allocation-free.
+func BenchmarkWriteBurst(b *testing.B) {
+	const chunk = 256
+	for _, impl := range []string{"bulk", "scalar"} {
+		b.Run(impl, func(b *testing.B) {
+			k := sim.NewKernel("bench")
+			f := core.NewSmart[uint32](k, "f", 1<<12)
+			wbuf := make([]uint32, chunk)
+			rbuf := make([]uint32, chunk)
+			n := (b.N/chunk + 1) * chunk
+			k.Thread("writer", func(p *sim.Process) {
+				for done := 0; done < n; done += chunk {
+					if impl == "bulk" {
+						f.WriteBurst(wbuf, sim.NS)
+					} else {
+						for i := range wbuf {
+							if i > 0 {
+								p.Inc(sim.NS)
+							}
+							f.Write(wbuf[i])
+						}
+					}
+					p.Inc(sim.NS)
+				}
+			})
+			k.Thread("reader", func(p *sim.Process) {
+				for done := 0; done < n; done += chunk {
+					f.ReadBurst(rbuf, sim.NS)
+					p.Inc(sim.NS)
+				}
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			k.Run(sim.RunForever)
+			k.Shutdown()
+		})
+	}
+}
+
+// BenchmarkReadBurst is the read-side mirror of BenchmarkWriteBurst: bulk
+// ReadBurst versus the scalar Read loop, with a bulk writer feeding both.
+func BenchmarkReadBurst(b *testing.B) {
+	const chunk = 256
+	for _, impl := range []string{"bulk", "scalar"} {
+		b.Run(impl, func(b *testing.B) {
+			k := sim.NewKernel("bench")
+			f := core.NewSmart[uint32](k, "f", 1<<12)
+			wbuf := make([]uint32, chunk)
+			rbuf := make([]uint32, chunk)
+			n := (b.N/chunk + 1) * chunk
+			k.Thread("writer", func(p *sim.Process) {
+				for done := 0; done < n; done += chunk {
+					f.WriteBurst(wbuf, sim.NS)
+					p.Inc(sim.NS)
+				}
+			})
+			k.Thread("reader", func(p *sim.Process) {
+				for done := 0; done < n; done += chunk {
+					if impl == "bulk" {
+						f.ReadBurst(rbuf, sim.NS)
+					} else {
+						for i := range rbuf {
+							if i > 0 {
+								p.Inc(sim.NS)
+							}
+							rbuf[i] = f.Read()
+						}
+					}
+					p.Inc(sim.NS)
+				}
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			k.Run(sim.RunForever)
+			k.Shutdown()
+		})
+	}
+}
+
+// BenchmarkShardedWriteBurst measures the bridge endpoints' bulk path:
+// chunked writes and reads across a ShardedFIFO with barrier flushes.
+func BenchmarkShardedWriteBurst(b *testing.B) {
+	const chunk = 256
+	k := sim.NewKernel("bench")
+	f := core.NewSharded[uint32](k, k, "f", 1<<12)
+	wbuf := make([]uint32, chunk)
+	rbuf := make([]uint32, chunk)
+	n := (b.N/chunk + 1) * chunk
+	k.Thread("writer", func(p *sim.Process) {
+		w := f.Writer()
+		for done := 0; done < n; done += chunk {
+			w.WriteBurst(wbuf, sim.NS)
+			p.Inc(sim.NS)
+		}
+	})
+	k.Thread("reader", func(p *sim.Process) {
+		r := f.Reader()
+		for done := 0; done < n; done += chunk {
+			r.ReadBurst(rbuf, sim.NS)
+			p.Inc(sim.NS)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var end sim.Time
+	for {
+		end += 100 * sim.US
+		k.Run(end)
+		if !f.Flush() && len(k.Blocked()) == 0 {
+			break
+		}
+	}
+	k.Shutdown()
+}
+
+// BenchmarkBurstPipeline regenerates the burst-dominated Fig. 5 row: the
+// chunked three-module model on the bulk fast paths (TDburst) versus the
+// word-at-a-time TDfull build.
+func BenchmarkBurstPipeline(b *testing.B) {
+	const blocks, words = 20, 1000
+	for _, depth := range []int{64, 1024} {
+		for _, burst := range []int{0, 64} {
+			name := fmt.Sprintf("depth=%d/burst=%d", depth, burst)
+			b.Run(name, func(b *testing.B) {
+				var sw uint64
+				for i := 0; i < b.N; i++ {
+					r := pipeline.Run(pipeline.Config{
+						Mode: pipeline.TDfull, Depth: depth, Blocks: blocks,
+						WordsPerBlock: words, Burst: burst,
+					})
+					sw += r.Stats.ContextSwitches
+				}
+				b.ReportMetric(float64(sw)/float64(b.N), "ctxsw/op")
+			})
+		}
+	}
+}
+
 // BenchmarkRegularFIFOOps is the baseline for BenchmarkSmartFIFOOps with a
 // plain (untimed) FIFO of the same depth.
 func BenchmarkRegularFIFOOps(b *testing.B) {

@@ -7,6 +7,16 @@
 // reporting wall time and the maximum timing error versus the TDless
 // reference for a sweep of quantum values.
 //
+// With -burst=N it additionally runs the burst-dominated configuration:
+// the same model moving words in chunks of N through the bulk transfer
+// fast paths (rows TDless-b, the chunked scalar reference, and TDburst,
+// the chunked bulk TDfull; plus TDpar-b when -shards is also set). The
+// TDburst error column is measured against the chunked TDless reference
+// and must be zero: fifobench exits 1 on any accuracy violation, which is
+// the CI bulk-vs-scalar golden comparison.
+//
+// -cpuprofile/-memprofile write pprof profiles of the whole sweep.
+//
 // Output is a whitespace-separated table (or CSV with -csv, or a single
 // JSON document with -json for machine-recorded perf trajectories) with one
 // row per (depth, mode): wall-clock milliseconds, kernel context switches
@@ -16,13 +26,17 @@
 //   - untimed and TDfull speed up as the depth grows;
 //   - TDfull ≈ 2× untimed; slower than TDless at depth 1, ≈ equal at 2,
 //     ≈ 2× faster at 4, gain factor ≈ 6+ for large FIFOs;
-//   - TDfull's timing error is always zero, at any depth.
+//   - TDfull's timing error is always zero, at any depth;
+//   - TDburst beats TDfull by ≥ 2× on burst-dominated configurations,
+//     still at zero timing error.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -49,66 +63,111 @@ type report struct {
 	Blocks    int    `json:"blocks"`
 	Words     int    `json:"words"`
 	Reps      int    `json:"reps"`
+	Burst     int    `json:"burst,omitempty"`
 	Rows      []row  `json:"rows"`
 }
 
 func main() {
 	var (
-		blocks  = flag.Int("blocks", 200, "blocks to transfer (paper: 1000)")
-		words   = flag.Int("words", 1000, "words per block (paper: 1000)")
-		depths  = flag.String("depths", "1,2,4,8,16,32,64,128,256,512,1024", "comma-separated FIFO depths")
-		reps    = flag.Int("reps", 1, "repetitions per point (best wall time kept)")
-		quantum = flag.Bool("quantum", false, "run the quantum-keeper ablation instead of Fig. 5")
-		shards  = flag.Int("shards", 0, "additionally run TDfull partitioned over N kernels (TDpar rows)")
-		csv     = flag.Bool("csv", false, "emit CSV")
-		jsonOut = flag.Bool("json", false, "emit a single JSON document (for BENCH_*.json trajectories)")
+		blocks     = flag.Int("blocks", 200, "blocks to transfer (paper: 1000)")
+		words      = flag.Int("words", 1000, "words per block (paper: 1000)")
+		depths     = flag.String("depths", "1,2,4,8,16,32,64,128,256,512,1024", "comma-separated FIFO depths")
+		reps       = flag.Int("reps", 1, "repetitions per point (best wall time kept)")
+		quantum    = flag.Bool("quantum", false, "run the quantum-keeper ablation instead of Fig. 5")
+		shards     = flag.Int("shards", 0, "additionally run TDfull partitioned over N kernels (TDpar rows)")
+		burst      = flag.Int("burst", 0, "additionally run the burst-dominated configuration with chunks of N words (TDless-b/TDburst rows)")
+		csv        = flag.Bool("csv", false, "emit CSV")
+		jsonOut    = flag.Bool("json", false, "emit a single JSON document (for BENCH_*.json trajectories)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
 	)
 	flag.Parse()
+	os.Exit(run(*blocks, *words, *depths, *reps, *quantum, *shards, *burst,
+		*csv, *jsonOut, *cpuprofile, *memprofile))
+}
+
+// run does the whole sweep and returns the exit code, so profile teardown
+// (deferred here) happens before main exits.
+func run(blocks, words int, depths string, reps int, quantum bool, shards, burst int,
+	csv, jsonOut bool, cpuprofile, memprofile string) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fifobench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fifobench: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fifobench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "fifobench: %v\n", err)
+			}
+		}()
+	}
 
 	var depthList []int
-	for _, s := range strings.Split(*depths, ",") {
+	for _, s := range strings.Split(depths, ",") {
 		d, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || d <= 0 {
 			fmt.Fprintf(os.Stderr, "fifobench: bad depth %q\n", s)
-			os.Exit(2)
+			return 2
 		}
 		depthList = append(depthList, d)
 	}
 
 	// CSV and JSON go through the shared campaign emitters.
 	var csvW *campaign.CSV
-	if *csv && !*jsonOut {
-		if *quantum {
+	if csv && !jsonOut {
+		if quantum {
 			csvW = campaign.NewCSV(os.Stdout, "depth", "mode", "quantum_ns", "wall_ms", "ctx_switches", "max_err_ns")
 		} else {
 			csvW = campaign.NewCSV(os.Stdout, "depth", "mode", "wall_ms", "ctx_switches", "sim_end_ns", "err_ns")
 		}
 	}
 	var rows []row
+	violations := 0
 	name := "fig5"
-	if *quantum {
+	if quantum {
 		name = "quantum"
-		if *shards > 1 {
+		if shards > 1 {
 			fmt.Fprintln(os.Stderr, "fifobench: -shards is ignored with -quantum (the ablation has no sharded rows)")
 		}
-		rows = runQuantumAblation(*blocks, *words, depthList, *reps, csvW, *jsonOut)
+		rows = runQuantumAblation(blocks, words, depthList, reps, csvW, jsonOut)
 	} else {
-		rows = runFig5(*blocks, *words, depthList, *reps, *shards, csvW, *jsonOut)
+		rows, violations = runFig5(blocks, words, depthList, reps, shards, burst, csvW, jsonOut)
 	}
 	if csvW != nil {
 		if err := csvW.Flush(); err != nil {
 			fmt.Fprintf(os.Stderr, "fifobench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
-	if *jsonOut {
+	if jsonOut {
 		if err := campaign.WriteJSON(os.Stdout, report{
-			Benchmark: name, Blocks: *blocks, Words: *words, Reps: *reps, Rows: rows,
+			Benchmark: name, Blocks: blocks, Words: words, Reps: reps, Burst: burst, Rows: rows,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "fifobench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "fifobench: ACCURACY VIOLATION: %d row(s) with nonzero timing error\n", violations)
+		return 1
+	}
+	return 0
 }
 
 // best runs cfg reps times and keeps the fastest wall time (other fields
@@ -124,24 +183,41 @@ func best(cfg pipeline.Config, reps int) pipeline.Result {
 	return res
 }
 
-func runFig5(blocks, words int, depths []int, reps, shards int, csvW *campaign.CSV, quiet bool) []row {
+// runFig5 returns the measured rows plus the number of accuracy violations
+// (nonzero TDfull/TDburst/TDpar error columns); any violation makes
+// fifobench exit 1.
+func runFig5(blocks, words int, depths []int, reps, shards, burst int, csvW *campaign.CSV, quiet bool) ([]row, int) {
 	if !quiet && csvW == nil {
 		fmt.Printf("Fig. 5 — %d blocks x %d words\n", blocks, words)
 		fmt.Printf("%6s  %-8s  %10s  %12s  %14s  %8s\n",
 			"depth", "mode", "wall(ms)", "ctx switches", "sim end", "err")
 	}
 	var rows []row
+	violations := 0
 	for _, d := range depths {
-		var ref pipeline.Result
+		// ref is the word-at-a-time TDless reference; bref the chunked
+		// one (the scalar oracle the bulk TDburst rows are pinned to).
+		var ref, bref pipeline.Result
 		emit := func(label string, cfg pipeline.Config, isRef bool) {
 			r := best(cfg, reps)
 			errStr := "-"
 			var errNS sim.Time
 			if isRef {
-				ref = r
+				if cfg.Burst > 1 {
+					bref = r
+				} else {
+					ref = r
+				}
 			} else if cfg.Mode == pipeline.TDfull {
-				errNS = pipeline.MaxTimingError(ref, r)
+				against := ref
+				if cfg.Burst > 1 {
+					against = bref
+				}
+				errNS = pipeline.MaxTimingError(against, r)
 				errStr = errNS.String()
+				if errNS != 0 {
+					violations++
+				}
 			}
 			// Report the shard count the run actually used: runSharded
 			// clamps to the module count, so -shards 5 still runs on 3.
@@ -178,8 +254,24 @@ func runFig5(blocks, words int, depths []int, reps, shards int, csvW *campaign.C
 				Mode: pipeline.TDfull, Depth: d, Blocks: blocks, WordsPerBlock: words, Shards: shards,
 			}, false)
 		}
+		if burst > 1 {
+			// Burst-dominated configuration: chunked scalar TDless
+			// reference, then the bulk TDburst rows pinned against it
+			// (err must stay 0).
+			emit("TDless-b", pipeline.Config{
+				Mode: pipeline.TDless, Depth: d, Blocks: blocks, WordsPerBlock: words, Burst: burst,
+			}, true)
+			emit("TDburst", pipeline.Config{
+				Mode: pipeline.TDfull, Depth: d, Blocks: blocks, WordsPerBlock: words, Burst: burst,
+			}, false)
+			if shards > 1 {
+				emit("TDpar-b", pipeline.Config{
+					Mode: pipeline.TDfull, Depth: d, Blocks: blocks, WordsPerBlock: words, Burst: burst, Shards: shards,
+				}, false)
+			}
+		}
 	}
-	return rows
+	return rows, violations
 }
 
 func runQuantumAblation(blocks, words int, depths []int, reps int, csvW *campaign.CSV, quiet bool) []row {

@@ -29,8 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // handlers registered on DefaultServeMux, mounted behind -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +46,7 @@ func main() {
 		checkEvery = flag.Int("check-every", 16, "trace-equivalence spot check every k-th point (0 = off)")
 		maxPoints  = flag.Int("max-points", 10000, "largest accepted expansion")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling the live service)")
 	)
 	flag.Parse()
 
@@ -52,7 +55,18 @@ func main() {
 		CheckEvery: *checkEvery,
 		MaxPoints:  *maxPoints,
 	})
-	srv := &http.Server{Addr: *addr, Handler: newServer(eng)}
+	var handler http.Handler = newServer(eng)
+	if *pprofOn {
+		app := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/debug/pprof") {
+				http.DefaultServeMux.ServeHTTP(w, r)
+				return
+			}
+			app.ServeHTTP(w, r)
+		})
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/campaign"
 	"repro/internal/sim"
@@ -69,22 +71,56 @@ func asJSON(mode string, r soc.Result) runJSON {
 	}
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run does the whole comparison and returns the exit code, so the deferred
+// profile teardown happens before the process exits.
+func run() int {
 	var (
-		pipelines = flag.Int("pipelines", 8, "accelerator pipelines")
-		jobs      = flag.Int("jobs", 10, "job rounds")
-		words     = flag.Int("words", 4096, "words per job")
-		depth     = flag.Int("depth", 16, "accelerator FIFO depth")
-		useNoC    = flag.Bool("noc", true, "route odd pipelines through the NoC")
-		packet    = flag.Int("packet", 16, "NoC packet length (words)")
-		quantum   = flag.Int64("quantum-ns", 500, "memory-mapped side quantum (ns)")
-		dma       = flag.Bool("dma", true, "include the memory-to-memory DMA pipeline")
-		reps      = flag.Int("reps", 1, "repetitions (best wall time kept)")
-		shards    = flag.Int("shards", 0, "also run the clustered model on 1 and N kernels and report the parallel speedup")
-		csvOut    = flag.Bool("csv", false, "emit CSV")
-		jsonOut   = flag.Bool("json", false, "emit a single JSON document")
+		pipelines  = flag.Int("pipelines", 8, "accelerator pipelines")
+		jobs       = flag.Int("jobs", 10, "job rounds")
+		words      = flag.Int("words", 4096, "words per job")
+		depth      = flag.Int("depth", 16, "accelerator FIFO depth")
+		useNoC     = flag.Bool("noc", true, "route odd pipelines through the NoC")
+		packet     = flag.Int("packet", 16, "NoC packet length (words)")
+		quantum    = flag.Int64("quantum-ns", 500, "memory-mapped side quantum (ns)")
+		dma        = flag.Bool("dma", true, "include the memory-to-memory DMA pipeline")
+		reps       = flag.Int("reps", 1, "repetitions (best wall time kept)")
+		shards     = flag.Int("shards", 0, "also run the clustered model on 1 and N kernels and report the parallel speedup")
+		csvOut     = flag.Bool("csv", false, "emit CSV")
+		jsonOut    = flag.Bool("json", false, "emit a single JSON document")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the runs to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the runs to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := soc.Config{
 		Pipelines:    *pipelines,
@@ -147,7 +183,7 @@ func main() {
 			Sharded: shardedRep,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	case *csvOut:
 		c := campaign.NewCSV(os.Stdout, "mode", "wall_ms", "ctx_switches", "sim_end_ns")
@@ -160,7 +196,7 @@ func main() {
 		}
 		if err := c.Flush(); err != nil {
 			fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	default:
 		fmt.Printf("Case study SoC: %d pipelines, %d jobs x %d words, FIFO depth %d, NoC %v, DMA %v\n\n",
@@ -187,6 +223,7 @@ func main() {
 	}
 	if !datesEqual || !sumsEqual || (shardedRep != nil && !shardedRep.DatesEqual) {
 		fmt.Fprintln(os.Stderr, "socbench: ACCURACY VIOLATION: the two builds disagree")
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

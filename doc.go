@@ -33,6 +33,30 @@
 // Allocation regressions are pinned by testing.AllocsPerRun tests in
 // internal/sim and internal/core.
 //
+// # Bulk transfers (burst contract)
+//
+// Burst words advance a side's local clock by a fixed period, so their
+// insertion/freeing dates form arithmetic runs. The burst APIs
+// (WriteBurst, ReadBurst, TryWriteBurst, TryReadBurst on core.SmartFIFO,
+// the core.ShardedFIFO endpoints and fifo.FIFO; generic dispatch helpers
+// in package fifo) exploit that with run-based fast paths: a burst splits
+// into runs bounded by the next internal full/empty boundary, payload
+// moves with copy, dates are annotated in one vector pass, and event work
+// collapses to at most one notification per event per run. The contract is
+// the scalar loop — word 0 at the caller's local date, Inc(per) between
+// consecutive words, blocking/Try pre-checks per word — and the bulk
+// implementation is bit-identical to it: values, dates, Stats counters,
+// context switches, blocking behavior and every subscriber-visible
+// notification are unchanged (property tests in internal/core/burst_test.go
+// pin bulk against the literal scalar oracle; trace-equivalence tests pin
+// chunked models across modes and shard counts). The only observable
+// difference is the diagnostic sim.Stats.Notifications counter, which
+// counts fewer calls because redundant per-word notification probes are
+// collapsed. The fast paths are zero-allocation in steady state and
+// ≥ 5x cheaper per word than the scalar loop (BenchmarkWriteBurst,
+// BenchmarkReadBurst); accelerator Generator/Sink streams, DMA chunking,
+// NoC packetization and the chunked pipeline/kpn workloads ride them.
+//
 // # Sharded parallel execution
 //
 // A simulation can be partitioned into several sim.Kernel shards run in

@@ -118,6 +118,9 @@ type Accel struct {
 	// implementations.
 	jobDates []sim.Time
 
+	// buf is the bulk-transfer staging buffer of the stream endpoints.
+	buf []uint32
+
 	proc *sim.Process
 }
 
@@ -194,10 +197,20 @@ func (a *Accel) JobDates() []sim.Time { return a.jobDates }
 // JobsDone returns the number of completed jobs.
 func (a *Accel) JobsDone() uint32 { return a.jobsDone }
 
+// burstChunk is the staging-buffer size (words) the pure stream endpoints
+// (Generator, Sink) move per bulk transfer. Chunking is timing-neutral:
+// "Inc(lat); Write" per word equals one leading Inc(lat) plus a burst with
+// lat between words, so the chunked job is date-identical to the scalar
+// loop at any chunk size.
+const burstChunk = 64
+
 // run is the accelerator thread: wait for a start command, stream one
 // job's worth of words through the kernel, raise done, repeat forever (the
 // process parks when the simulation has no more work for it).
 func (a *Accel) run(p *sim.Process) {
+	if a.cfg.Kind == Generator || a.cfg.Kind == Sink {
+		a.buf = make([]uint32, burstChunk)
+	}
 	for {
 		for a.pendingJobs == 0 {
 			// Synchronize before parking: a blocked accelerator
@@ -229,11 +242,21 @@ func (a *Accel) run(p *sim.Process) {
 func (a *Accel) job(p *sim.Process, n int) {
 	switch a.cfg.Kind {
 	case Generator:
-		for i := 0; i < n; i++ {
-			w := workload.WordAt(a.cfg.Seed, a.produced)
-			a.produced++
+		// Bulk path: stage a chunk of generated words, lead with one
+		// Inc (the scalar loop's pre-word annotation), then burst with
+		// WordLat between words — date-identical to the scalar loop.
+		for done := 0; done < n; {
+			m := len(a.buf)
+			if n-done < m {
+				m = n - done
+			}
+			for j := 0; j < m; j++ {
+				a.buf[j] = workload.WordAt(a.cfg.Seed, a.produced)
+				a.produced++
+			}
 			p.Inc(a.cfg.WordLat)
-			a.cfg.Out.Write(w)
+			fifo.WriteBurst(p, a.cfg.Out, a.buf[:m], a.cfg.WordLat)
+			done += m
 		}
 	case Scale:
 		for i := 0; i < n; i++ {
@@ -262,10 +285,20 @@ func (a *Accel) job(p *sim.Process, n int) {
 			}
 		}
 	case Sink:
-		for i := 0; i < n; i++ {
-			w := a.cfg.In.Read()
+		// Bulk path: burst a chunk in ("Read; Inc" per word equals a
+		// burst with WordLat between words plus one trailing Inc), then
+		// fold the checksum — same values in the same order.
+		for done := 0; done < n; {
+			m := len(a.buf)
+			if n-done < m {
+				m = n - done
+			}
+			fifo.ReadBurst(p, a.cfg.In, a.buf[:m], a.cfg.WordLat)
 			p.Inc(a.cfg.WordLat)
-			a.checksum = workload.Checksum(a.checksum, w)
+			for _, w := range a.buf[:m] {
+				a.checksum = workload.Checksum(a.checksum, w)
+			}
+			done += m
 		}
 	}
 }

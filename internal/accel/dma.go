@@ -156,18 +156,17 @@ func (d *DMA) run(p *sim.Process) {
 				n = words - done
 			}
 			chunk := buf[:n]
+			// Stream-side chunks move through the bulk burst APIs;
+			// the Inc placement makes each chunk date-identical to
+			// the scalar per-word loop (see accel.Accel.job).
 			switch d.cfg.Dir {
 			case MemToStream:
 				in.ReadBurst(addr+uint32(done), chunk)
-				for _, w := range chunk {
-					p.Inc(d.cfg.WordLat)
-					d.cfg.Channel.Write(w)
-				}
+				p.Inc(d.cfg.WordLat)
+				fifo.WriteBurst(p, d.cfg.Channel, chunk, d.cfg.WordLat)
 			case StreamToMem:
-				for i := range chunk {
-					chunk[i] = d.cfg.Channel.Read()
-					p.Inc(d.cfg.WordLat)
-				}
+				fifo.ReadBurst(p, d.cfg.Channel, chunk, d.cfg.WordLat)
+				p.Inc(d.cfg.WordLat)
 				in.WriteBurst(addr+uint32(done), chunk)
 			}
 			done += n

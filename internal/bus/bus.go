@@ -98,6 +98,12 @@ func (b *Bus) Map(name string, base, size uint32, t Target) {
 
 // BTransport routes t to the mapped target, charging the bus latency onto
 // the calling process. It panics on unmapped addresses (a modeling error).
+//
+// The whole burst is routed as one transaction: the payload slice is
+// handed through untouched (targets move it with copy and one lumped
+// latency Inc), and the address is rebased in place for the duration of
+// the downstream call instead of copying the transaction — the bulk
+// transfer path allocates nothing per hop.
 func (b *Bus) BTransport(p *sim.Process, t *Transaction) {
 	end := t.Addr + uint32(len(t.Data))
 	i := sort.Search(len(b.maps), func(i int) bool {
@@ -108,9 +114,10 @@ func (b *Bus) BTransport(p *sim.Process, t *Transaction) {
 	}
 	b.accesses++
 	p.Inc(b.latency)
-	rel := *t
-	rel.Addr = t.Addr - b.maps[i].base
-	b.maps[i].t.BTransport(p, &rel)
+	abs := t.Addr
+	t.Addr = abs - b.maps[i].base
+	b.maps[i].t.BTransport(p, t)
+	t.Addr = abs
 }
 
 var _ Target = (*Bus)(nil) // buses can cascade
@@ -213,6 +220,11 @@ type Initiator struct {
 	p   *sim.Process
 	bus *Bus
 	qk  *td.QuantumKeeper
+
+	// word and tx are reused across single-word accesses so the polling
+	// hot path (status and FIFO-level reads) allocates nothing.
+	word [1]uint32
+	tx   Transaction
 }
 
 // NewInitiator binds process p to bus b with the given quantum.
@@ -225,27 +237,31 @@ func (in *Initiator) Keeper() *td.QuantumKeeper { return in.qk }
 
 // ReadWord reads one word.
 func (in *Initiator) ReadWord(addr uint32) uint32 {
-	buf := []uint32{0}
-	in.bus.BTransport(in.p, &Transaction{Cmd: Read, Addr: addr, Data: buf})
-	in.checkSync()
-	return buf[0]
+	in.word[0] = 0
+	in.transport(Read, addr, in.word[:])
+	return in.word[0]
 }
 
 // WriteWord writes one word.
 func (in *Initiator) WriteWord(addr uint32, v uint32) {
-	in.bus.BTransport(in.p, &Transaction{Cmd: Write, Addr: addr, Data: []uint32{v}})
-	in.checkSync()
+	in.word[0] = v
+	in.transport(Write, addr, in.word[:])
 }
 
-// ReadBurst fills data from addr.
+// ReadBurst fills data from addr in one bus transaction.
 func (in *Initiator) ReadBurst(addr uint32, data []uint32) {
-	in.bus.BTransport(in.p, &Transaction{Cmd: Read, Addr: addr, Data: data})
-	in.checkSync()
+	in.transport(Read, addr, data)
 }
 
-// WriteBurst stores data at addr.
+// WriteBurst stores data at addr in one bus transaction.
 func (in *Initiator) WriteBurst(addr uint32, data []uint32) {
-	in.bus.BTransport(in.p, &Transaction{Cmd: Write, Addr: addr, Data: data})
+	in.transport(Write, addr, data)
+}
+
+func (in *Initiator) transport(cmd Cmd, addr uint32, data []uint32) {
+	in.tx = Transaction{Cmd: cmd, Addr: addr, Data: data}
+	in.bus.BTransport(in.p, &in.tx)
+	in.tx.Data = nil // do not pin the caller's burst buffer
 	in.checkSync()
 }
 

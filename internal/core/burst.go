@@ -1,12 +1,61 @@
 package core
 
-import "repro/internal/sim"
+import (
+	"repro/internal/fifo"
+	"repro/internal/sim"
+)
 
 // Burst access: the packetization extension of §IV-C. The case study's
-// network interfaces move whole packets between accelerators and the NoC;
-// doing that word by word with an annotation per word is exactly the
-// pattern the Smart FIFO makes cheap, so the extension is a burst API with
-// one per-word period applied with Inc (no context switch per word).
+// network interfaces and DMA engines move whole packets between
+// accelerators, memory and the NoC; doing that word by word pays the full
+// scalar Write/Read path — bounds checks, per-word date stamping and
+// event-notification probes — for every word. Since the words of a burst
+// advance the local clock by a fixed per, their dates form arithmetic runs
+// that can be annotated in bulk.
+//
+// # Contract
+//
+// Every burst method is defined by its scalar oracle, word 0 transferred
+// at the caller's current local date and per of local time advanced
+// between consecutive words:
+//
+//	WriteBurst:    for i, v := range vals { if i > 0 { p.Inc(per) }; f.Write(v) }
+//	ReadBurst:     for i := range dst     { if i > 0 { p.Inc(per) }; dst[i] = f.Read() }
+//	TryWriteBurst: for i, v := range vals { if i > 0 { if f.IsFull() { break }; p.Inc(per) }
+//	                                        if !f.TryWrite(v) { break }; n++ }
+//	TryReadBurst:  for i := range dst     { if i > 0 { if f.IsEmpty() { break }; p.Inc(per) }
+//	                                        v, ok := f.TryRead(); if !ok { break }; dst[i] = v; n++ }
+//
+// The bulk implementation is bit-identical to those loops (pinned by the
+// oracle property tests in burst_test.go): values, cell timestamps, local
+// dates, Stats counters, context switches and blocking behavior are all
+// unchanged. Only Stats.Notifications (a kernel diagnostic counter) drops,
+// because redundant per-word notification calls are collapsed.
+//
+// # Fast path
+//
+// A burst is split into runs bounded by the next internal occupancy
+// boundary (internally full for writes, empty for reads). Within a run no
+// other process can execute — the scalar loop never yields between
+// non-blocking words — so the run is executed as a whole:
+//
+//   - payload moves with copy into/out of the ring (≤ 2 contiguous
+//     segments);
+//   - insertion/freeing dates are annotated in one vector pass (runDates),
+//     each word's date being the previous date + per lifted to the cell's
+//     bound date exactly as the scalar Inc + AdvanceLocalTo pair does;
+//   - event work collapses to at most one NotifyDelta and one
+//     NotifyAtReplace per event per run. This is exact: NotifyDelta is
+//     idempotent while pending, and NotifyAtReplace has replace semantics,
+//     so only the last call before a yield is observable. The dates along
+//     a run's bound cells are non-decreasing (each side's access
+//     discipline stamps them in ring order), which makes the per-word
+//     probe conditions monotone: the last word's probe decides the final
+//     pending state.
+//
+// At a blocking boundary the transfer falls back to the scalar path for
+// one word — blocking, stats and the §III-A block policy are exactly the
+// scalar ones — then resumes in bulk.
 
 // WriteBurst writes vals in order, advancing the writer's local clock by
 // per between consecutive words: word i is written at the date of word 0
@@ -14,11 +63,33 @@ import "repro/internal/sim"
 // the FIFO is internally full.
 func (f *SmartFIFO[T]) WriteBurst(vals []T, per sim.Time) {
 	p := f.caller("WriteBurst")
-	for i, v := range vals {
-		if i > 0 {
+	if f.fault != FaultNone || per < 0 {
+		// Fault-injection runs keep the literal scalar path (faults
+		// perturb per-word behavior the fast path does not model); a
+		// negative per panics inside Inc exactly like the scalar loop.
+		for i, v := range vals {
+			if i > 0 {
+				p.Inc(per)
+			}
+			f.Write(v)
+		}
+		return
+	}
+	first := true
+	for len(vals) > 0 {
+		if n := f.writeRun(p, vals, per, !first); n > 0 {
+			vals = vals[n:]
+			first = false
+			continue
+		}
+		// Internally full: one scalar word (blocks, counts
+		// WriterBlocks, applies the block policy), then resume bulk.
+		if !first {
 			p.Inc(per)
 		}
-		f.Write(v)
+		f.Write(vals[0])
+		vals = vals[1:]
+		first = false
 	}
 }
 
@@ -27,12 +98,73 @@ func (f *SmartFIFO[T]) WriteBurst(vals []T, per sim.Time) {
 // internally empty.
 func (f *SmartFIFO[T]) ReadBurst(dst []T, per sim.Time) {
 	p := f.caller("ReadBurst")
-	for i := range dst {
-		if i > 0 {
+	if f.fault != FaultNone || per < 0 {
+		for i := range dst {
+			if i > 0 {
+				p.Inc(per)
+			}
+			dst[i] = f.Read()
+		}
+		return
+	}
+	first := true
+	for len(dst) > 0 {
+		if n := f.readRun(p, dst, per, !first); n > 0 {
+			dst = dst[n:]
+			first = false
+			continue
+		}
+		if !first {
 			p.Inc(per)
 		}
-		dst[i] = f.Read()
+		dst[0] = f.Read()
+		dst = dst[1:]
+		first = false
 	}
+}
+
+// TryWriteBurst writes up to len(vals) externally acceptable words without
+// blocking, advancing the caller's local clock by per between words, and
+// returns the number of words written. Safe from method processes.
+func (f *SmartFIFO[T]) TryWriteBurst(vals []T, per sim.Time) int {
+	p := f.caller("TryWriteBurst")
+	if f.fault != FaultNone || per < 0 {
+		n := 0
+		for i, v := range vals {
+			if i > 0 {
+				if f.IsFull() {
+					break
+				}
+				p.Inc(per)
+			}
+			if !f.TryWrite(v) {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	r := &f.cells
+	d := len(r.ins)
+	mMax := d - r.nBusy
+	if mMax > len(vals) {
+		mMax = len(vals)
+	}
+	if mMax == 0 || r.free[r.firstFree] > p.LocalTime() {
+		return 0
+	}
+	f.checkSideOrder(p, &f.lastWriteDate, "write")
+	q0 := r.firstFree
+	nBusy0 := r.nBusy
+	m, end := tryRunDates(r.ins, r.free, q0, mMax, p.LocalTime(), per)
+	copyIn(r.data, q0, vals[:m])
+	r.firstFree = wrap(q0+m, d)
+	r.nBusy += m
+	f.stats.Writes += uint64(m)
+	f.lastWriteDate = end
+	p.AdvanceLocalTo(end)
+	f.writeRunEvents(q0, m, nBusy0)
+	return m
 }
 
 // TryReadBurst pops up to len(dst) externally available words without
@@ -41,20 +173,196 @@ func (f *SmartFIFO[T]) ReadBurst(dst []T, per sim.Time) {
 // the NoC network interfaces to packetize.
 func (f *SmartFIFO[T]) TryReadBurst(dst []T, per sim.Time) int {
 	p := f.caller("TryReadBurst")
-	n := 0
-	for i := range dst {
-		if i > 0 {
-			if f.IsEmpty() {
+	if f.fault != FaultNone || per < 0 {
+		n := 0
+		for i := range dst {
+			if i > 0 {
+				if f.IsEmpty() {
+					break
+				}
+				p.Inc(per)
+			}
+			v, ok := f.TryRead()
+			if !ok {
 				break
 			}
-			p.Inc(per)
+			dst[i] = v
+			n++
 		}
-		v, ok := f.TryRead()
-		if !ok {
-			break
-		}
-		dst[i] = v
-		n++
+		return n
 	}
-	return n
+	r := &f.cells
+	d := len(r.ins)
+	mMax := r.nBusy
+	if mMax > len(dst) {
+		mMax = len(dst)
+	}
+	if mMax == 0 || r.ins[r.firstBusy] > p.LocalTime() {
+		return 0
+	}
+	f.checkSideOrder(p, &f.lastReadDate, "read")
+	q0 := r.firstBusy
+	nBusy0 := r.nBusy
+	m, end := tryRunDates(r.free, r.ins, q0, mMax, p.LocalTime(), per)
+	copyOut(dst[:m], r.data, q0)
+	r.firstBusy = wrap(q0+m, d)
+	r.nBusy -= m
+	f.stats.Reads += uint64(m)
+	f.lastReadDate = end
+	p.AdvanceLocalTo(end)
+	f.readRunEvents(q0, m, nBusy0)
+	return m
+}
+
+// writeRun executes one bulk write run: up to len(vals) words into the
+// internally free cells. It returns the number of words written, 0 iff
+// the ring is internally full.
+func (f *SmartFIFO[T]) writeRun(p *sim.Process, vals []T, per sim.Time, incFirst bool) int {
+	r := &f.cells
+	d := len(r.ins)
+	m := d - r.nBusy
+	if m == 0 {
+		return 0
+	}
+	if m > len(vals) {
+		m = len(vals)
+	}
+	f.checkSideOrder(p, &f.lastWriteDate, "write")
+	q0 := r.firstFree
+	nBusy0 := r.nBusy
+	end, adv := runDates(r.ins, r.free, q0, m, p.LocalTime(), per, incFirst)
+	copyIn(r.data, q0, vals[:m])
+	r.firstFree = wrap(q0+m, d)
+	r.nBusy += m
+	f.stats.Writes += uint64(m)
+	f.stats.WriterAdvances += adv
+	f.lastWriteDate = end
+	p.AdvanceLocalTo(end)
+	f.writeRunEvents(q0, m, nBusy0)
+	return m
+}
+
+// readRun executes one bulk read run: up to len(dst) words out of the
+// internally busy cells. It returns the number of words read, 0 iff the
+// ring is internally empty.
+func (f *SmartFIFO[T]) readRun(p *sim.Process, dst []T, per sim.Time, incFirst bool) int {
+	r := &f.cells
+	d := len(r.ins)
+	m := r.nBusy
+	if m == 0 {
+		return 0
+	}
+	if m > len(dst) {
+		m = len(dst)
+	}
+	f.checkSideOrder(p, &f.lastReadDate, "read")
+	q0 := r.firstBusy
+	nBusy0 := r.nBusy
+	end, adv := runDates(r.free, r.ins, q0, m, p.LocalTime(), per, incFirst)
+	copyOut(dst[:m], r.data, q0)
+	r.firstBusy = wrap(q0+m, d)
+	r.nBusy -= m
+	f.stats.Reads += uint64(m)
+	f.stats.ReaderAdvances += adv
+	f.lastReadDate = end
+	p.AdvanceLocalTo(end)
+	f.readRunEvents(q0, m, nBusy0)
+	return m
+}
+
+// writeRunEvents is the collapsed event epilogue of a write run of m ≥ 1
+// words starting at cell q0 with nBusy0 cells busy. It reproduces, in one
+// shot, the final pending state the scalar loop's per-word probes leave
+// behind.
+func (f *SmartFIFO[T]) writeRunEvents(q0, m, nBusy0 int) {
+	r := &f.cells
+	d := len(r.ins)
+	// Wake a blocked reader (idempotent while pending: one call stands
+	// for the scalar loop's m calls).
+	f.cellFilled.NotifyDelta()
+	// §III-B: the FIFO became externally non-empty at the insertion date
+	// of the run's first word (only word 0 can see an all-free ring).
+	if nBusy0 == 0 {
+		f.notifyAtOrDelta(f.notEmpty, r.ins[q0])
+	}
+	now := f.k.Now()
+	if r.nBusy < d {
+		// The scalar loop's last notFull probe names the next free
+		// cell's freeing date; earlier probes were replaced.
+		if fd := r.free[r.firstFree]; fd > now {
+			f.notifyAtOrDelta(f.notFull, fd)
+		}
+	} else if m >= 2 {
+		// The ring filled: the last probing word was m-2, naming the
+		// freeing date of the cell word m-1 then filled.
+		if fd := r.free[wrap(q0+m-1, d)]; fd > now {
+			f.notifyAtOrDelta(f.notFull, fd)
+		}
+	}
+}
+
+// readRunEvents is the symmetric collapsed epilogue of a read run.
+func (f *SmartFIFO[T]) readRunEvents(q0, m, nBusy0 int) {
+	r := &f.cells
+	d := len(r.ins)
+	// Wake a blocked writer.
+	f.cellFreed.NotifyDelta()
+	// The FIFO became externally non-full at the freeing date of the
+	// run's first pop (only word 0 can see an all-busy ring).
+	if nBusy0 == d {
+		f.notifyAtOrDelta(f.notFull, r.free[q0])
+	}
+	now := f.k.Now()
+	if r.nBusy > 0 {
+		// §III-B case 2: the next datum becomes externally visible
+		// only at its (future) insertion date.
+		if id := r.ins[r.firstBusy]; id > now {
+			f.notifyAtOrDelta(f.notEmpty, id)
+		}
+	} else if m >= 2 {
+		// The ring drained: the last probing word was m-2, naming the
+		// insertion date of the cell word m-1 then popped.
+		if id := r.ins[wrap(q0+m-1, d)]; id > now {
+			f.notifyAtOrDelta(f.notEmpty, id)
+		}
+	}
+}
+
+var (
+	_ fifo.BurstWriter[int] = (*SmartFIFO[int])(nil)
+	_ fifo.BurstReader[int] = (*SmartFIFO[int])(nil)
+	_ fifo.BurstWriter[int] = (*ShardedWriter[int])(nil)
+	_ fifo.BurstReader[int] = (*ShardedReader[int])(nil)
+)
+
+// wrap reduces q into [0, d) assuming q < 2d.
+func wrap(q, d int) int {
+	if q >= d {
+		q -= d
+	}
+	return q
+}
+
+// copyIn copies vals into the ring payload slice starting at q0, in at
+// most two contiguous segments.
+func copyIn[T any](data []T, q0 int, vals []T) {
+	n1 := len(data) - q0
+	if n1 > len(vals) {
+		n1 = len(vals)
+	}
+	copy(data[q0:q0+n1], vals[:n1])
+	copy(data, vals[n1:])
+}
+
+// copyOut moves ring payload starting at q0 into dst and zeroes the
+// vacated cells (the scalar path clears each popped cell).
+func copyOut[T any](dst []T, data []T, q0 int) {
+	n1 := len(data) - q0
+	if n1 > len(dst) {
+		n1 = len(dst)
+	}
+	copy(dst[:n1], data[q0:q0+n1])
+	clear(data[q0 : q0+n1])
+	copy(dst[n1:], data)
+	clear(data[:len(dst)-n1])
 }

@@ -36,16 +36,12 @@ import (
 	"repro/internal/sim"
 )
 
-// cell is one hardware FIFO slot plus the two timestamps of §III-A: the
-// last data-insertion date and the last freeing date. Together they let
-// the channel answer, for any query date, whether the *real* FIFO cell was
-// occupied at that date (see Size).
-type cell[T any] struct {
-	data       T
-	busy       bool
-	insertDate sim.Time // date the current/last data became available
-	freeDate   sim.Time // date the cell was last freed
-}
+// Each hardware FIFO slot carries the two timestamps of §III-A — the last
+// data-insertion date and the last freeing date — stored struct-of-arrays
+// in a ring (ring.go). Together they let the channel answer, for any query
+// date, whether the *real* FIFO cell was occupied at that date (see Size),
+// and they are what the bulk transfer paths (burst.go) annotate as
+// arithmetic runs.
 
 // Stats counts Smart FIFO activity, for the Fig. 5 analysis.
 type Stats struct {
@@ -67,10 +63,7 @@ type SmartFIFO[T any] struct {
 	k    *sim.Kernel
 	name string
 
-	cells     []cell[T]
-	firstBusy int // index of the oldest busy cell
-	firstFree int // index of the oldest free cell
-	nBusy     int
+	cells ring[T]
 
 	// Internal blocking events: a parked (synchronized) writer waits on
 	// cellFreed, a parked reader on cellFilled.
@@ -145,7 +138,7 @@ func NewSmart[T any](k *sim.Kernel, name string, depth int) *SmartFIFO[T] {
 	return &SmartFIFO[T]{
 		k:          k,
 		name:       name,
-		cells:      make([]cell[T], depth),
+		cells:      newRing[T](depth),
 		cellFreed:  sim.NewEvent(k, name+".cell_freed"),
 		cellFilled: sim.NewEvent(k, name+".cell_filled"),
 		notEmpty:   sim.NewEvent(k, name+".not_empty"),
@@ -157,7 +150,7 @@ func NewSmart[T any](k *sim.Kernel, name string, depth int) *SmartFIFO[T] {
 func (f *SmartFIFO[T]) Name() string { return f.name }
 
 // Depth returns the capacity in cells.
-func (f *SmartFIFO[T]) Depth() int { return len(f.cells) }
+func (f *SmartFIFO[T]) Depth() int { return f.cells.depth() }
 
 // Kernel returns the owning kernel.
 func (f *SmartFIFO[T]) Kernel() *sim.Kernel { return f.k }
@@ -197,7 +190,8 @@ func (f *SmartFIFO[T]) checkSideOrder(p *sim.Process, last *sim.Time, side strin
 func (f *SmartFIFO[T]) Write(v T) {
 	p := f.caller("Write")
 	f.checkSideOrder(p, &f.lastWriteDate, "write")
-	for f.nBusy == len(f.cells) {
+	r := &f.cells
+	for r.nBusy == len(r.ins) {
 		f.stats.WriterBlocks++
 		if f.policy == SyncThenWait && !p.Synchronized() {
 			// Let the global date catch up first; a reader may
@@ -212,22 +206,21 @@ func (f *SmartFIFO[T]) Write(v T) {
 		p.WaitEvent(f.cellFreed)
 		p.SetLocalDate(local)
 	}
-	c := &f.cells[f.firstFree]
+	q := r.firstFree
 	if f.fault != FaultNoWriterAdvance {
-		if c.freeDate > p.LocalTime() {
+		if r.free[q] > p.LocalTime() {
 			f.stats.WriterAdvances++
 		}
-		p.AdvanceLocalTo(c.freeDate)
+		p.AdvanceLocalTo(r.free[q])
 	}
-	wasAllFree := f.nBusy == 0
-	c.data = v
-	c.busy = true
-	c.insertDate = p.LocalTime()
+	wasAllFree := r.nBusy == 0
+	r.data[q] = v
+	r.ins[q] = p.LocalTime()
 	if f.fault == FaultInsertDateNow {
-		c.insertDate = f.k.Now()
+		r.ins[q] = f.k.Now()
 	}
-	f.firstFree = (f.firstFree + 1) % len(f.cells)
-	f.nBusy++
+	r.firstFree = (q + 1) % len(r.ins)
+	r.nBusy++
 	f.stats.Writes++
 	f.lastWriteDate = p.LocalTime()
 	// Wake a blocked reader, if any.
@@ -235,13 +228,13 @@ func (f *SmartFIFO[T]) Write(v T) {
 	// External view (§III-B): the FIFO becomes non-empty at the
 	// insertion date.
 	if wasAllFree {
-		f.notifyAtOrDelta(f.notEmpty, c.insertDate)
+		f.notifyAtOrDelta(f.notEmpty, r.ins[q])
 	}
 	// If the *next* free cell's freeing date is in the future, a
 	// synchronized writer still sees the FIFO as full until that date.
-	if f.nBusy < len(f.cells) {
-		if nc := &f.cells[f.firstFree]; nc.freeDate > f.k.Now() {
-			f.notifyAtOrDelta(f.notFull, nc.freeDate)
+	if r.nBusy < len(r.ins) {
+		if fd := r.free[r.firstFree]; fd > f.k.Now() {
+			f.notifyAtOrDelta(f.notFull, fd)
 		}
 	}
 }
@@ -252,7 +245,8 @@ func (f *SmartFIFO[T]) Write(v T) {
 func (f *SmartFIFO[T]) Read() T {
 	p := f.caller("Read")
 	f.checkSideOrder(p, &f.lastReadDate, "read")
-	for f.nBusy == 0 {
+	r := &f.cells
+	for r.nBusy == 0 {
 		f.stats.ReaderBlocks++
 		if f.policy == SyncThenWait && !p.Synchronized() {
 			p.Sync()
@@ -262,34 +256,33 @@ func (f *SmartFIFO[T]) Read() T {
 		p.WaitEvent(f.cellFilled)
 		p.SetLocalDate(local)
 	}
-	c := &f.cells[f.firstBusy]
+	q := r.firstBusy
 	if f.fault != FaultNoReaderAdvance {
-		if c.insertDate > p.LocalTime() {
+		if r.ins[q] > p.LocalTime() {
 			f.stats.ReaderAdvances++
 		}
-		p.AdvanceLocalTo(c.insertDate)
+		p.AdvanceLocalTo(r.ins[q])
 	}
-	wasAllBusy := f.nBusy == len(f.cells)
-	v := c.data
+	wasAllBusy := r.nBusy == len(r.ins)
+	v := r.data[q]
 	var zero T
-	c.data = zero
-	c.busy = false
-	c.freeDate = p.LocalTime()
-	f.firstBusy = (f.firstBusy + 1) % len(f.cells)
-	f.nBusy--
+	r.data[q] = zero
+	r.free[q] = p.LocalTime()
+	r.firstBusy = (q + 1) % len(r.ins)
+	r.nBusy--
 	f.stats.Reads++
 	f.lastReadDate = p.LocalTime()
 	// Wake a blocked writer, if any.
 	f.cellFreed.NotifyDelta()
 	// External view: the FIFO becomes non-full at the freeing date.
 	if wasAllBusy {
-		f.notifyAtOrDelta(f.notFull, c.freeDate)
+		f.notifyAtOrDelta(f.notFull, r.free[q])
 	}
 	// §III-B, notification case 2: the next datum exists internally but
 	// becomes externally visible only at its (future) insertion date.
-	if f.nBusy > 0 {
-		if nc := &f.cells[f.firstBusy]; nc.insertDate > f.k.Now() {
-			f.notifyAtOrDelta(f.notEmpty, nc.insertDate)
+	if r.nBusy > 0 {
+		if id := r.ins[r.firstBusy]; id > f.k.Now() {
+			f.notifyAtOrDelta(f.notEmpty, id)
 		}
 	}
 	return v
@@ -326,12 +319,12 @@ func (f *SmartFIFO[T]) notifyAtOrDelta(e *sim.Event, at sim.Time) {
 func (f *SmartFIFO[T]) IsEmpty() bool {
 	p := f.caller("IsEmpty")
 	if f.fault == FaultEmptyIgnoresDates {
-		return f.nBusy == 0
+		return f.cells.nBusy == 0
 	}
-	if f.nBusy == 0 {
+	if f.cells.nBusy == 0 {
 		return true
 	}
-	return f.cells[f.firstBusy].insertDate > p.LocalTime()
+	return f.cells.ins[f.cells.firstBusy] > p.LocalTime()
 }
 
 // IsFull is the symmetric two-test rule for the writer side: externally
@@ -339,10 +332,10 @@ func (f *SmartFIFO[T]) IsEmpty() bool {
 // free cell is after the caller's local date.
 func (f *SmartFIFO[T]) IsFull() bool {
 	p := f.caller("IsFull")
-	if f.nBusy == len(f.cells) {
+	if f.cells.nBusy == f.cells.depth() {
 		return true
 	}
-	return f.cells[f.firstFree].freeDate > p.LocalTime()
+	return f.cells.free[f.cells.firstFree] > p.LocalTime()
 }
 
 // TryRead pops the oldest value if the FIFO is externally non-empty at the
@@ -387,13 +380,13 @@ func (f *SmartFIFO[T]) Size() int {
 		p.Sync()
 	}
 	if f.fault == FaultSizeIgnoresDates {
-		return f.nBusy
+		return f.cells.nBusy
 	}
-	return datedSize(f.cells, p.LocalTime())
+	return f.cells.datedSize(p.LocalTime())
 }
 
 // InternalSize returns the number of internally busy cells, ignoring
 // timestamps. Exposed for tests and benchmarks; models must use Size.
-func (f *SmartFIFO[T]) InternalSize() int { return f.nBusy }
+func (f *SmartFIFO[T]) InternalSize() int { return f.cells.nBusy }
 
 var _ fifo.Channel[int] = (*SmartFIFO[int])(nil)

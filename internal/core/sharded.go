@@ -38,6 +38,12 @@ import (
 // monitor are evaluated per endpoint over that endpoint's mirror; they are
 // exact for dates up to the bridge's frontier.
 //
+// Both endpoints offer the burst interface of burst.go: bulk runs over the
+// credit window (writes) or the delivered cells (reads), with outbox
+// staging and freeing-date credits batched as runs. The bulk paths are
+// bit-identical to the scalar endpoint loops, so a sharded burst model
+// keeps the single-kernel dates.
+//
 // Blocking always uses the SyncThenWait discipline (see BlockPolicy); the
 // WaitOnly ablation is not offered across shards.
 type ShardedFIFO[T any] struct {
@@ -47,24 +53,18 @@ type ShardedFIFO[T any] struct {
 	r ShardedReader[T]
 }
 
-// bridgeMsg is one staged cross-shard datum.
-type bridgeMsg[T any] struct {
-	data       T
-	insertDate sim.Time
-}
-
 // ShardedWriter is the writer-side endpoint, owned by the writer kernel.
 // It implements fifo.WriteEnd.
 type ShardedWriter[T any] struct {
 	f *ShardedFIFO[T]
 	k *sim.Kernel
 
-	cells     []cell[T] // data unused: only busy/insertDate/freeDate
-	firstBusy int
-	firstFree int
-	nBusy     int
+	cells ring[T] // payload unused: only the occupancy and date mirrors
 
-	outbox []bridgeMsg[T] // writes staged since the last Flush
+	// outData/outIns are the writes staged since the last Flush,
+	// struct-of-arrays so Flush can move them with copy.
+	outData []T
+	outIns  []sim.Time
 
 	cellFreed *sim.Event
 	notFull   *sim.Event
@@ -82,10 +82,7 @@ type ShardedReader[T any] struct {
 	f *ShardedFIFO[T]
 	k *sim.Kernel
 
-	cells     []cell[T]
-	firstBusy int
-	firstFree int
-	nBusy     int
+	cells ring[T]
 
 	pendingFrees []sim.Time // freeing dates staged since the last Flush
 
@@ -125,14 +122,14 @@ func NewSharded[T any](wk, rk *sim.Kernel, name string, depth int) *ShardedFIFO[
 	f.w = ShardedWriter[T]{
 		f:         f,
 		k:         wk,
-		cells:     make([]cell[T], depth),
+		cells:     newRing[T](depth),
 		cellFreed: sim.NewEvent(wk, name+".w.cell_freed"),
 		notFull:   sim.NewEvent(wk, name+".w.not_full"),
 	}
 	f.r = ShardedReader[T]{
 		f:          f,
 		k:          rk,
-		cells:      make([]cell[T], depth),
+		cells:      newRing[T](depth),
 		cellFilled: sim.NewEvent(rk, name+".r.cell_filled"),
 		notEmpty:   sim.NewEvent(rk, name+".r.not_empty"),
 	}
@@ -143,7 +140,7 @@ func NewSharded[T any](wk, rk *sim.Kernel, name string, depth int) *ShardedFIFO[
 func (f *ShardedFIFO[T]) Name() string { return f.name }
 
 // Depth returns the capacity in cells.
-func (f *ShardedFIFO[T]) Depth() int { return len(f.w.cells) }
+func (f *ShardedFIFO[T]) Depth() int { return f.w.cells.depth() }
 
 // Writer returns the writer-side endpoint, to be used only by processes of
 // the writer kernel.
@@ -176,47 +173,43 @@ func (f *ShardedFIFO[T]) Stats() Stats {
 // Flush moves staged data and credits across the shard boundary and
 // reports whether anything moved. It must be called only at a coordinator
 // barrier, while neither kernel is running: the barrier provides the
-// happens-before edges, so the endpoints themselves need no locking.
+// happens-before edges, so the endpoints themselves need no locking. Both
+// directions move as bulk ring copies (≤ 2 contiguous segments each).
 func (f *ShardedFIFO[T]) Flush() bool {
 	w, r := &f.w, &f.r
 	moved := false
-	if len(w.outbox) > 0 {
-		wasEmpty := r.nBusy == 0
-		for i := range w.outbox {
-			m := &w.outbox[i]
-			c := &r.cells[r.firstFree]
-			c.data = m.data
-			c.busy = true
-			c.insertDate = m.insertDate
-			var zero T
-			m.data = zero
-			r.firstFree = (r.firstFree + 1) % len(r.cells)
-			r.nBusy++
-		}
-		w.outbox = w.outbox[:0]
+	if k := len(w.outData); k > 0 {
+		rc := &r.cells
+		wasEmpty := rc.nBusy == 0
+		q0 := rc.firstFree
+		copyIn(rc.data, q0, w.outData)
+		copyIn(rc.ins, q0, w.outIns)
+		rc.firstFree = wrap(q0+k, rc.depth())
+		rc.nBusy += k
+		clear(w.outData) // release payload references to the GC
+		w.outData = w.outData[:0]
+		w.outIns = w.outIns[:0]
 		// Wake a blocked reader and refresh the external view: the FIFO
 		// becomes non-empty at the insertion date of the first datum.
 		r.cellFilled.NotifyDelta()
 		if wasEmpty {
-			r.notEmpty.NotifyAtReplace(r.cells[r.firstBusy].insertDate)
+			r.notEmpty.NotifyAtReplace(rc.ins[rc.firstBusy])
 		}
 		moved = true
 	}
-	if len(r.pendingFrees) > 0 {
-		wasFull := w.nBusy == len(w.cells)
-		for _, fd := range r.pendingFrees {
-			c := &w.cells[w.firstBusy]
-			c.busy = false
-			c.freeDate = fd
-			w.firstBusy = (w.firstBusy + 1) % len(w.cells)
-			w.nBusy--
-		}
+	if k := len(r.pendingFrees); k > 0 {
+		wc := &w.cells
+		wasFull := wc.nBusy == len(wc.ins)
+		q0 := wc.firstBusy
+		copyIn(wc.free, q0, r.pendingFrees)
+		wc.firstBusy = wrap(q0+k, wc.depth())
+		wc.nBusy -= k
 		r.pendingFrees = r.pendingFrees[:0]
 		// Wake a blocked writer; the FIFO becomes non-full at the freeing
 		// date of the first available cell.
 		w.cellFreed.NotifyDelta()
 		if wasFull {
-			w.notFull.NotifyAtReplace(w.cells[w.firstFree].freeDate)
+			w.notFull.NotifyAtReplace(wc.free[wc.firstFree])
 		}
 		moved = true
 	}
@@ -257,8 +250,9 @@ func (f *ShardedFIFO[T]) Frontier() sim.Time {
 			front = lt
 		}
 	}
-	if w.nBusy < len(w.cells) {
-		if fd := w.cells[w.firstFree].freeDate; fd > front {
+	wc := &w.cells
+	if wc.nBusy < len(wc.ins) {
+		if fd := wc.free[wc.firstFree]; fd > front {
 			front = fd
 		}
 	} else if rf := r.readFloor(); rf > front {
@@ -273,7 +267,7 @@ func (f *ShardedFIFO[T]) Frontier() sim.Time {
 func (w *ShardedWriter[T]) Name() string { return w.f.name }
 
 // Depth returns the capacity in cells.
-func (w *ShardedWriter[T]) Depth() int { return len(w.cells) }
+func (w *ShardedWriter[T]) Depth() int { return w.cells.depth() }
 
 // Kernel returns the kernel owning this endpoint.
 func (w *ShardedWriter[T]) Kernel() *sim.Kernel { return w.k }
@@ -286,6 +280,15 @@ func (w *ShardedWriter[T]) caller(op string) *sim.Process {
 	return p
 }
 
+// noteWriter records the writing process for the frontier refinement.
+func (w *ShardedWriter[T]) noteWriter(p *sim.Process) {
+	if w.writer == nil {
+		w.writer = p
+	} else if w.writer != p {
+		w.multiWriter = true
+	}
+}
+
 // Write appends v, exactly like SmartFIFO.Write: if the credit window is
 // exhausted the calling thread synchronizes and parks until Flush returns
 // freed cells; otherwise the caller's local clock advances to the freeing
@@ -293,7 +296,8 @@ func (w *ShardedWriter[T]) caller(op string) *sim.Process {
 func (w *ShardedWriter[T]) Write(v T) {
 	p := w.caller("Write")
 	checkSideOrderFor(w.f.name, p, &w.lastWriteDate, "write")
-	for w.nBusy == len(w.cells) {
+	r := &w.cells
+	for r.nBusy == len(r.ins) {
 		w.stats.WriterBlocks++
 		if !p.Synchronized() {
 			p.Sync()
@@ -303,28 +307,142 @@ func (w *ShardedWriter[T]) Write(v T) {
 		p.WaitEvent(w.cellFreed)
 		p.SetLocalDate(local)
 	}
-	c := &w.cells[w.firstFree]
-	if c.freeDate > p.LocalTime() {
+	q := r.firstFree
+	if r.free[q] > p.LocalTime() {
 		w.stats.WriterAdvances++
 	}
-	p.AdvanceLocalTo(c.freeDate)
-	c.busy = true
-	c.insertDate = p.LocalTime()
-	w.firstFree = (w.firstFree + 1) % len(w.cells)
-	w.nBusy++
+	p.AdvanceLocalTo(r.free[q])
+	r.ins[q] = p.LocalTime()
+	r.firstFree = (q + 1) % len(r.ins)
+	r.nBusy++
 	w.stats.Writes++
 	w.lastWriteDate = p.LocalTime()
-	if w.writer == nil {
-		w.writer = p
-	} else if w.writer != p {
-		w.multiWriter = true
-	}
-	w.outbox = append(w.outbox, bridgeMsg[T]{data: v, insertDate: c.insertDate})
+	w.noteWriter(p)
+	w.outData = append(w.outData, v)
+	w.outIns = append(w.outIns, r.ins[q])
 	// Writer-side external view: still not full, but the next free cell
 	// only frees in the future.
-	if w.nBusy < len(w.cells) {
-		if nc := &w.cells[w.firstFree]; nc.freeDate > w.k.Now() {
-			w.notFull.NotifyAtReplace(nc.freeDate)
+	if r.nBusy < len(r.ins) {
+		if fd := r.free[r.firstFree]; fd > w.k.Now() {
+			w.notFull.NotifyAtReplace(fd)
+		}
+	}
+}
+
+// WriteBurst writes vals in order, advancing the writer's local clock by
+// per between consecutive words (the burst contract of burst.go). The
+// fast path annotates the credit window as runs and stages the outbox in
+// batches; it blocks like Write when the window is exhausted.
+func (w *ShardedWriter[T]) WriteBurst(vals []T, per sim.Time) {
+	p := w.caller("WriteBurst")
+	if per < 0 {
+		for i, v := range vals {
+			if i > 0 {
+				p.Inc(per)
+			}
+			w.Write(v)
+		}
+		return
+	}
+	first := true
+	for len(vals) > 0 {
+		if n := w.writeRun(p, vals, per, !first); n > 0 {
+			vals = vals[n:]
+			first = false
+			continue
+		}
+		if !first {
+			p.Inc(per)
+		}
+		w.Write(vals[0])
+		vals = vals[1:]
+		first = false
+	}
+}
+
+// TryWriteBurst writes up to len(vals) externally acceptable words without
+// blocking (burst contract) and returns the number written.
+func (w *ShardedWriter[T]) TryWriteBurst(vals []T, per sim.Time) int {
+	p := w.caller("TryWriteBurst")
+	if per < 0 {
+		n := 0
+		for i, v := range vals {
+			if i > 0 {
+				if w.IsFull() {
+					break
+				}
+				p.Inc(per)
+			}
+			if !w.TryWrite(v) {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	r := &w.cells
+	d := len(r.ins)
+	mMax := d - r.nBusy
+	if mMax > len(vals) {
+		mMax = len(vals)
+	}
+	if mMax == 0 || r.free[r.firstFree] > p.LocalTime() {
+		return 0
+	}
+	checkSideOrderFor(w.f.name, p, &w.lastWriteDate, "write")
+	q0 := r.firstFree
+	m, end := tryRunDates(r.ins, r.free, q0, mMax, p.LocalTime(), per)
+	w.commitRun(p, vals[:m], q0, m, end, 0)
+	return m
+}
+
+// writeRun executes one bulk write run over the credit window; 0 iff the
+// window is exhausted.
+func (w *ShardedWriter[T]) writeRun(p *sim.Process, vals []T, per sim.Time, incFirst bool) int {
+	r := &w.cells
+	d := len(r.ins)
+	m := d - r.nBusy
+	if m == 0 {
+		return 0
+	}
+	if m > len(vals) {
+		m = len(vals)
+	}
+	checkSideOrderFor(w.f.name, p, &w.lastWriteDate, "write")
+	q0 := r.firstFree
+	end, adv := runDates(r.ins, r.free, q0, m, p.LocalTime(), per, incFirst)
+	w.commitRun(p, vals[:m], q0, m, end, adv)
+	return m
+}
+
+// commitRun applies a stamped write run: ring indices, stats, outbox
+// staging (batched as one append per direction) and the collapsed
+// writer-side event epilogue.
+func (w *ShardedWriter[T]) commitRun(p *sim.Process, vals []T, q0, m int, end sim.Time, adv uint64) {
+	r := &w.cells
+	d := len(r.ins)
+	w.outData = append(w.outData, vals...)
+	n1 := d - q0
+	if n1 > m {
+		n1 = m
+	}
+	w.outIns = append(w.outIns, r.ins[q0:q0+n1]...)
+	w.outIns = append(w.outIns, r.ins[:m-n1]...)
+	r.firstFree = wrap(q0+m, d)
+	r.nBusy += m
+	w.stats.Writes += uint64(m)
+	w.stats.WriterAdvances += adv
+	w.lastWriteDate = end
+	p.AdvanceLocalTo(end)
+	w.noteWriter(p)
+	now := w.k.Now()
+	if r.nBusy < d {
+		if fd := r.free[r.firstFree]; fd > now {
+			w.notFull.NotifyAtReplace(fd)
+		}
+	} else if m >= 2 {
+		if fd := r.free[wrap(q0+m-1, d)]; fd > now {
+			w.notFull.NotifyAtReplace(fd)
 		}
 	}
 }
@@ -334,10 +452,11 @@ func (w *ShardedWriter[T]) Write(v T) {
 // is after the caller's local date.
 func (w *ShardedWriter[T]) IsFull() bool {
 	p := w.caller("IsFull")
-	if w.nBusy == len(w.cells) {
+	r := &w.cells
+	if r.nBusy == len(r.ins) {
 		return true
 	}
-	return w.cells[w.firstFree].freeDate > p.LocalTime()
+	return r.free[r.firstFree] > p.LocalTime()
 }
 
 // TryWrite appends v if the endpoint is externally non-full at the
@@ -360,7 +479,7 @@ func (w *ShardedWriter[T]) Size() int {
 	if !p.IsMethod() {
 		p.Sync()
 	}
-	return datedSize(w.cells, p.LocalTime())
+	return w.cells.datedSize(p.LocalTime())
 }
 
 // --- reader endpoint ---
@@ -369,7 +488,7 @@ func (w *ShardedWriter[T]) Size() int {
 func (r *ShardedReader[T]) Name() string { return r.f.name }
 
 // Depth returns the capacity in cells.
-func (r *ShardedReader[T]) Depth() int { return len(r.cells) }
+func (r *ShardedReader[T]) Depth() int { return r.cells.depth() }
 
 // Kernel returns the kernel owning this endpoint.
 func (r *ShardedReader[T]) Kernel() *sim.Kernel { return r.k }
@@ -382,18 +501,24 @@ func (r *ShardedReader[T]) caller(op string) *sim.Process {
 	return p
 }
 
+// noteReader records the reading process for the frontier refinement.
+func (r *ShardedReader[T]) noteReader(p *sim.Process) {
+	if r.reader == nil {
+		r.reader = p
+	} else if r.reader != p {
+		r.multiReader = true
+	}
+}
+
 // Read pops the oldest delivered value, exactly like SmartFIFO.Read: park
 // (after synchronizing) only when nothing has been delivered; otherwise
 // advance the reader's local clock to the datum's insertion date.
 func (r *ShardedReader[T]) Read() T {
 	p := r.caller("Read")
 	checkSideOrderFor(r.f.name, p, &r.lastReadDate, "read")
-	if r.reader == nil {
-		r.reader = p
-	} else if r.reader != p {
-		r.multiReader = true
-	}
-	for r.nBusy == 0 {
+	r.noteReader(p)
+	rc := &r.cells
+	for rc.nBusy == 0 {
 		r.stats.ReaderBlocks++
 		if t := p.LocalTime(); t > r.retryAt {
 			r.retryAt = t
@@ -406,29 +531,147 @@ func (r *ShardedReader[T]) Read() T {
 		p.WaitEvent(r.cellFilled)
 		p.SetLocalDate(local)
 	}
-	c := &r.cells[r.firstBusy]
-	if c.insertDate > p.LocalTime() {
+	q := rc.firstBusy
+	if rc.ins[q] > p.LocalTime() {
 		r.stats.ReaderAdvances++
 	}
-	p.AdvanceLocalTo(c.insertDate)
-	v := c.data
+	p.AdvanceLocalTo(rc.ins[q])
+	v := rc.data[q]
 	var zero T
-	c.data = zero
-	c.busy = false
-	c.freeDate = p.LocalTime()
-	r.firstBusy = (r.firstBusy + 1) % len(r.cells)
-	r.nBusy--
+	rc.data[q] = zero
+	rc.free[q] = p.LocalTime()
+	rc.firstBusy = (q + 1) % len(rc.ins)
+	rc.nBusy--
 	r.stats.Reads++
 	r.lastReadDate = p.LocalTime()
-	r.pendingFrees = append(r.pendingFrees, c.freeDate)
+	r.pendingFrees = append(r.pendingFrees, rc.free[q])
 	// Reader-side external view: the next datum exists but becomes
 	// visible only at its (future) insertion date.
-	if r.nBusy > 0 {
-		if nc := &r.cells[r.firstBusy]; nc.insertDate > r.k.Now() {
-			r.notEmpty.NotifyAtReplace(nc.insertDate)
+	if rc.nBusy > 0 {
+		if id := rc.ins[rc.firstBusy]; id > r.k.Now() {
+			r.notEmpty.NotifyAtReplace(id)
 		}
 	}
 	return v
+}
+
+// ReadBurst fills dst in order, advancing the reader's local clock by per
+// between consecutive words (burst contract). The fast path annotates the
+// freeing-date credits as runs and stages them in batches; it blocks like
+// Read when nothing has been delivered.
+func (r *ShardedReader[T]) ReadBurst(dst []T, per sim.Time) {
+	p := r.caller("ReadBurst")
+	if per < 0 {
+		for i := range dst {
+			if i > 0 {
+				p.Inc(per)
+			}
+			dst[i] = r.Read()
+		}
+		return
+	}
+	first := true
+	for len(dst) > 0 {
+		if n := r.readRun(p, dst, per, !first); n > 0 {
+			dst = dst[n:]
+			first = false
+			continue
+		}
+		if !first {
+			p.Inc(per)
+		}
+		dst[0] = r.Read()
+		dst = dst[1:]
+		first = false
+	}
+}
+
+// TryReadBurst pops up to len(dst) externally available words without
+// blocking (burst contract) and returns the number read.
+func (r *ShardedReader[T]) TryReadBurst(dst []T, per sim.Time) int {
+	p := r.caller("TryReadBurst")
+	if per < 0 {
+		n := 0
+		for i := range dst {
+			if i > 0 {
+				if r.IsEmpty() {
+					break
+				}
+				p.Inc(per)
+			}
+			v, ok := r.TryRead()
+			if !ok {
+				break
+			}
+			dst[i] = v
+			n++
+		}
+		return n
+	}
+	rc := &r.cells
+	mMax := rc.nBusy
+	if mMax > len(dst) {
+		mMax = len(dst)
+	}
+	if mMax == 0 || rc.ins[rc.firstBusy] > p.LocalTime() {
+		return 0
+	}
+	checkSideOrderFor(r.f.name, p, &r.lastReadDate, "read")
+	r.noteReader(p)
+	q0 := rc.firstBusy
+	m, end := tryRunDates(rc.free, rc.ins, q0, mMax, p.LocalTime(), per)
+	r.commitRun(p, dst[:m], q0, m, end, 0)
+	return m
+}
+
+// readRun executes one bulk read run over the delivered cells; 0 iff the
+// mirror is internally empty.
+func (r *ShardedReader[T]) readRun(p *sim.Process, dst []T, per sim.Time, incFirst bool) int {
+	rc := &r.cells
+	m := rc.nBusy
+	if m == 0 {
+		return 0
+	}
+	if m > len(dst) {
+		m = len(dst)
+	}
+	checkSideOrderFor(r.f.name, p, &r.lastReadDate, "read")
+	r.noteReader(p)
+	q0 := rc.firstBusy
+	end, adv := runDates(rc.free, rc.ins, q0, m, p.LocalTime(), per, incFirst)
+	r.commitRun(p, dst[:m], q0, m, end, adv)
+	return m
+}
+
+// commitRun applies a stamped read run: payload copy-out, ring indices,
+// stats, the batched freeing-date credits and the collapsed reader-side
+// event epilogue.
+func (r *ShardedReader[T]) commitRun(p *sim.Process, dst []T, q0, m int, end sim.Time, adv uint64) {
+	rc := &r.cells
+	d := len(rc.ins)
+	copyOut(dst, rc.data, q0)
+	n1 := d - q0
+	if n1 > m {
+		n1 = m
+	}
+	r.pendingFrees = append(r.pendingFrees, rc.free[q0:q0+n1]...)
+	r.pendingFrees = append(r.pendingFrees, rc.free[:m-n1]...)
+	rc.firstBusy = wrap(q0+m, d)
+	rc.nBusy -= m
+	r.stats.Reads += uint64(m)
+	r.stats.ReaderAdvances += adv
+	r.lastReadDate = end
+	p.AdvanceLocalTo(end)
+	now := r.k.Now()
+	if rc.nBusy > 0 {
+		if id := rc.ins[rc.firstBusy]; id > now {
+			r.notEmpty.NotifyAtReplace(id)
+		}
+	} else if m >= 2 {
+		if id := rc.ins[wrap(q0+m-1, d)]; id > now {
+			r.notEmpty.NotifyAtReplace(id)
+		}
+	}
 }
 
 // IsEmpty is the two-test reader rule over delivered data: empty iff no
@@ -436,10 +679,11 @@ func (r *ShardedReader[T]) Read() T {
 // caller's local date.
 func (r *ShardedReader[T]) IsEmpty() bool {
 	p := r.caller("IsEmpty")
-	if r.nBusy == 0 {
+	rc := &r.cells
+	if rc.nBusy == 0 {
 		return true
 	}
-	return r.cells[r.firstBusy].insertDate > p.LocalTime()
+	return rc.ins[rc.firstBusy] > p.LocalTime()
 }
 
 // TryRead pops the oldest delivered value if the endpoint is externally
@@ -463,27 +707,7 @@ func (r *ShardedReader[T]) Size() int {
 	if !p.IsMethod() {
 		p.Sync()
 	}
-	return datedSize(r.cells, p.LocalTime())
-}
-
-// datedSize applies the four-rule §III-C table to a cell mirror at date
-// now: the number of cells the real FIFO holds at that date, as far as
-// this endpoint can know.
-func datedSize[T any](cells []cell[T], now sim.Time) int {
-	n := 0
-	for i := range cells {
-		c := &cells[i]
-		if c.busy {
-			if c.insertDate <= now || c.freeDate > now {
-				n++
-			}
-		} else {
-			if c.freeDate > now && c.insertDate <= now {
-				n++
-			}
-		}
-	}
-	return n
+	return r.cells.datedSize(p.LocalTime())
 }
 
 // checkSideOrderFor enforces the §III non-decreasing-date discipline for a

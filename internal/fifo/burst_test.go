@@ -1,0 +1,137 @@
+package fifo_test
+
+// The regular FIFO's bulk paths against the scalar burst contract: same
+// values, same local clocks, same blocking behavior.
+
+import (
+	"testing"
+
+	"repro/internal/fifo"
+	"repro/internal/sim"
+)
+
+// runFIFOBurst streams nWords through chunked writes/reads; bulk selects
+// the native bulk path or the scalar contract loop. It returns the two
+// sides' final local dates, the values read and the context switches.
+func runFIFOBurst(depth, nWords, wChunk, rChunk int, bulk bool) (wEnd, rEnd sim.Time, vals []int, switches uint64) {
+	k := sim.NewKernel("fb")
+	f := fifo.New[int](k, "f", depth)
+	vals = make([]int, 0, nWords)
+	k.Thread("writer", func(p *sim.Process) {
+		buf := make([]int, wChunk)
+		for next := 0; next < nWords; {
+			m := min(wChunk, nWords-next)
+			for j := 0; j < m; j++ {
+				buf[j] = next + j
+			}
+			if bulk {
+				f.WriteBurst(buf[:m], 3*sim.NS)
+			} else {
+				for i, v := range buf[:m] {
+					if i > 0 {
+						p.Inc(3 * sim.NS)
+					}
+					f.Write(v)
+				}
+			}
+			p.Inc(5 * sim.NS)
+			next += m
+		}
+		wEnd = p.LocalTime()
+	})
+	k.Thread("reader", func(p *sim.Process) {
+		buf := make([]int, rChunk)
+		for got := 0; got < nWords; {
+			m := min(rChunk, nWords-got)
+			if bulk {
+				f.ReadBurst(buf[:m], 2*sim.NS)
+			} else {
+				for i := range buf[:m] {
+					if i > 0 {
+						p.Inc(2 * sim.NS)
+					}
+					buf[i] = f.Read()
+				}
+			}
+			vals = append(vals, buf[:m]...)
+			p.Inc(sim.NS)
+			got += m
+		}
+		rEnd = p.LocalTime()
+	})
+	k.Run(sim.RunForever)
+	switches = k.Stats().ContextSwitches
+	k.Shutdown()
+	return wEnd, rEnd, vals, switches
+}
+
+func TestFIFOBurstMatchesScalar(t *testing.T) {
+	for _, depth := range []int{1, 4, 64} {
+		w1, r1, v1, s1 := runFIFOBurst(depth, 300, 7, 5, false)
+		w2, r2, v2, s2 := runFIFOBurst(depth, 300, 7, 5, true)
+		if w1 != w2 || r1 != r2 {
+			t.Errorf("depth %d: final dates differ: scalar (%v, %v), bulk (%v, %v)", depth, w1, r1, w2, r2)
+		}
+		if s1 != s2 {
+			t.Errorf("depth %d: context switches differ: %d vs %d", depth, s1, s2)
+		}
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				t.Fatalf("depth %d: value %d differs: %d vs %d", depth, i, v1[i], v2[i])
+			}
+		}
+	}
+}
+
+func TestFIFOTryBursts(t *testing.T) {
+	k := sim.NewKernel("fb")
+	f := fifo.New[int](k, "f", 8)
+	k.Thread("p", func(p *sim.Process) {
+		in := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+		if n := f.TryWriteBurst(in, sim.NS); n != 8 {
+			t.Errorf("TryWriteBurst into depth 8 = %d, want 8", n)
+		}
+		out := make([]int, 10)
+		if n := f.TryReadBurst(out, sim.NS); n != 8 {
+			t.Errorf("TryReadBurst = %d, want 8", n)
+		}
+		for i := 0; i < 8; i++ {
+			if out[i] != i+1 {
+				t.Errorf("out[%d] = %d", i, out[i])
+			}
+		}
+		if n := f.TryReadBurst(out, sim.NS); n != 0 {
+			t.Errorf("TryReadBurst on empty = %d, want 0", n)
+		}
+	})
+	k.Run(sim.RunForever)
+	k.Shutdown()
+}
+
+// TestSyncFIFOBurstIsPerWord pins the baseline's defining property through
+// the burst API: every word of a SyncFIFO burst still synchronizes, so the
+// context-switch count stays one per access.
+func TestSyncFIFOBurstIsPerWord(t *testing.T) {
+	k := sim.NewKernel("fb")
+	f := fifo.NewSync[int](k, "f", 16)
+	const n = 32
+	k.Thread("writer", func(p *sim.Process) {
+		buf := make([]int, 8)
+		for i := 0; i < n; i += 8 {
+			p.Inc(2 * sim.NS) // decouple, so every access must re-sync
+			f.WriteBurst(buf, 3*sim.NS)
+		}
+	})
+	k.Thread("reader", func(p *sim.Process) {
+		buf := make([]int, 8)
+		for i := 0; i < n; i += 8 {
+			p.Inc(sim.NS)
+			f.ReadBurst(buf, 2*sim.NS)
+		}
+	})
+	k.Run(sim.RunForever)
+	defer k.Shutdown()
+	if sw := k.Stats().ContextSwitches; sw < uint64(n) {
+		t.Errorf("SyncFIFO bursts context-switched only %d times for %d words each way", sw, 2*n)
+	}
+}

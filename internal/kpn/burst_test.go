@@ -1,0 +1,71 @@
+package kpn
+
+// Burst-mode KPN pins: a bursting network must stay a Kahn network — the
+// §IV-A dual-mode oracle over Chan.WriteBurst/ReadBurst.
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// TestVerifyBurstChain runs the registered chain model's Verify (reference
+// Wait-per-word loops vs decoupled bulk Smart-FIFO paths) across the
+// acceptance depth grid with bursts on.
+func TestVerifyBurstChain(t *testing.T) {
+	for _, depth := range []int{1, 4, 64} {
+		for _, burst := range []int{2, 8, 32} {
+			c := chainParams{
+				stages: 4, depth: depth, tokens: 120, burst: burst,
+				rateSeed: 7, paySeed: 11,
+			}
+			var sum uint64
+			if d := Verify("kpn-burst", chainBuilder(c, &sum)); d != "" {
+				t.Errorf("depth=%d burst=%d: dual-mode burst traces differ:\n%s", depth, burst, d)
+			}
+		}
+	}
+}
+
+// TestBurstScenarioCheck exercises the registry hook with the burst key:
+// the campaign spot check must pass for a bursting point.
+func TestBurstScenarioCheck(t *testing.T) {
+	m, ok := scenario.Lookup("kpn")
+	if !ok {
+		t.Fatal("kpn model not registered")
+	}
+	diff, err := m.Check(scenario.Params{"burst": 8.0, "depth": 4.0, "tokens": 64.0})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if diff != "" {
+		t.Errorf("burst point failed the trace-equivalence check:\n%s", diff)
+	}
+}
+
+// TestBurstChanDirect pins Chan.WriteBurst/ReadBurst on a hand-built
+// network: values arrive in order with the expected count in both modes.
+func TestBurstChanDirect(t *testing.T) {
+	for _, decoupled := range []bool{false, true} {
+		n := New("direct", decoupled)
+		ch := Channel[int](n, "c", 3)
+		got := make([]int, 10)
+		n.Actor("w", func(a *Actor) {
+			buf := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+			ch.WriteBurst(a, buf, 2*sim.NS)
+		})
+		n.Actor("r", func(a *Actor) {
+			ch.ReadBurst(a, got, 5*sim.NS)
+		})
+		if err := n.Run(); err != nil {
+			t.Fatalf("decoupled=%v: %v", decoupled, err)
+		}
+		n.Shutdown()
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("decoupled=%v: got[%d] = %d", decoupled, i, v)
+			}
+		}
+	}
+}

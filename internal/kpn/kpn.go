@@ -87,13 +87,14 @@ func (a *Actor) Logf(format string, args ...any) {
 
 // Chan is a typed KPN channel.
 type Chan[T any] struct {
+	n  *Network
 	ch fifo.Channel[T]
 }
 
 // Channel creates a bounded channel in the network's mode. (A package
 // function because Go methods cannot introduce type parameters.)
 func Channel[T any](n *Network, name string, depth int) *Chan[T] {
-	c := &Chan[T]{}
+	c := &Chan[T]{n: n}
 	if n.Decoupled {
 		c.ch = core.NewSmart[T](n.K, name, depth)
 	} else {
@@ -107,6 +108,39 @@ func (c *Chan[T]) Read() T { return c.ch.Read() }
 
 // Write pushes a token, blocking while the channel is full.
 func (c *Chan[T]) Write(v T) { c.ch.Write(v) }
+
+// WriteBurst pushes tokens in order with per of computation annotated
+// between consecutive tokens (the burst contract of internal/core): the
+// Smart FIFO's bulk fast path when decoupled, the equivalent scalar
+// Write/Delay loop in reference mode — so a dual-mode run of a bursting
+// network still produces date-identical traces.
+func (c *Chan[T]) WriteBurst(a *Actor, vals []T, per sim.Time) {
+	if c.n.Decoupled {
+		fifo.WriteBurst(a.P, c.ch, vals, per)
+		return
+	}
+	for i, v := range vals {
+		if i > 0 {
+			a.Delay(per)
+		}
+		c.ch.Write(v)
+	}
+}
+
+// ReadBurst pops tokens in order with per annotated between consecutive
+// tokens, symmetric to WriteBurst.
+func (c *Chan[T]) ReadBurst(a *Actor, dst []T, per sim.Time) {
+	if c.n.Decoupled {
+		fifo.ReadBurst(a.P, c.ch, dst, per)
+		return
+	}
+	for i := range dst {
+		if i > 0 {
+			a.Delay(per)
+		}
+		dst[i] = c.ch.Read()
+	}
+}
 
 // Monitor exposes the non-Kahn observation interface (fill levels) for
 // controllers and probes; actors must not use it for data flow.

@@ -15,7 +15,7 @@ import (
 func init() {
 	scenario.Register(scenario.Model{
 		Name:  "kpn",
-		Keys:  []string{"stages", "depth", "tokens", "seed", "decoupled"},
+		Keys:  []string{"stages", "depth", "tokens", "seed", "decoupled", "burst"},
 		Run:   runScenario,
 		Check: checkScenario,
 	})
@@ -23,6 +23,7 @@ func init() {
 
 type chainParams struct {
 	stages, depth, tokens int
+	burst                 int
 	decoupled             bool
 	rateSeed, paySeed     int64
 }
@@ -33,6 +34,7 @@ func chainConfig(p scenario.Params) (chainParams, error) {
 		stages:    r.Int("stages", 3),
 		depth:     r.Int("depth", 4),
 		tokens:    r.Int("tokens", 50),
+		burst:     r.Int("burst", 0),
 		decoupled: r.Bool("decoupled", true),
 	}
 	rng := scenario.Rand(r.Int64("seed", 1))
@@ -50,7 +52,16 @@ func chainConfig(p scenario.Params) (chainParams, error) {
 // payloads, middle stages transform, the last stage logs dated outputs.
 // Per-stage delay schedules come from workload.Random over the derived
 // rate seed. The sink's checksum lands in *sum (overwritten per run).
+//
+// With burst > 1 the chain becomes the burst-dominated variant: per-stage
+// rates are constant (sampled once from the same schedule) and tokens move
+// in chunks of up to burst through Chan.WriteBurst/ReadBurst — the bulk
+// Smart-FIFO fast paths when decoupled, the equivalent scalar loop in
+// reference mode, so Verify still pins date equality.
 func chainBuilder(c chainParams, sum *uint64) Builder {
+	if c.burst > 1 {
+		return burstChainBuilder(c, sum)
+	}
 	return func(net *Network) {
 		chans := make([]*Chan[uint32], c.stages-1)
 		for i := range chans {
@@ -75,6 +86,58 @@ func chainBuilder(c chainParams, sum *uint64) Builder {
 						acc = workload.Checksum(acc, v)
 						a.Logf("out %08x", v)
 					}
+				}
+				if s == c.stages-1 {
+					a.Logf("checksum %016x", acc)
+					*sum = acc
+				}
+			})
+		}
+	}
+}
+
+// burstChainBuilder is the chunked chain: every stage moves tokens in
+// chunks with a constant per-stage rate annotated between words, logging
+// chunk-end dates at the sink.
+func burstChainBuilder(c chainParams, sum *uint64) Builder {
+	return func(net *Network) {
+		chans := make([]*Chan[uint32], c.stages-1)
+		for i := range chans {
+			chans[i] = Channel[uint32](net, fmt.Sprintf("c%d", i), c.depth)
+		}
+		for s := 0; s < c.stages; s++ {
+			s := s
+			per := workload.Random(c.rateSeed+int64(s), 6, 2*sim.NS)(0) + sim.NS
+			net.Actor(fmt.Sprintf("a%d", s), func(a *Actor) {
+				buf := make([]uint32, c.burst)
+				acc := uint64(0)
+				for i := 0; i < c.tokens; {
+					m := c.burst
+					if c.tokens-i < m {
+						m = c.tokens - i
+					}
+					chunk := buf[:m]
+					if s == 0 {
+						for j := range chunk {
+							chunk[j] = workload.WordAt(c.paySeed, i+j)
+						}
+					} else {
+						chans[s-1].ReadBurst(a, chunk, per)
+					}
+					a.Delay(per)
+					if s < c.stages-1 {
+						for j := range chunk {
+							chunk[j] = chunk[j]*3 + uint32(s)
+						}
+						chans[s].WriteBurst(a, chunk, per)
+						a.Delay(per)
+					} else {
+						for _, v := range chunk {
+							acc = workload.Checksum(acc, v)
+						}
+						a.Logf("chunk %d sum %016x", i/c.burst, acc)
+					}
+					i += m
 				}
 				if s == c.stages-1 {
 					a.Logf("checksum %016x", acc)

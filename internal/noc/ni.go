@@ -41,9 +41,10 @@ type NI struct {
 	inj *fifo.FIFO[Flit]
 	del *fifo.FIFO[Flit]
 
-	assembly  []uint32 // words collected toward the current packet
-	pending   []Flit   // assembled flits awaiting injection
-	tickArmed bool     // a self-scheduled cycle tick is pending
+	assembly    []uint32 // words collected toward the current packet
+	pending     []Flit   // assembled flits awaiting injection (reused)
+	pendingHead int      // next flit of pending to inject
+	tickArmed   bool     // a self-scheduled cycle tick is pending
 
 	proc *sim.Process
 }
@@ -86,6 +87,13 @@ func (m *Mesh) AttachNI(name string, x, y int, src, dst fifo.Channel[uint32], cf
 		inj:  m.injectionQueue(idx),
 		del:  m.deliveryQueue(idx),
 	}
+	if src != nil {
+		// Preallocated packet staging: the assembly buffer fills via
+		// bulk TryReadBurst and the flit buffer is reused per packet,
+		// so steady-state packetization allocates nothing.
+		ni.assembly = make([]uint32, 0, cfg.PacketLen)
+		ni.pending = make([]Flit, 0, cfg.PacketLen)
+	}
 	var events []*sim.Event
 	if src != nil {
 		events = append(events, src.NotEmpty(), ni.inj.NotFull())
@@ -113,7 +121,7 @@ func (ni *NI) step(p *sim.Process) {
 	if ni.tickArmed {
 		ni.tickArmed = false
 		if ni.src != nil {
-			ni.ingress()
+			ni.ingress(p)
 		}
 		if ni.dst != nil {
 			ni.egress()
@@ -128,10 +136,10 @@ func (ni *NI) step(p *sim.Process) {
 // progressPossible reports whether a tick now would move data.
 func (ni *NI) progressPossible() bool {
 	if ni.src != nil {
-		if len(ni.pending) > 0 && !ni.inj.IsFull() {
+		if ni.pendingHead < len(ni.pending) && !ni.inj.IsFull() {
 			return true
 		}
-		if len(ni.pending) == 0 && !ni.src.IsEmpty() {
+		if ni.pendingHead == len(ni.pending) && !ni.src.IsEmpty() {
 			return true
 		}
 	}
@@ -152,19 +160,22 @@ func (ni *NI) progressPossible() bool {
 // activation date, so a decoupled producer's future-dated words are not
 // visible early), and a packet is framed when PacketLen words have been
 // gathered.
-func (ni *NI) ingress() bool {
+func (ni *NI) ingress(p *sim.Process) bool {
 	busy := false
-	if len(ni.pending) == 0 {
-		for len(ni.assembly) < ni.cfg.PacketLen {
-			w, ok := ni.src.TryRead()
-			if !ok {
-				break
-			}
-			ni.assembly = append(ni.assembly, w)
-			busy = true
+	if ni.pendingHead == len(ni.pending) {
+		if got := len(ni.assembly); got < ni.cfg.PacketLen {
+			// Bulk collection: one TryReadBurst (per = 0, the NI is
+			// a synchronized method) drains every externally visible
+			// word into the assembly buffer — the Smart FIFO's bulk
+			// fast path instead of a TryRead per word.
+			space := ni.assembly[got:ni.cfg.PacketLen]
+			n := fifo.TryReadBurst(p, ni.src, space, 0)
+			ni.assembly = ni.assembly[:got+n]
+			busy = busy || n > 0
 		}
 		if len(ni.assembly) == ni.cfg.PacketLen {
-			ni.pending = make([]Flit, 0, ni.cfg.PacketLen)
+			ni.pending = ni.pending[:0]
+			ni.pendingHead = 0
 			for i, w := range ni.assembly {
 				ni.pending = append(ni.pending, Flit{
 					Dst:  ni.cfg.Dst,
@@ -178,10 +189,10 @@ func (ni *NI) ingress() bool {
 			ni.m.stats.PacketsInjected++
 		}
 	}
-	if len(ni.pending) > 0 {
+	if ni.pendingHead < len(ni.pending) {
 		// Inject one flit per cycle.
-		if ni.inj.TryWrite(ni.pending[0]) {
-			ni.pending = ni.pending[1:]
+		if ni.inj.TryWrite(ni.pending[ni.pendingHead]) {
+			ni.pendingHead++
 		}
 		busy = true
 	}

@@ -82,6 +82,18 @@ type Config struct {
 	// the bridges are Smart FIFOs, and their dates are what makes the
 	// partitioning conservative.
 	Shards int
+	// Burst, when > 1, moves words through the FIFOs in chunks of up to
+	// Burst words: the burst-dominated configuration of the §IV-C
+	// packetization extension. The chunked workload samples each rate
+	// function once per chunk (argument = the module's chunk ordinal)
+	// and applies it between consecutive words of the chunk and once
+	// after it; the transmitter becomes store-and-forward per chunk.
+	// Every mode implements the same chunked timing model — TDless and
+	// Quantum with their per-word delayer between words, TDfull and
+	// Untimed through the bulk burst fast paths — so cross-mode date
+	// equivalence is preserved (pinned by TestBurstTraceEquivalence).
+	// 0 or 1 keeps the word-at-a-time model.
+	Burst int
 	// Seed feeds the data generator.
 	Seed int64
 }
@@ -139,12 +151,6 @@ type Result struct {
 	Rounds uint64
 }
 
-// channel abstracts the FIFO implementation choice.
-type channel interface {
-	Write(v workload.Word)
-	Read() workload.Word
-}
-
 // delayer abstracts the annotation style of a process.
 type delayer func(d sim.Time)
 
@@ -157,7 +163,7 @@ func Run(cfg Config) Result {
 	k := sim.NewKernel("fig5")
 	timed := cfg.Mode != Untimed
 
-	newFIFO := func(name string) channel {
+	newFIFO := func(name string) fifo.Channel[workload.Word] {
 		if cfg.Mode == TDfull {
 			return core.NewSmart[workload.Word](k, name, cfg.Depth)
 		}
@@ -191,36 +197,126 @@ func Run(cfg Config) Result {
 		}
 	}
 
-	k.Thread("source", func(p *sim.Process) {
-		delay := newDelay(p)
-		for i := 0; i < n; i++ {
-			f1.Write(workload.WordAt(cfg.Seed, i))
-			delay(cfg.SourceRate(i))
-		}
-		end(p)
-	})
-	k.Thread("transmitter", func(p *sim.Process) {
-		delay := newDelay(p)
-		for i := 0; i < n; i++ {
-			v := f1.Read()
-			delay(cfg.TransmitRate(i))
-			f2.Write(v ^ 0xa5a5a5a5) // the "transmission" transform
-		}
-		end(p)
-	})
-	k.Thread("sink", func(p *sim.Process) {
-		delay := newDelay(p)
-		sum := uint64(0)
-		for i := 0; i < n; i++ {
-			sum = workload.Checksum(sum, f2.Read())
-			delay(cfg.SinkRate(i))
-			if timed && (i+1)%cfg.WordsPerBlock == 0 {
-				res.BlockDates = append(res.BlockDates, p.LocalTime())
+	if cfg.Burst > 1 {
+		// Burst-dominated configuration: words move in chunks through
+		// the burst APIs (bulk fast paths for TDfull and Untimed, the
+		// mode's per-word delayer for TDless and Quantum).
+		writeChunk := func(p *sim.Process, ch fifo.Channel[workload.Word], delay delayer, chunk []workload.Word, per sim.Time) {
+			switch cfg.Mode {
+			case TDfull:
+				fifo.WriteBurst(p, ch, chunk, per)
+			case Untimed:
+				fifo.WriteBurst(p, ch, chunk, 0)
+			default:
+				for i, v := range chunk {
+					if i > 0 {
+						delay(per)
+					}
+					ch.Write(v)
+				}
 			}
 		}
-		res.Checksum = sum
-		end(p)
-	})
+		readChunk := func(p *sim.Process, ch fifo.Channel[workload.Word], delay delayer, chunk []workload.Word, per sim.Time) {
+			switch cfg.Mode {
+			case TDfull:
+				fifo.ReadBurst(p, ch, chunk, per)
+			case Untimed:
+				fifo.ReadBurst(p, ch, chunk, 0)
+			default:
+				for i := range chunk {
+					if i > 0 {
+						delay(per)
+					}
+					chunk[i] = ch.Read()
+				}
+			}
+		}
+		k.Thread("source", func(p *sim.Process) {
+			delay := newDelay(p)
+			buf := make([]workload.Word, cfg.Burst)
+			for i, ci := 0, 0; i < n; ci++ {
+				m := min(cfg.Burst, n-i)
+				per := cfg.SourceRate(ci)
+				for j := 0; j < m; j++ {
+					buf[j] = workload.WordAt(cfg.Seed, i+j)
+				}
+				writeChunk(p, f1, delay, buf[:m], per)
+				delay(per)
+				i += m
+			}
+			end(p)
+		})
+		k.Thread("transmitter", func(p *sim.Process) {
+			delay := newDelay(p)
+			buf := make([]workload.Word, cfg.Burst)
+			for i, ci := 0, 0; i < n; ci++ {
+				m := min(cfg.Burst, n-i)
+				per := cfg.TransmitRate(ci)
+				readChunk(p, f1, delay, buf[:m], per)
+				delay(per)
+				for j := 0; j < m; j++ {
+					buf[j] ^= 0xa5a5a5a5 // the "transmission" transform
+				}
+				writeChunk(p, f2, delay, buf[:m], per)
+				delay(per)
+				i += m
+			}
+			end(p)
+		})
+		k.Thread("sink", func(p *sim.Process) {
+			delay := newDelay(p)
+			buf := make([]workload.Word, cfg.Burst)
+			sum := uint64(0)
+			for i, ci := 0, 0; i < n; ci++ {
+				// Chunks never straddle a block boundary, so the
+				// dated block-completion log keeps its place.
+				m := min(cfg.Burst, n-i, cfg.WordsPerBlock-i%cfg.WordsPerBlock)
+				per := cfg.SinkRate(ci)
+				readChunk(p, f2, delay, buf[:m], per)
+				delay(per)
+				for _, w := range buf[:m] {
+					sum = workload.Checksum(sum, w)
+				}
+				i += m
+				if timed && i%cfg.WordsPerBlock == 0 {
+					res.BlockDates = append(res.BlockDates, p.LocalTime())
+				}
+			}
+			res.Checksum = sum
+			end(p)
+		})
+	} else {
+		k.Thread("source", func(p *sim.Process) {
+			delay := newDelay(p)
+			for i := 0; i < n; i++ {
+				f1.Write(workload.WordAt(cfg.Seed, i))
+				delay(cfg.SourceRate(i))
+			}
+			end(p)
+		})
+		k.Thread("transmitter", func(p *sim.Process) {
+			delay := newDelay(p)
+			for i := 0; i < n; i++ {
+				v := f1.Read()
+				delay(cfg.TransmitRate(i))
+				f2.Write(v ^ 0xa5a5a5a5) // the "transmission" transform
+			}
+			end(p)
+		})
+		k.Thread("sink", func(p *sim.Process) {
+			delay := newDelay(p)
+			sum := uint64(0)
+			for i := 0; i < n; i++ {
+				sum = workload.Checksum(sum, f2.Read())
+				delay(cfg.SinkRate(i))
+				if timed && (i+1)%cfg.WordsPerBlock == 0 {
+					res.BlockDates = append(res.BlockDates, p.LocalTime())
+				}
+			}
+			res.Checksum = sum
+			end(p)
+		})
+	}
 
 	start := time.Now()
 	k.Run(sim.RunForever)
@@ -262,36 +358,94 @@ func runSharded(cfg Config) Result {
 
 	// Each thread writes only its own slot: shards run concurrently.
 	var ends [3]sim.Time
-	kOf(0).Thread("source", func(p *sim.Process) {
-		w := f1.Writer()
-		for i := 0; i < n; i++ {
-			w.Write(workload.WordAt(cfg.Seed, i))
-			p.Inc(cfg.SourceRate(i))
-		}
-		ends[0] = p.LocalTime()
-	})
-	kOf(1).Thread("transmitter", func(p *sim.Process) {
-		r, w := f1.Reader(), f2.Writer()
-		for i := 0; i < n; i++ {
-			v := r.Read()
-			p.Inc(cfg.TransmitRate(i))
-			w.Write(v ^ 0xa5a5a5a5)
-		}
-		ends[1] = p.LocalTime()
-	})
-	kOf(2).Thread("sink", func(p *sim.Process) {
-		r := f2.Reader()
-		sum := uint64(0)
-		for i := 0; i < n; i++ {
-			sum = workload.Checksum(sum, r.Read())
-			p.Inc(cfg.SinkRate(i))
-			if (i+1)%cfg.WordsPerBlock == 0 {
-				res.BlockDates = append(res.BlockDates, p.LocalTime())
+	if cfg.Burst > 1 {
+		// The chunked model over the bridge endpoints' bulk burst
+		// paths: same chunk boundaries and rate sampling as the
+		// single-kernel build, hence identical dates.
+		kOf(0).Thread("source", func(p *sim.Process) {
+			w := f1.Writer()
+			buf := make([]workload.Word, cfg.Burst)
+			for i, ci := 0, 0; i < n; ci++ {
+				m := min(cfg.Burst, n-i)
+				per := cfg.SourceRate(ci)
+				for j := 0; j < m; j++ {
+					buf[j] = workload.WordAt(cfg.Seed, i+j)
+				}
+				w.WriteBurst(buf[:m], per)
+				p.Inc(per)
+				i += m
 			}
-		}
-		res.Checksum = sum
-		ends[2] = p.LocalTime()
-	})
+			ends[0] = p.LocalTime()
+		})
+		kOf(1).Thread("transmitter", func(p *sim.Process) {
+			r, w := f1.Reader(), f2.Writer()
+			buf := make([]workload.Word, cfg.Burst)
+			for i, ci := 0, 0; i < n; ci++ {
+				m := min(cfg.Burst, n-i)
+				per := cfg.TransmitRate(ci)
+				r.ReadBurst(buf[:m], per)
+				p.Inc(per)
+				for j := 0; j < m; j++ {
+					buf[j] ^= 0xa5a5a5a5
+				}
+				w.WriteBurst(buf[:m], per)
+				p.Inc(per)
+				i += m
+			}
+			ends[1] = p.LocalTime()
+		})
+		kOf(2).Thread("sink", func(p *sim.Process) {
+			r := f2.Reader()
+			buf := make([]workload.Word, cfg.Burst)
+			sum := uint64(0)
+			for i, ci := 0, 0; i < n; ci++ {
+				m := min(cfg.Burst, n-i, cfg.WordsPerBlock-i%cfg.WordsPerBlock)
+				per := cfg.SinkRate(ci)
+				r.ReadBurst(buf[:m], per)
+				p.Inc(per)
+				for _, w := range buf[:m] {
+					sum = workload.Checksum(sum, w)
+				}
+				i += m
+				if i%cfg.WordsPerBlock == 0 {
+					res.BlockDates = append(res.BlockDates, p.LocalTime())
+				}
+			}
+			res.Checksum = sum
+			ends[2] = p.LocalTime()
+		})
+	} else {
+		kOf(0).Thread("source", func(p *sim.Process) {
+			w := f1.Writer()
+			for i := 0; i < n; i++ {
+				w.Write(workload.WordAt(cfg.Seed, i))
+				p.Inc(cfg.SourceRate(i))
+			}
+			ends[0] = p.LocalTime()
+		})
+		kOf(1).Thread("transmitter", func(p *sim.Process) {
+			r, w := f1.Reader(), f2.Writer()
+			for i := 0; i < n; i++ {
+				v := r.Read()
+				p.Inc(cfg.TransmitRate(i))
+				w.Write(v ^ 0xa5a5a5a5)
+			}
+			ends[1] = p.LocalTime()
+		})
+		kOf(2).Thread("sink", func(p *sim.Process) {
+			r := f2.Reader()
+			sum := uint64(0)
+			for i := 0; i < n; i++ {
+				sum = workload.Checksum(sum, r.Read())
+				p.Inc(cfg.SinkRate(i))
+				if (i+1)%cfg.WordsPerBlock == 0 {
+					res.BlockDates = append(res.BlockDates, p.LocalTime())
+				}
+			}
+			res.Checksum = sum
+			ends[2] = p.LocalTime()
+		})
+	}
 
 	start := time.Now()
 	c.Run(sim.RunForever)
