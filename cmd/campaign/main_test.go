@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"strconv"
 	"strings"
@@ -42,8 +43,8 @@ func TestCSVOutput(t *testing.T) {
 		t.Fatalf("exit %d: %s", code, errBuf.String())
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) != 15 { // header + 14 points
-		t.Fatalf("%d CSV lines, want 15", len(lines))
+	if len(lines) != 21 { // header + 20 points
+		t.Fatalf("%d CSV lines, want 21", len(lines))
 	}
 	if !strings.HasPrefix(lines[0], "index,model,hash") {
 		t.Errorf("header: %q", lines[0])
@@ -82,5 +83,57 @@ func TestExitCodes(t *testing.T) {
 	os.WriteFile(bad, []byte(`{"model":"warpdrive"}`), 0o644)
 	if code := run([]string{"-spec", bad}, &out, &errBuf); code != 2 {
 		t.Errorf("unknown model: exit %d, want 2", code)
+	}
+}
+
+// TestGoldenMesh pins the topology-axis smoke: a mesh swept across
+// shard counts × partitioners must reproduce the checked-in golden at any
+// worker count — and, structurally, every (shards, partitioner) cell of
+// the sweep must carry the same dated-log digest and checksums (the
+// bridge auto-insertion exactness claim). Regenerate with:
+//
+//	go run ./cmd/campaign -spec cmd/campaign/testdata/mesh.json -check-every 3 -o cmd/campaign/testdata/mesh.golden.json
+func TestGoldenMesh(t *testing.T) {
+	golden, err := os.ReadFile("testdata/mesh.golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		var out, errBuf bytes.Buffer
+		code := run([]string{
+			"-spec", "testdata/mesh.json",
+			"-check-every", "3",
+			"-workers", strconv.Itoa(workers),
+		}, &out, &errBuf)
+		if code != 0 {
+			t.Fatalf("workers=%d: exit %d, stderr: %s", workers, code, errBuf.String())
+		}
+		if out.String() != string(golden) {
+			t.Errorf("workers=%d: output drifted from testdata/mesh.golden.json\nstderr: %s\n(regenerate if the change is intended)",
+				workers, errBuf.String())
+		}
+	}
+	var doc struct {
+		Points []struct {
+			Params  map[string]any `json:"params"`
+			Outcome struct {
+				DatesHash string   `json:"dates_hash"`
+				Checksums []uint64 `json:"checksums"`
+			} `json:"outcome"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(golden, &doc); err != nil {
+		t.Fatal(err)
+	}
+	digests := map[string]bool{}
+	n := 0
+	for _, p := range doc.Points {
+		if p.Params["kind"] == "mesh" && p.Params["height"] != nil {
+			digests[p.Outcome.DatesHash] = true
+			n++
+		}
+	}
+	if n != 9 || len(digests) != 1 {
+		t.Fatalf("mesh sweep: %d points, %d distinct digests (want 9 points, 1 digest)", n, len(digests))
 	}
 }

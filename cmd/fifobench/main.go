@@ -41,6 +41,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/netlist"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
@@ -50,6 +51,7 @@ type row struct {
 	Depth       int     `json:"depth"`
 	Mode        string  `json:"mode"`
 	Shards      int     `json:"shards,omitempty"`
+	Crossings   int     `json:"crossings,omitempty"`
 	QuantumNS   int64   `json:"quantum_ns,omitempty"`
 	WallMS      float64 `json:"wall_ms"`
 	CtxSwitches uint64  `json:"ctx_switches"`
@@ -69,27 +71,36 @@ type report struct {
 
 func main() {
 	var (
-		blocks     = flag.Int("blocks", 200, "blocks to transfer (paper: 1000)")
-		words      = flag.Int("words", 1000, "words per block (paper: 1000)")
-		depths     = flag.String("depths", "1,2,4,8,16,32,64,128,256,512,1024", "comma-separated FIFO depths")
-		reps       = flag.Int("reps", 1, "repetitions per point (best wall time kept)")
-		quantum    = flag.Bool("quantum", false, "run the quantum-keeper ablation instead of Fig. 5")
-		shards     = flag.Int("shards", 0, "additionally run TDfull partitioned over N kernels (TDpar rows)")
-		burst      = flag.Int("burst", 0, "additionally run the burst-dominated configuration with chunks of N words (TDless-b/TDburst rows)")
-		csv        = flag.Bool("csv", false, "emit CSV")
-		jsonOut    = flag.Bool("json", false, "emit a single JSON document (for BENCH_*.json trajectories)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
+		blocks      = flag.Int("blocks", 200, "blocks to transfer (paper: 1000)")
+		words       = flag.Int("words", 1000, "words per block (paper: 1000)")
+		depths      = flag.String("depths", "1,2,4,8,16,32,64,128,256,512,1024", "comma-separated FIFO depths")
+		reps        = flag.Int("reps", 1, "repetitions per point (best wall time kept)")
+		quantum     = flag.Bool("quantum", false, "run the quantum-keeper ablation instead of Fig. 5")
+		shards      = flag.Int("shards", 0, "additionally run TDfull partitioned over N kernels (TDpar rows)")
+		partitioner = flag.String("partitioner", "", "netlist partitioner for the sharded rows: single, roundrobin (default) or mincut")
+		burst       = flag.Int("burst", 0, "additionally run the burst-dominated configuration with chunks of N words (TDless-b/TDburst rows)")
+		csv         = flag.Bool("csv", false, "emit CSV")
+		jsonOut     = flag.Bool("json", false, "emit a single JSON document (for BENCH_*.json trajectories)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
 	)
 	flag.Parse()
-	os.Exit(run(*blocks, *words, *depths, *reps, *quantum, *shards, *burst,
+	os.Exit(run(*blocks, *words, *depths, *reps, *quantum, *shards, *burst, *partitioner,
 		*csv, *jsonOut, *cpuprofile, *memprofile))
 }
 
 // run does the whole sweep and returns the exit code, so profile teardown
 // (deferred here) happens before main exits.
-func run(blocks, words int, depths string, reps int, quantum bool, shards, burst int,
+func run(blocks, words int, depths string, reps int, quantum bool, shards, burst int, partitioner string,
 	csv, jsonOut bool, cpuprofile, memprofile string) int {
+	if shards > 3 {
+		fmt.Fprintf(os.Stderr, "fifobench: -shards %d: the Fig. 5 model has only 3 modules (use -shards 1..3)\n", shards)
+		return 2
+	}
+	if _, err := netlist.PartitionerByName(partitioner); err != nil {
+		fmt.Fprintf(os.Stderr, "fifobench: %v\n", err)
+		return 2
+	}
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -134,7 +145,7 @@ func run(blocks, words int, depths string, reps int, quantum bool, shards, burst
 		if quantum {
 			csvW = campaign.NewCSV(os.Stdout, "depth", "mode", "quantum_ns", "wall_ms", "ctx_switches", "max_err_ns")
 		} else {
-			csvW = campaign.NewCSV(os.Stdout, "depth", "mode", "wall_ms", "ctx_switches", "sim_end_ns", "err_ns")
+			csvW = campaign.NewCSV(os.Stdout, "depth", "mode", "wall_ms", "ctx_switches", "sim_end_ns", "err_ns", "crossings")
 		}
 	}
 	var rows []row
@@ -147,7 +158,7 @@ func run(blocks, words int, depths string, reps int, quantum bool, shards, burst
 		}
 		rows = runQuantumAblation(blocks, words, depthList, reps, csvW, jsonOut)
 	} else {
-		rows, violations = runFig5(blocks, words, depthList, reps, shards, burst, csvW, jsonOut)
+		rows, violations = runFig5(blocks, words, depthList, reps, shards, burst, partitioner, csvW, jsonOut)
 	}
 	if csvW != nil {
 		if err := csvW.Flush(); err != nil {
@@ -186,7 +197,7 @@ func best(cfg pipeline.Config, reps int) pipeline.Result {
 // runFig5 returns the measured rows plus the number of accuracy violations
 // (nonzero TDfull/TDburst/TDpar error columns); any violation makes
 // fifobench exit 1.
-func runFig5(blocks, words int, depths []int, reps, shards, burst int, csvW *campaign.CSV, quiet bool) ([]row, int) {
+func runFig5(blocks, words int, depths []int, reps, shards, burst int, partitioner string, csvW *campaign.CSV, quiet bool) ([]row, int) {
 	if !quiet && csvW == nil {
 		fmt.Printf("Fig. 5 — %d blocks x %d words\n", blocks, words)
 		fmt.Printf("%6s  %-8s  %10s  %12s  %14s  %8s\n",
@@ -219,14 +230,12 @@ func runFig5(blocks, words int, depths []int, reps, shards, burst int, csvW *cam
 					violations++
 				}
 			}
-			// Report the shard count the run actually used: runSharded
-			// clamps to the module count, so -shards 5 still runs on 3.
 			rowShards := 0
 			if cfg.Shards > 1 {
 				rowShards = r.Shards
 			}
 			rows = append(rows, row{
-				Depth: d, Mode: label, Shards: rowShards,
+				Depth: d, Mode: label, Shards: rowShards, Crossings: r.Crossings,
 				WallMS:      float64(r.Wall.Microseconds()) / 1000,
 				CtxSwitches: r.Stats.ContextSwitches,
 				SimEndNS:    int64(r.SimEnd / sim.NS),
@@ -237,7 +246,7 @@ func runFig5(blocks, words int, depths []int, reps, shards, burst int, csvW *cam
 			}
 			if csvW != nil {
 				csvW.Row(d, label, float64(r.Wall.Microseconds())/1000, r.Stats.ContextSwitches,
-					int64(r.SimEnd/sim.NS), int64(errNS/sim.NS))
+					int64(r.SimEnd/sim.NS), int64(errNS/sim.NS), r.Crossings)
 			} else {
 				fmt.Printf("%6d  %-8s  %10.3f  %12d  %14v  %8s\n",
 					d, label, float64(r.Wall.Microseconds())/1000, r.Stats.ContextSwitches, r.SimEnd, errStr)
@@ -252,6 +261,7 @@ func runFig5(blocks, words int, depths []int, reps, shards, burst int, csvW *cam
 			// err column must stay 0), different wall clock.
 			emit("TDpar", pipeline.Config{
 				Mode: pipeline.TDfull, Depth: d, Blocks: blocks, WordsPerBlock: words, Shards: shards,
+				Partitioner: partitioner,
 			}, false)
 		}
 		if burst > 1 {
@@ -267,6 +277,7 @@ func runFig5(blocks, words int, depths []int, reps, shards, burst int, csvW *cam
 			if shards > 1 {
 				emit("TDpar-b", pipeline.Config{
 					Mode: pipeline.TDfull, Depth: d, Blocks: blocks, WordsPerBlock: words, Burst: burst, Shards: shards,
+					Partitioner: partitioner,
 				}, false)
 			}
 		}

@@ -24,6 +24,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/campaign"
+	"repro/internal/netlist"
 	"repro/internal/sim"
 	"repro/internal/soc"
 )
@@ -38,12 +39,14 @@ type runJSON struct {
 
 // shardedJSON reports the -shards comparison.
 type shardedJSON struct {
-	Shards     int     `json:"shards"`
-	Single     runJSON `json:"single"`
-	Sharded    runJSON `json:"sharded"`
-	Rounds     uint64  `json:"rounds"`
-	SpeedupX   float64 `json:"speedup_x"`
-	DatesEqual bool    `json:"dates_equal"`
+	Shards      int     `json:"shards"`
+	Partitioner string  `json:"partitioner"`
+	Crossings   int     `json:"crossings"`
+	Single      runJSON `json:"single"`
+	Sharded     runJSON `json:"sharded"`
+	Rounds      uint64  `json:"rounds"`
+	SpeedupX    float64 `json:"speedup_x"`
+	DatesEqual  bool    `json:"dates_equal"`
 }
 
 // reportJSON is the -json document.
@@ -77,22 +80,31 @@ func main() { os.Exit(run()) }
 // profile teardown happens before the process exits.
 func run() int {
 	var (
-		pipelines  = flag.Int("pipelines", 8, "accelerator pipelines")
-		jobs       = flag.Int("jobs", 10, "job rounds")
-		words      = flag.Int("words", 4096, "words per job")
-		depth      = flag.Int("depth", 16, "accelerator FIFO depth")
-		useNoC     = flag.Bool("noc", true, "route odd pipelines through the NoC")
-		packet     = flag.Int("packet", 16, "NoC packet length (words)")
-		quantum    = flag.Int64("quantum-ns", 500, "memory-mapped side quantum (ns)")
-		dma        = flag.Bool("dma", true, "include the memory-to-memory DMA pipeline")
-		reps       = flag.Int("reps", 1, "repetitions (best wall time kept)")
-		shards     = flag.Int("shards", 0, "also run the clustered model on 1 and N kernels and report the parallel speedup")
-		csvOut     = flag.Bool("csv", false, "emit CSV")
-		jsonOut    = flag.Bool("json", false, "emit a single JSON document")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the runs to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile after the runs to this file")
+		pipelines   = flag.Int("pipelines", 8, "accelerator pipelines")
+		jobs        = flag.Int("jobs", 10, "job rounds")
+		words       = flag.Int("words", 4096, "words per job")
+		depth       = flag.Int("depth", 16, "accelerator FIFO depth")
+		useNoC      = flag.Bool("noc", true, "route odd pipelines through the NoC")
+		packet      = flag.Int("packet", 16, "NoC packet length (words)")
+		quantum     = flag.Int64("quantum-ns", 500, "memory-mapped side quantum (ns)")
+		dma         = flag.Bool("dma", true, "include the memory-to-memory DMA pipeline")
+		reps        = flag.Int("reps", 1, "repetitions (best wall time kept)")
+		shards      = flag.Int("shards", 0, "also run the clustered model on 1 and N kernels and report the parallel speedup")
+		partitioner = flag.String("partitioner", "", "netlist partitioner for the clustered model: single, roundrobin (default) or mincut")
+		csvOut      = flag.Bool("csv", false, "emit CSV")
+		jsonOut     = flag.Bool("json", false, "emit a single JSON document")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the runs to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile after the runs to this file")
 	)
 	flag.Parse()
+	if _, err := netlist.PartitionerByName(*partitioner); err != nil {
+		fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
+		return 2
+	}
+	if *shards > *pipelines {
+		fmt.Fprintf(os.Stderr, "socbench: -shards %d exceeds -pipelines %d (a cluster is one colocation unit)\n", *shards, *pipelines)
+		return 2
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -160,14 +172,18 @@ func run() int {
 	if *shards > 1 {
 		// Clustered variant: NoC/DMA/IRQ knobs do not apply.
 		ccfg := cfg
+		ccfg.Partitioner = *partitioner
+		part, _ := netlist.PartitionerByName(*partitioner)
 		single := best(func() soc.Result { return soc.RunClustered(ccfg, 1) })
 		multi := best(func() soc.Result { return soc.RunClustered(ccfg, *shards) })
 		shardedRep = &shardedJSON{
-			Shards:   multi.Shards,
-			Single:   asJSON("clustered-1", single),
-			Sharded:  asJSON(fmt.Sprintf("clustered-%d", multi.Shards), multi),
-			Rounds:   multi.Rounds,
-			SpeedupX: float64(single.Wall) / float64(multi.Wall),
+			Shards:      multi.Shards,
+			Partitioner: part.Name(),
+			Crossings:   multi.Crossings,
+			Single:      asJSON("clustered-1", single),
+			Sharded:     asJSON(fmt.Sprintf("clustered-%d", multi.Shards), multi),
+			Rounds:      multi.Rounds,
+			SpeedupX:    float64(single.Wall) / float64(multi.Wall),
 			DatesEqual: fmt.Sprint(single.JobDates) == fmt.Sprint(multi.JobDates) &&
 				fmt.Sprint(single.Checksums) == fmt.Sprint(multi.Checksums),
 		}
@@ -186,13 +202,17 @@ func run() int {
 			return 1
 		}
 	case *csvOut:
-		c := campaign.NewCSV(os.Stdout, "mode", "wall_ms", "ctx_switches", "sim_end_ns")
-		rows := []runJSON{asJSON("sync", syncRes), asJSON("smart", smart)}
-		if shardedRep != nil {
-			rows = append(rows, shardedRep.Single, shardedRep.Sharded)
+		c := campaign.NewCSV(os.Stdout, "mode", "wall_ms", "ctx_switches", "sim_end_ns", "crossings")
+		type csvRow struct {
+			r         runJSON
+			crossings int
 		}
-		for _, r := range rows {
-			c.Row(r.Mode, r.WallMS, r.CtxSwitches, r.SimEndNS)
+		rows := []csvRow{{asJSON("sync", syncRes), 0}, {asJSON("smart", smart), 0}}
+		if shardedRep != nil {
+			rows = append(rows, csvRow{shardedRep.Single, 0}, csvRow{shardedRep.Sharded, shardedRep.Crossings})
+		}
+		for _, cr := range rows {
+			c.Row(cr.r.Mode, cr.r.WallMS, cr.r.CtxSwitches, cr.r.SimEndNS, cr.crossings)
 		}
 		if err := c.Flush(); err != nil {
 			fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
@@ -213,8 +233,8 @@ func run() int {
 		}
 		fmt.Printf("monitor max FIFO levels: %v\n", smart.MaxLevels)
 		if shardedRep != nil {
-			fmt.Printf("\nClustered model, 1 kernel vs %d kernels (%d barrier rounds):\n",
-				shardedRep.Shards, shardedRep.Rounds)
+			fmt.Printf("\nClustered model, 1 kernel vs %d kernels (%s partitioner, %d bridge crossings, %d barrier rounds):\n",
+				shardedRep.Shards, shardedRep.Partitioner, shardedRep.Crossings, shardedRep.Rounds)
 			fmt.Printf("  1 kernel:  %8.3f ms\n", shardedRep.Single.WallMS)
 			fmt.Printf("  %d kernels: %8.3f ms\n", shardedRep.Shards, shardedRep.Sharded.WallMS)
 			fmt.Printf("  speedup: %.2fx   dates and checksums identical: %v\n",

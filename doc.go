@@ -88,6 +88,37 @@
 // only, exact up to the inbound frontier: fill-level samples of in-flight
 // streams are schedule-dependent, as they are on real silicon.
 //
+// Two horizon rules keep that exactness under arbitrary partitionings:
+// the inbound frontier bounds a shard STRICTLY (a non-blocking reader
+// polling at date D already holds every word inserted at or before D),
+// and each outbound bridge's WriteFrontier caps the shard's kernel clock
+// at the date a credit-blocked writer must resume at — a co-located
+// process may not drag the clock past it, because a parked writer's
+// restored decoupled date cannot lie in the kernel's past.
+//
+// # Netlist: declarative component graphs
+//
+// internal/netlist is the wiring layer above the kernels: models declare
+// Modules (a thread body or a structural elaboration hook plus typed
+// in/out Ports) and Channels (depth, burst hint, optional traffic
+// weight), and Graph.Build elaborates the graph onto N kernels. The
+// bridge auto-insertion rule: a channel whose writer and reader modules
+// share a shard elaborates as a plain core.SmartFIFO (or a regular/sync
+// FIFO for reference builds); a channel cut by the partitioning becomes
+// a core.ShardedFIFO bridge registered with the coordinator. Exactly one
+// module writes and one module reads each channel (the Kahn discipline
+// the dates rely on); modules that must share a kernel — a bus and the
+// cores behind it, a NoC mesh and its network interfaces — declare a
+// colocation group, which the pluggable partitioners (single,
+// roundrobin, traffic-weighted greedy mincut) place as one unit.
+// Because bridges are date-exact, the partitioning never changes dated
+// results: every partitioner at every shard count reproduces the
+// single-kernel dates, pinned over generated chain/ring/tree/mesh
+// topologies by internal/netlist's trace-equivalence suite. All five
+// workload models build through the netlist, and the "netlist" scenario
+// model exposes the topology generators (kind, size, shards,
+// partitioner) as ordinary sweepable spec parameters.
+//
 // # Scenario and campaign layers
 //
 // Above the kernels sits declarative design-space exploration — the unit
@@ -96,7 +127,8 @@
 // sweep axes), expands them into concrete points by cartesian product,
 // hashes each point canonically for dedup, and keeps the registry the
 // workload packages (internal/pipeline, internal/soc, internal/kpn,
-// internal/noc) self-register their models in; all payload and rate
+// internal/noc, internal/netlist) self-register their models in; all
+// payload and rate
 // randomness derives from the spec seed through scenario.Rand, so a spec
 // is a complete, reproducible description of its traces. internal/campaign
 // executes expanded points across a GOMAXPROCS worker pool with

@@ -6,6 +6,7 @@ package campaign
 // the HTTP service and embedders see the same model set.
 import (
 	_ "repro/internal/kpn"
+	_ "repro/internal/netlist"
 	_ "repro/internal/noc"
 	_ "repro/internal/pipeline"
 	_ "repro/internal/soc"

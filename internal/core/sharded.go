@@ -261,6 +261,43 @@ func (f *ShardedFIFO[T]) Frontier() sim.Time {
 	return front
 }
 
+// WriteFrontier returns a lower bound on the resume date of any write
+// that blocks (now or later this round) on exhausted credits: the writer's
+// shard must not advance its kernel clock past this date, or a parked
+// writer's restored local date would be clamped to the kernel clock
+// (sim.Process.SetLocalDate cannot represent a local date in the global
+// past) and the §III dates would drift. Call it only at a barrier, after
+// Flush, like Frontier.
+//
+// A blocked write resumes at max(its restore date, the freeing date of
+// the credit that wakes it), so the bound is the max of
+//
+//   - the reader's read floor — every future credit carries a freeing
+//     date at or after the reader's next pop;
+//   - the side's last write date — any future park's restore date is at
+//     or after it (per-side dates are non-decreasing);
+//   - the writer process's local date (single-writer refinement): a
+//     future park restores at or after the writer's current local date.
+//
+// A terminated writer can never park again — the bound is sim.TimeMax
+// and the shard runs unthrottled.
+func (f *ShardedFIFO[T]) WriteFrontier() sim.Time {
+	w, r := &f.w, &f.r
+	if !w.multiWriter && w.writer != nil && w.writer.Terminated() {
+		return sim.TimeMax
+	}
+	bound := w.lastWriteDate
+	if rf := r.readFloor(); rf > bound {
+		bound = rf
+	}
+	if !w.multiWriter && w.writer != nil {
+		if lt := w.writer.LocalTime(); lt > bound {
+			bound = lt
+		}
+	}
+	return bound
+}
+
 // --- writer endpoint ---
 
 // Name returns the channel name.

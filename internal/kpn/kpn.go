@@ -2,11 +2,13 @@
 // structured, deterministic dataflow layer in the spirit of the KPN model
 // of computation the paper cites ([8] HetSC, [9] Kahn 1974).
 //
-// A Network groups actors (thread processes) and channels (bounded FIFOs).
-// Kahn semantics — blocking reads, blocking writes, no peeking at channel
-// state from actors — make the produced data and its dates independent of
-// scheduling, which is exactly the property the Smart FIFO needs to stay
-// exact under temporal decoupling.
+// A Network groups actors (thread processes) and channels (bounded FIFOs),
+// declared onto an internal/netlist graph and elaborated when Run builds
+// it. Kahn semantics — blocking reads, blocking writes, no peeking at
+// channel state from actors — make the produced data and its dates
+// independent of scheduling, which is exactly the property the Smart FIFO
+// needs to stay exact under temporal decoupling, and the property that
+// lets a bound network shard across kernels without changing its trace.
 //
 // Every network builds in one of two modes:
 //
@@ -15,36 +17,51 @@
 //
 // The two runs of the same builder must produce date-identical traces
 // (paper §IV-A); Verify automates that check.
+//
+// A decoupled network whose channels are bound (Chan.Bind names the
+// writing and reading actors) may additionally set Shards/Partitioner:
+// Run then elaborates the graph across that many kernels, with
+// netlist-inserted Smart-FIFO bridges at the cut edges — same dated
+// trace, parallel execution.
 package kpn
 
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/fifo"
+	"repro/internal/netlist"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
 // Network is a KPN under construction or execution.
 type Network struct {
-	// K is the underlying kernel (exposed for advanced wiring).
+	// K is the first kernel of the build (the only one for unsharded
+	// networks), populated by Run. Use Stats for shard-summed counters.
 	K *sim.Kernel
 	// Decoupled selects Smart FIFOs + Inc (true) or regular FIFOs +
 	// Wait (false).
 	Decoupled bool
+	// Shards partitions the network across that many kernels (requires
+	// Decoupled and every channel Bind-ed). 0 or 1 builds one kernel.
+	Shards int
+	// Partitioner names the netlist partitioner for sharded builds
+	// ("single", "roundrobin" — the default — or "mincut").
+	Partitioner string
 
-	name string
-	rec  *trace.Recorder
+	name  string
+	rec   *trace.Recorder
+	g     *netlist.Graph
+	built *netlist.Build
 }
 
-// New creates an empty network with its own kernel.
+// New creates an empty network.
 func New(name string, decoupled bool) *Network {
 	return &Network{
-		K:         sim.NewKernel(name),
 		Decoupled: decoupled,
 		name:      name,
 		rec:       trace.NewRecorder(),
+		g:         netlist.New(name),
 	}
 }
 
@@ -64,8 +81,9 @@ type Actor struct {
 
 // Actor registers an actor. The body runs as a thread process; it should
 // communicate only through channels and annotate computation with Delay.
-func (n *Network) Actor(name string, body func(a *Actor)) {
-	n.K.Thread(name, func(p *sim.Process) {
+// The returned module handle is what Chan.Bind takes.
+func (n *Network) Actor(name string, body func(a *Actor)) *netlist.Module {
+	return n.g.Thread(name, func(p *sim.Process) {
 		body(&Actor{P: p, n: n})
 	})
 }
@@ -88,26 +106,43 @@ func (a *Actor) Logf(format string, args ...any) {
 // Chan is a typed KPN channel.
 type Chan[T any] struct {
 	n  *Network
-	ch fifo.Channel[T]
+	nc *netlist.Chan[T]
 }
 
 // Channel creates a bounded channel in the network's mode. (A package
 // function because Go methods cannot introduce type parameters.)
 func Channel[T any](n *Network, name string, depth int) *Chan[T] {
-	c := &Chan[T]{n: n}
-	if n.Decoupled {
-		c.ch = core.NewSmart[T](n.K, name, depth)
-	} else {
-		c.ch = fifo.New[T](n.K, name, depth)
-	}
+	return &Chan[T]{n: n, nc: netlist.AddChan[T](n.g, name, depth)}
+}
+
+// WithBurst records the expected words-per-bulk-transfer hint on the
+// underlying netlist channel (feeds the min-cut traffic weight).
+func (c *Chan[T]) WithBurst(words int) *Chan[T] {
+	c.nc.WithBurst(words)
+	return c
+}
+
+// Bind declares the channel's writing and reading actors (the handles
+// Actor returned). Binding is optional for single-kernel networks and
+// required for sharded ones: it tells the netlist where the cut edges
+// are.
+func (c *Chan[T]) Bind(writer, reader *netlist.Module) *Chan[T] {
+	c.nc.Output(writer)
+	c.nc.Input(reader)
 	return c
 }
 
 // Read pops the next token, blocking while the channel is empty.
-func (c *Chan[T]) Read() T { return c.ch.Read() }
+func (c *Chan[T]) Read() T {
+	_, r := c.nc.Ends()
+	return r.Read()
+}
 
 // Write pushes a token, blocking while the channel is full.
-func (c *Chan[T]) Write(v T) { c.ch.Write(v) }
+func (c *Chan[T]) Write(v T) {
+	w, _ := c.nc.Ends()
+	w.Write(v)
+}
 
 // WriteBurst pushes tokens in order with per of computation annotated
 // between consecutive tokens (the burst contract of internal/core): the
@@ -115,50 +150,98 @@ func (c *Chan[T]) Write(v T) { c.ch.Write(v) }
 // Write/Delay loop in reference mode — so a dual-mode run of a bursting
 // network still produces date-identical traces.
 func (c *Chan[T]) WriteBurst(a *Actor, vals []T, per sim.Time) {
+	w, _ := c.nc.Ends()
 	if c.n.Decoupled {
-		fifo.WriteBurst(a.P, c.ch, vals, per)
+		fifo.WriteBurst(a.P, fifo.Writer[T](w), vals, per)
 		return
 	}
 	for i, v := range vals {
 		if i > 0 {
 			a.Delay(per)
 		}
-		c.ch.Write(v)
+		w.Write(v)
 	}
 }
 
 // ReadBurst pops tokens in order with per annotated between consecutive
 // tokens, symmetric to WriteBurst.
 func (c *Chan[T]) ReadBurst(a *Actor, dst []T, per sim.Time) {
+	_, r := c.nc.Ends()
 	if c.n.Decoupled {
-		fifo.ReadBurst(a.P, c.ch, dst, per)
+		fifo.ReadBurst(a.P, fifo.Reader[T](r), dst, per)
 		return
 	}
 	for i := range dst {
 		if i > 0 {
 			a.Delay(per)
 		}
-		dst[i] = c.ch.Read()
+		dst[i] = r.Read()
 	}
 }
 
 // Monitor exposes the non-Kahn observation interface (fill levels) for
-// controllers and probes; actors must not use it for data flow.
-func (c *Chan[T]) Monitor() fifo.Monitor { return c.ch }
+// controllers and probes; actors must not use it for data flow. On a
+// sharded build it observes the reader-side endpoint, so monitoring
+// actors should be colocated with the reader.
+func (c *Chan[T]) Monitor() fifo.Monitor {
+	_, r := c.nc.Ends()
+	return r
+}
 
-// Run executes the network to quiescence and returns an error naming the
-// blocked actors if the network deadlocked with tokens still owed.
+// Run builds the network (Smart or regular FIFOs by mode, one kernel or
+// Shards kernels with auto-inserted bridges), executes it to quiescence
+// and returns an error naming the blocked actors if the network
+// deadlocked with tokens still owed.
 func (n *Network) Run() error {
-	n.K.Run(sim.RunForever)
-	if blocked := n.K.Blocked(); len(blocked) != 0 {
+	if n.built == nil {
+		impl := netlist.Plain
+		if n.Decoupled {
+			impl = netlist.Smart
+		}
+		shards := n.Shards
+		if shards > 1 && !n.Decoupled {
+			return fmt.Errorf("kpn: %s: the reference build cannot be sharded (only Smart FIFOs carry the bridge dates)", n.name)
+		}
+		part, err := netlist.PartitionerByName(n.Partitioner)
+		if err != nil {
+			return fmt.Errorf("kpn: %s: %w", n.name, err)
+		}
+		b, err := n.g.Build(netlist.Options{Shards: shards, Partitioner: part, Impl: impl})
+		if err != nil {
+			return fmt.Errorf("kpn: %s: %w", n.name, err)
+		}
+		n.built = b
+		n.K = b.Kernels[0]
+	}
+	n.built.Run(sim.RunForever)
+	if blocked := n.built.Blocked(); len(blocked) != 0 {
+		if bl, one := blocked[n.K.Name()]; one && len(blocked) == 1 {
+			return fmt.Errorf("kpn: %s: deadlock, blocked actors: %v", n.name, bl)
+		}
 		return fmt.Errorf("kpn: %s: deadlock, blocked actors: %v", n.name, blocked)
 	}
 	return nil
 }
 
+// Stats sums the kernel activity counters over the build's shards.
+func (n *Network) Stats() sim.Stats {
+	if n.built == nil {
+		return sim.Stats{}
+	}
+	return n.built.Stats()
+}
+
+// Build exposes the elaborated netlist build (nil before Run), for
+// callers that report partitioning outcomes (crossings, rounds).
+func (n *Network) Build() *netlist.Build { return n.built }
+
 // Shutdown force-terminates remaining actor goroutines (after a deadlock,
 // or when discarding the network).
-func (n *Network) Shutdown() { n.K.Shutdown() }
+func (n *Network) Shutdown() {
+	if n.built != nil {
+		n.built.Shutdown()
+	}
+}
 
 // Builder constructs the same network into any mode.
 type Builder func(n *Network)

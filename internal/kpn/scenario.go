@@ -3,6 +3,7 @@ package kpn
 import (
 	"fmt"
 
+	"repro/internal/netlist"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -15,7 +16,7 @@ import (
 func init() {
 	scenario.Register(scenario.Model{
 		Name:  "kpn",
-		Keys:  []string{"stages", "depth", "tokens", "seed", "decoupled", "burst"},
+		Keys:  []string{"stages", "depth", "tokens", "seed", "decoupled", "burst", "shards", "partitioner"},
 		Run:   runScenario,
 		Check: checkScenario,
 	})
@@ -25,17 +26,21 @@ type chainParams struct {
 	stages, depth, tokens int
 	burst                 int
 	decoupled             bool
+	shards                int
+	partitioner           string
 	rateSeed, paySeed     int64
 }
 
 func chainConfig(p scenario.Params) (chainParams, error) {
 	r := scenario.NewReader(p)
 	c := chainParams{
-		stages:    r.Int("stages", 3),
-		depth:     r.Int("depth", 4),
-		tokens:    r.Int("tokens", 50),
-		burst:     r.Int("burst", 0),
-		decoupled: r.Bool("decoupled", true),
+		stages:      r.Int("stages", 3),
+		depth:       r.Int("depth", 4),
+		tokens:      r.Int("tokens", 50),
+		burst:       r.Int("burst", 0),
+		decoupled:   r.Bool("decoupled", true),
+		shards:      r.Int("shards", 1),
+		partitioner: r.String("partitioner", ""),
 	}
 	rng := scenario.Rand(r.Int64("seed", 1))
 	c.rateSeed, c.paySeed = rng.Int63(), rng.Int63()
@@ -44,6 +49,18 @@ func chainConfig(p scenario.Params) (chainParams, error) {
 	}
 	if c.stages < 2 || c.depth < 1 || c.tokens < 1 {
 		return c, fmt.Errorf("kpn: want stages >= 2, depth >= 1, tokens >= 1")
+	}
+	if c.shards < 1 {
+		return c, fmt.Errorf("kpn: shards must be >= 1")
+	}
+	if c.shards > c.stages {
+		return c, fmt.Errorf("kpn: %d shards but the chain has only %d stages", c.shards, c.stages)
+	}
+	if c.shards > 1 && !c.decoupled {
+		return c, fmt.Errorf("kpn: the reference (decoupled=false) build cannot be sharded")
+	}
+	if _, err := netlist.PartitionerByName(c.partitioner); err != nil {
+		return c, err
 	}
 	return c, nil
 }
@@ -67,10 +84,11 @@ func chainBuilder(c chainParams, sum *uint64) Builder {
 		for i := range chans {
 			chans[i] = Channel[uint32](net, fmt.Sprintf("c%d", i), c.depth)
 		}
+		actors := make([]*netlist.Module, c.stages)
 		for s := 0; s < c.stages; s++ {
 			s := s
 			rate := workload.Random(c.rateSeed+int64(s), 6, 2*sim.NS)
-			net.Actor(fmt.Sprintf("a%d", s), func(a *Actor) {
+			actors[s] = net.Actor(fmt.Sprintf("a%d", s), func(a *Actor) {
 				acc := uint64(0)
 				for i := 0; i < c.tokens; i++ {
 					var v uint32
@@ -93,6 +111,9 @@ func chainBuilder(c chainParams, sum *uint64) Builder {
 				}
 			})
 		}
+		for i, ch := range chans {
+			ch.Bind(actors[i], actors[i+1])
+		}
 	}
 }
 
@@ -103,12 +124,13 @@ func burstChainBuilder(c chainParams, sum *uint64) Builder {
 	return func(net *Network) {
 		chans := make([]*Chan[uint32], c.stages-1)
 		for i := range chans {
-			chans[i] = Channel[uint32](net, fmt.Sprintf("c%d", i), c.depth)
+			chans[i] = Channel[uint32](net, fmt.Sprintf("c%d", i), c.depth).WithBurst(c.burst)
 		}
+		actors := make([]*netlist.Module, c.stages)
 		for s := 0; s < c.stages; s++ {
 			s := s
 			per := workload.Random(c.rateSeed+int64(s), 6, 2*sim.NS)(0) + sim.NS
-			net.Actor(fmt.Sprintf("a%d", s), func(a *Actor) {
+			actors[s] = net.Actor(fmt.Sprintf("a%d", s), func(a *Actor) {
 				buf := make([]uint32, c.burst)
 				acc := uint64(0)
 				for i := 0; i < c.tokens; {
@@ -145,6 +167,9 @@ func burstChainBuilder(c chainParams, sum *uint64) Builder {
 				}
 			})
 		}
+		for i, ch := range chans {
+			ch.Bind(actors[i], actors[i+1])
+		}
 	}
 }
 
@@ -154,10 +179,11 @@ func runScenario(p scenario.Params) (scenario.Outcome, error) {
 		return scenario.Outcome{}, err
 	}
 	net := New("kpn", c.decoupled)
+	net.Shards, net.Partitioner = c.shards, c.partitioner
 	var checksum uint64
 	chainBuilder(c, &checksum)(net)
 	runErr := net.Run()
-	stats := net.K.Stats()
+	stats := net.Stats()
 	entries := net.Trace().Sorted()
 	net.Shutdown()
 	if runErr != nil {
@@ -180,6 +206,9 @@ func runScenario(p scenario.Params) (scenario.Outcome, error) {
 		Counters: map[string]uint64{
 			"trace_entries": uint64(len(entries)),
 			"tokens":        uint64(c.tokens),
+			"shards":        uint64(net.Build().Shards()),
+			"crossings":     uint64(net.Build().Crossings),
+			"rounds":        net.Build().Rounds(),
 		},
 	}, nil
 }

@@ -1,0 +1,452 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Topo describes a generated dataflow topology: a family of process
+// networks over uint32 words whose stages annotate seeded per-stage rates
+// and whose sinks record dated completions — the topology axis of a
+// campaign sweep. All four kinds are Kahn networks (blocking reads and
+// writes in a fixed order, no channel peeking), so their dated logs are
+// schedule-independent: the same for every partitioner at every shard
+// count, and for the decoupled build versus the synchronized reference.
+type Topo struct {
+	// Kind is "chain", "ring", "tree" or "mesh".
+	Kind string
+	// Stages is the chain/ring length (>= 2).
+	Stages int
+	// Width and Height size the mesh wavefront (>= 1 each).
+	Width, Height int
+	// Arity and Levels size the reduction tree: Arity^Levels leaf
+	// sources merging level by level into the root sink (arity >= 2,
+	// levels >= 1).
+	Arity, Levels int
+	// Depth is the channel depth in cells.
+	Depth int
+	// Words is the number of words each source injects.
+	Words int
+	// Decoupled selects Smart FIFOs + Inc (true) or regular FIFOs + Wait
+	// (the reference).
+	Decoupled bool
+	// RateSeed and PaySeed derive the per-stage rate schedules and the
+	// source payloads (typically both drawn from scenario.Rand).
+	RateSeed, PaySeed int64
+}
+
+// Validate checks the topology parameters for the requested kind. Sizes
+// are bounded (stages/nodes <= 1024, tree leaves <= 256) so a campaign
+// spec — user input to cmd/simd — cannot request a graph whose mere
+// construction exhausts memory; the bounds are checked directly on each
+// parameter before any product is computed, so they cannot be bypassed
+// by overflow.
+func (t Topo) Validate() error {
+	if t.Depth < 1 || t.Words < 1 {
+		return fmt.Errorf("netlist: topology needs depth >= 1 and words >= 1")
+	}
+	switch t.Kind {
+	case "chain", "ring":
+		if t.Stages < 2 || t.Stages > 1024 {
+			return fmt.Errorf("netlist: %s topology needs 2 <= stages <= 1024 (got %d)", t.Kind, t.Stages)
+		}
+	case "tree":
+		if t.Arity < 2 || t.Arity > 16 {
+			return fmt.Errorf("netlist: tree topology needs 2 <= arity <= 16 (got %d)", t.Arity)
+		}
+		if t.Levels < 1 || t.Levels > 8 {
+			return fmt.Errorf("netlist: tree topology needs 1 <= levels <= 8 (got %d)", t.Levels)
+		}
+		if pow(t.Arity, t.Levels) > 256 {
+			return fmt.Errorf("netlist: tree topology with %d leaves exceeds 256", pow(t.Arity, t.Levels))
+		}
+	case "mesh":
+		if t.Width < 1 || t.Width > 1024 || t.Height < 1 || t.Height > 1024 {
+			return fmt.Errorf("netlist: mesh topology needs width and height in 1..1024 (got %dx%d)", t.Width, t.Height)
+		}
+		if n := t.Width * t.Height; n < 2 || n > 1024 {
+			return fmt.Errorf("netlist: mesh topology needs 2 <= width x height <= 1024 nodes (got %d)", n)
+		}
+	default:
+		return fmt.Errorf("netlist: unknown topology kind %q (want chain, ring, tree or mesh)", t.Kind)
+	}
+	return nil
+}
+
+// TopoProbe collects the deterministic results of a generated topology
+// run. Each sink module owns its slot, so concurrent shards never share a
+// slice.
+type TopoProbe struct {
+	sinks []string     // sink module names, declaration order
+	dates [][]sim.Time // per sink, the dated completion log
+	sums  []uint64     // per sink, the payload checksum
+}
+
+// Sinks returns the sink module names in declaration order.
+func (p *TopoProbe) Sinks() []string { return p.sinks }
+
+// Dates returns sink s's dated completion log.
+func (p *TopoProbe) Dates(s int) []sim.Time { return p.dates[s] }
+
+// Checksums returns the per-sink payload checksums.
+func (p *TopoProbe) Checksums() []uint64 { return append([]uint64(nil), p.sums...) }
+
+// SimEnd returns the latest dated completion across the sinks.
+func (p *TopoProbe) SimEnd() sim.Time {
+	var end sim.Time
+	for _, ds := range p.dates {
+		for _, d := range ds {
+			if d > end {
+				end = d
+			}
+		}
+	}
+	return end
+}
+
+func (p *TopoProbe) addSink(name string) int {
+	p.sinks = append(p.sinks, name)
+	p.dates = append(p.dates, nil)
+	p.sums = append(p.sums, 0)
+	return len(p.sinks) - 1
+}
+
+// NewTopoGraph generates the graph for t and the probe its sinks fill
+// while running. Stage s's per-word delay schedule is
+// workload.Random(RateSeed+s, 6, 2ns)+1ns, sampled per word index —
+// seeded, deterministic and different per stage.
+func NewTopoGraph(t Topo) (*Graph, *TopoProbe, error) {
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g := New("topo-" + t.Kind)
+	p := &TopoProbe{}
+	b := topoBuilder{t: t, g: g, probe: p}
+	switch t.Kind {
+	case "chain":
+		b.chain()
+	case "ring":
+		b.ring()
+	case "tree":
+		b.tree()
+	case "mesh":
+		b.mesh()
+	}
+	return g, p, nil
+}
+
+// topoBuilder shares the stage-body helpers across the four kinds.
+type topoBuilder struct {
+	t     Topo
+	g     *Graph
+	probe *TopoProbe
+	stage int // next stage ordinal, feeds the per-stage rate seed
+}
+
+// delay returns the annotation function of the build mode.
+func (b *topoBuilder) delay(p *sim.Process) func(sim.Time) {
+	if b.t.Decoupled {
+		return p.Inc
+	}
+	return p.Wait
+}
+
+// rate allocates the next per-stage word-delay schedule.
+func (b *topoBuilder) rate() workload.Rate {
+	r := workload.Random(b.t.RateSeed+int64(b.stage), 6, 2*sim.NS)
+	b.stage++
+	return func(i int) sim.Time { return r(i) + sim.NS }
+}
+
+// transform is the per-hop payload function.
+func transform(v uint32, stage int) uint32 { return v*3 + uint32(stage) }
+
+// chain builds s0 -> c0 -> s1 -> ... -> s{n-1}: stage 0 generates, middle
+// stages transform, the last stage checksums and logs dated completions.
+func (b *topoBuilder) chain() {
+	t := b.t
+	chans := make([]*Chan[uint32], t.Stages-1)
+	for i := range chans {
+		chans[i] = AddChan[uint32](b.g, fmt.Sprintf("c%d", i), t.Depth)
+	}
+	for s := 0; s < t.Stages; s++ {
+		s := s
+		rate := b.rate()
+		m := b.g.Thread(fmt.Sprintf("n%d", s), nil)
+		var in InPort[uint32]
+		var out OutPort[uint32]
+		if s > 0 {
+			in = chans[s-1].Input(m)
+		}
+		if s < t.Stages-1 {
+			out = chans[s].Output(m)
+		}
+		switch {
+		case s == 0:
+			m.body = func(p *sim.Process) {
+				delay := b.delay(p)
+				w := out.End()
+				for i := 0; i < t.Words; i++ {
+					w.Write(workload.WordAt(t.PaySeed, i))
+					delay(rate(i))
+				}
+			}
+		case s < t.Stages-1:
+			m.body = func(p *sim.Process) {
+				delay := b.delay(p)
+				r, w := in.End(), out.End()
+				for i := 0; i < t.Words; i++ {
+					v := r.Read()
+					delay(rate(i))
+					w.Write(transform(v, s))
+				}
+			}
+		default:
+			slot := b.probe.addSink(m.name)
+			m.body = func(p *sim.Process) {
+				delay := b.delay(p)
+				r := in.End()
+				sum := uint64(0)
+				for i := 0; i < t.Words; i++ {
+					v := r.Read()
+					delay(rate(i))
+					sum = workload.Checksum(sum, v)
+					b.probe.dates[slot] = append(b.probe.dates[slot], p.LocalTime())
+				}
+				b.probe.sums[slot] = sum
+			}
+		}
+	}
+}
+
+// ring builds n stages in a cycle. Stage 0 is the pump: it keeps at most
+// prime = min(depth, words) words in flight (so the bounded cycle can
+// never deadlock), reading each word back off the closing channel,
+// checksumming and logging it. Other stages forward with a transform.
+func (b *topoBuilder) ring() {
+	t := b.t
+	chans := make([]*Chan[uint32], t.Stages)
+	for i := range chans {
+		chans[i] = AddChan[uint32](b.g, fmt.Sprintf("c%d", i), t.Depth)
+	}
+	prime := t.Depth
+	if t.Words < prime {
+		prime = t.Words
+	}
+	for s := 0; s < t.Stages; s++ {
+		s := s
+		rate := b.rate()
+		m := b.g.Thread(fmt.Sprintf("n%d", s), nil)
+		in := chans[(s+t.Stages-1)%t.Stages].Input(m)
+		out := chans[s].Output(m)
+		if s == 0 {
+			slot := b.probe.addSink(m.name)
+			m.body = func(p *sim.Process) {
+				delay := b.delay(p)
+				r, w := in.End(), out.End()
+				sum := uint64(0)
+				take := func(i int) {
+					v := r.Read()
+					delay(rate(i))
+					sum = workload.Checksum(sum, v)
+					b.probe.dates[slot] = append(b.probe.dates[slot], p.LocalTime())
+				}
+				for i := 0; i < t.Words; i++ {
+					if i >= prime {
+						take(i)
+					}
+					w.Write(workload.WordAt(t.PaySeed, i))
+					delay(rate(i))
+				}
+				for i := 0; i < prime; i++ {
+					take(t.Words + i)
+				}
+				b.probe.sums[slot] = sum
+			}
+			continue
+		}
+		m.body = func(p *sim.Process) {
+			delay := b.delay(p)
+			r, w := in.End(), out.End()
+			for i := 0; i < t.Words; i++ {
+				v := r.Read()
+				delay(rate(i))
+				w.Write(transform(v, s))
+			}
+		}
+	}
+}
+
+// tree builds an Arity-ary reduction tree of depth Levels: Arity^Levels
+// leaf sources inject seeded words; each internal node reads one word
+// from every child, folds them, and emits the fold; the root checksums
+// and logs dated completions. Modules declare leaves-to-root so data
+// producers start first.
+func (b *topoBuilder) tree() {
+	t := b.t
+	// level l has Arity^l nodes; build from the leaf level down to 0.
+	leafLevel := t.Levels
+	prev := []*Chan[uint32]{} // channels produced by the level below (towards parents)
+	for l := leafLevel; l >= 0; l-- {
+		nodes := pow(t.Arity, l)
+		var up []*Chan[uint32]
+		if l > 0 {
+			up = make([]*Chan[uint32], nodes)
+			for i := range up {
+				up[i] = AddChan[uint32](b.g, fmt.Sprintf("l%d.c%d", l, i), t.Depth)
+			}
+		}
+		if l == leafLevel {
+			for i := 0; i < nodes; i++ {
+				i := i
+				rate := b.rate()
+				m := b.g.Thread(fmt.Sprintf("leaf%d", i), nil)
+				out := up[i].Output(m)
+				m.body = func(p *sim.Process) {
+					delay := b.delay(p)
+					w := out.End()
+					for j := 0; j < t.Words; j++ {
+						w.Write(workload.WordAt(t.PaySeed+int64(i), j))
+						delay(rate(j))
+					}
+				}
+			}
+		} else {
+			for i := 0; i < nodes; i++ {
+				i := i
+				rate := b.rate()
+				m := b.g.Thread(fmt.Sprintf("l%d.n%d", l, i), nil)
+				ins := make([]InPort[uint32], t.Arity)
+				for a := 0; a < t.Arity; a++ {
+					ins[a] = prev[i*t.Arity+a].Input(m)
+				}
+				if l > 0 {
+					out := up[i].Output(m)
+					m.body = func(p *sim.Process) {
+						delay := b.delay(p)
+						w := out.End()
+						for j := 0; j < t.Words; j++ {
+							acc := uint32(0)
+							for _, in := range ins {
+								acc = acc*31 + in.End().Read()
+							}
+							delay(rate(j))
+							w.Write(transform(acc, l))
+						}
+					}
+				} else {
+					slot := b.probe.addSink(m.name)
+					m.body = func(p *sim.Process) {
+						delay := b.delay(p)
+						sum := uint64(0)
+						for j := 0; j < t.Words; j++ {
+							acc := uint32(0)
+							for _, in := range ins {
+								acc = acc*31 + in.End().Read()
+							}
+							delay(rate(j))
+							sum = workload.Checksum(sum, acc)
+							b.probe.dates[slot] = append(b.probe.dates[slot], p.LocalTime())
+						}
+						b.probe.sums[slot] = sum
+					}
+				}
+			}
+		}
+		prev = up
+	}
+}
+
+// mesh builds a Width x Height wavefront: cell (x,y) reads from its west
+// and north neighbours (cells with none generate), transforms, and writes
+// copies east and south. The channel graph is a DAG, so any depth >= 1 is
+// deadlock-free. Cells on the east or south boundary checksum the copies
+// they drop off-grid and log dated completions — the wavefront's sinks.
+func (b *topoBuilder) mesh() {
+	t := b.t
+	idx := func(x, y int) int { return y*t.Width + x }
+	east := make([]*Chan[uint32], t.Width*t.Height) // east[i]: cell i -> (x+1,y)
+	south := make([]*Chan[uint32], t.Width*t.Height)
+	for y := 0; y < t.Height; y++ {
+		for x := 0; x < t.Width; x++ {
+			if x < t.Width-1 {
+				east[idx(x, y)] = AddChan[uint32](b.g, fmt.Sprintf("e%d.%d", x, y), t.Depth)
+			}
+			if y < t.Height-1 {
+				south[idx(x, y)] = AddChan[uint32](b.g, fmt.Sprintf("s%d.%d", x, y), t.Depth)
+			}
+		}
+	}
+	for y := 0; y < t.Height; y++ {
+		for x := 0; x < t.Width; x++ {
+			x, y := x, y
+			rate := b.rate()
+			m := b.g.Thread(fmt.Sprintf("m%d.%d", x, y), nil)
+			var west, north InPort[uint32]
+			var toEast, toSouth OutPort[uint32]
+			hasWest, hasNorth := x > 0, y > 0
+			hasEast, hasSouth := x < t.Width-1, y < t.Height-1
+			if hasWest {
+				west = east[idx(x-1, y)].Input(m)
+			}
+			if hasNorth {
+				north = south[idx(x, y-1)].Input(m)
+			}
+			if hasEast {
+				toEast = east[idx(x, y)].Output(m)
+			}
+			if hasSouth {
+				toSouth = south[idx(x, y)].Output(m)
+			}
+			isSink := !hasEast || !hasSouth
+			slot := -1
+			if isSink {
+				slot = b.probe.addSink(m.name)
+			}
+			stage := idx(x, y)
+			m.body = func(p *sim.Process) {
+				delay := b.delay(p)
+				sum := uint64(0)
+				for i := 0; i < t.Words; i++ {
+					v := workload.WordAt(t.PaySeed+int64(stage), i)
+					if hasWest {
+						v = v*31 + west.End().Read()
+					}
+					if hasNorth {
+						v = v*31 + north.End().Read()
+					}
+					delay(rate(i))
+					v = transform(v, stage)
+					// Each dropped copy (east or south, both at the
+					// bottom-right corner) folds into the checksum.
+					if hasEast {
+						toEast.End().Write(v)
+					} else {
+						sum = workload.Checksum(sum, v)
+					}
+					if hasSouth {
+						toSouth.End().Write(v)
+					} else {
+						sum = workload.Checksum(sum, v)
+					}
+					if isSink {
+						b.probe.dates[slot] = append(b.probe.dates[slot], p.LocalTime())
+					}
+				}
+				if isSink {
+					b.probe.sums[slot] = sum
+				}
+			}
+		}
+	}
+}
+
+func pow(a, b int) int {
+	out := 1
+	for i := 0; i < b; i++ {
+		out *= a
+	}
+	return out
+}

@@ -35,8 +35,11 @@ type NI struct {
 	idx  int
 	cfg  NIConfig
 
-	src fifo.Channel[uint32] // accelerator → NoC (nil if egress-only)
-	dst fifo.Channel[uint32] // NoC → accelerator (nil if ingress-only)
+	// src and dst are end interfaces (rather than full Channels) so a
+	// netlist build can hand the NI one endpoint of a core.ShardedFIFO
+	// whose other side lives on a different kernel.
+	src fifo.ReadEnd[uint32]  // accelerator → NoC (nil if egress-only)
+	dst fifo.WriteEnd[uint32] // NoC → accelerator (nil if ingress-only)
 
 	inj *fifo.FIFO[Flit]
 	del *fifo.FIFO[Flit]
@@ -53,7 +56,7 @@ type NI struct {
 // accelerator output to packetize into the mesh (nil for an egress-only
 // NI); dst is the accelerator input fed from the mesh (nil for an
 // ingress-only NI).
-func (m *Mesh) AttachNI(name string, x, y int, src, dst fifo.Channel[uint32], cfg NIConfig) *NI {
+func (m *Mesh) AttachNI(name string, x, y int, src fifo.ReadEnd[uint32], dst fifo.WriteEnd[uint32], cfg NIConfig) *NI {
 	if cfg.PacketLen <= 0 {
 		panic(fmt.Sprintf("noc: NI %s: non-positive packet length", name))
 	}

@@ -3,23 +3,32 @@ package noc
 import (
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/fifo"
+	"repro/internal/netlist"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// Scenario registry hook: a standalone mesh streaming workload as a
-// campaign model — N producer/consumer pairs crossing the mesh through
-// packetizing NIs, with rates and payloads derived from the spec's "seed"
-// through the deterministic scenario RNG.
+// Scenario registry hook: a mesh streaming workload as a campaign model —
+// N producer/consumer pairs crossing a mesh through packetizing NIs, with
+// rates and payloads derived from the spec's "seed" through the
+// deterministic scenario RNG.
+//
+// The workload is declared as a netlist graph of mesh islands. A mesh and
+// its stream endpoints form ONE colocation unit: the routers and NIs are
+// non-decoupled method processes whose arbitration depends on same-date
+// delta ordering, which no barrier protocol can reproduce across kernels
+// — the paper's own point that the NoC is the globally-synchronized part
+// of the model ("NoC routers continue to use regular FIFOs"). The model
+// scales out with the "meshes" parameter instead: independent replicated
+// islands, partitioned across shards as whole units — trivially
+// date-exact at any shard count.
 func init() {
 	scenario.Register(scenario.Model{
 		Name: "noc",
 		Keys: []string{"width", "height", "streams", "packet_len", "words",
-			"fifo_depth", "cycle_ns", "seed", "decoupled"},
+			"fifo_depth", "cycle_ns", "seed", "decoupled", "meshes", "shards", "partitioner"},
 		Run:   runScenario,
 		Check: checkScenario,
 	})
@@ -31,23 +40,35 @@ type streamParams struct {
 	fifoDepth              int
 	cycle                  sim.Time
 	decoupled              bool
-	rateSeed, paySeed      int64
+	meshes                 int
+	shards                 int
+	partitioner            string
+	seeds                  []int64 // rateSeed, paySeed per island
 }
 
 func streamConfig(p scenario.Params) (streamParams, error) {
 	r := scenario.NewReader(p)
 	c := streamParams{
-		width:     r.Int("width", 2),
-		height:    r.Int("height", 2),
-		streams:   r.Int("streams", 1),
-		packetLen: r.Int("packet_len", 4),
-		words:     r.Int("words", 32),
-		fifoDepth: r.Int("fifo_depth", 4),
-		cycle:     r.Time("cycle_ns", sim.NS),
-		decoupled: r.Bool("decoupled", true),
+		width:       r.Int("width", 2),
+		height:      r.Int("height", 2),
+		streams:     r.Int("streams", 1),
+		packetLen:   r.Int("packet_len", 4),
+		words:       r.Int("words", 32),
+		fifoDepth:   r.Int("fifo_depth", 4),
+		cycle:       r.Time("cycle_ns", sim.NS),
+		decoupled:   r.Bool("decoupled", true),
+		meshes:      r.Int("meshes", 1),
+		shards:      r.Int("shards", 1),
+		partitioner: r.String("partitioner", ""),
 	}
 	rng := scenario.Rand(r.Int64("seed", 1))
-	c.rateSeed, c.paySeed = rng.Int63(), rng.Int63()
+	if c.meshes >= 1 {
+		// Island 0 draws the same two seeds the pre-netlist model drew,
+		// so single-island digests are unchanged.
+		for i := 0; i < c.meshes; i++ {
+			c.seeds = append(c.seeds, rng.Int63(), rng.Int63())
+		}
+	}
 	if err := r.Err(); err != nil {
 		return c, err
 	}
@@ -63,59 +84,124 @@ func streamConfig(p scenario.Params) (streamParams, error) {
 	if c.fifoDepth < 1 {
 		return c, fmt.Errorf("noc: fifo_depth must be >= 1")
 	}
+	if c.meshes < 1 {
+		return c, fmt.Errorf("noc: meshes must be >= 1")
+	}
+	if c.shards < 1 {
+		return c, fmt.Errorf("noc: shards must be >= 1")
+	}
+	if c.shards > c.meshes {
+		return c, fmt.Errorf("noc: %d shards but only %d mesh islands (a mesh and its streams must share a kernel; raise 'meshes' to shard)",
+			c.shards, c.meshes)
+	}
+	if c.shards > 1 && !c.decoupled {
+		return c, fmt.Errorf("noc: the reference (decoupled=false) build cannot be sharded")
+	}
+	if _, err := netlist.PartitionerByName(c.partitioner); err != nil {
+		return c, err
+	}
 	return c, nil
 }
 
-// buildStreams wires the mesh and its producer/consumer pairs on k.
-// Stream s injects at router (s, 0) and drains at (width-1-s, height-1),
-// so streams share links and exercise arbitration. The consumers log
-// dated deliveries into rec; checksums land in sums.
-func buildStreams(k *sim.Kernel, c streamParams, rec *trace.Recorder, sums []uint64) *Mesh {
-	m := NewMesh(k, "noc", Config{Width: c.width, Height: c.height, Cycle: c.cycle, FIFODepth: c.fifoDepth})
-	newChannel := func(name string) fifo.Channel[uint32] {
-		if c.decoupled {
-			return core.NewSmart[uint32](k, name, c.fifoDepth)
+// islandGraph declares one mesh island onto g: the mesh (routers + NIs)
+// as a structural module plus per-stream producer/consumer threads, all
+// in one colocation group. Stream s injects at router (s, 0) and drains
+// at (width-1-s, height-1), so streams share links and exercise
+// arbitration. Island 0 keeps the historical unprefixed names. The
+// consumers log dated deliveries into rec; checksums land in
+// sums[island*streams+s]; the mesh pointer lands in meshes[island].
+func islandGraph(g *netlist.Graph, island int, c streamParams, rec *trace.Recorder, sums []uint64, meshes []*Mesh) {
+	prefix := ""
+	if island > 0 {
+		prefix = fmt.Sprintf("m%d.", island)
+	}
+	group := fmt.Sprintf("island%d", island)
+	rateSeed, paySeed := c.seeds[2*island], c.seeds[2*island+1]
+
+	meshMod := g.Structural(prefix+"mesh", nil).InGroup(group)
+	type stream struct {
+		src, dst *netlist.Chan[uint32]
+		srcIn    netlist.InPort[uint32]  // the mesh (NI) reads the producer stream
+		dstOut   netlist.OutPort[uint32] // the mesh (NI) writes the consumer stream
+	}
+	streams := make([]stream, c.streams)
+	for s := 0; s < c.streams; s++ {
+		streams[s].src = netlist.AddChan[uint32](g, fmt.Sprintf("%ss%d.src", prefix, s), c.fifoDepth).WithBurst(c.packetLen)
+		streams[s].dst = netlist.AddChan[uint32](g, fmt.Sprintf("%ss%d.dst", prefix, s), c.fifoDepth)
+		streams[s].srcIn = streams[s].src.Input(meshMod)
+		streams[s].dstOut = streams[s].dst.Output(meshMod)
+	}
+	meshMod.Elab(func(k *sim.Kernel) {
+		m := NewMesh(k, prefix+"noc", Config{Width: c.width, Height: c.height, Cycle: c.cycle, FIFODepth: c.fifoDepth})
+		for s := 0; s < c.streams; s++ {
+			m.AttachNI(fmt.Sprintf("%ss%d.ni.in", prefix, s), s, 0, streams[s].srcIn.End(), nil, NIConfig{
+				PacketLen: c.packetLen, Cycle: c.cycle,
+				Dst: m.RouterIndex(c.width-1-s, c.height-1),
+			})
+			m.AttachNI(fmt.Sprintf("%ss%d.ni.out", prefix, s), c.width-1-s, c.height-1, nil, streams[s].dstOut.End(), NIConfig{
+				PacketLen: c.packetLen, Cycle: c.cycle,
+			})
 		}
-		return fifo.New[uint32](k, name, c.fifoDepth)
+		meshes[island] = m
+	})
+
+	delay := func(p *sim.Process, d sim.Time) {
+		if c.decoupled {
+			p.Inc(d)
+		} else {
+			p.Wait(d)
+		}
 	}
 	for s := 0; s < c.streams; s++ {
 		s := s
-		src := newChannel(fmt.Sprintf("s%d.src", s))
-		dst := newChannel(fmt.Sprintf("s%d.dst", s))
-		m.AttachNI(fmt.Sprintf("s%d.ni.in", s), s, 0, src, nil, NIConfig{
-			PacketLen: c.packetLen, Cycle: c.cycle,
-			Dst: m.RouterIndex(c.width-1-s, c.height-1),
-		})
-		m.AttachNI(fmt.Sprintf("s%d.ni.out", s), c.width-1-s, c.height-1, nil, dst, NIConfig{
-			PacketLen: c.packetLen, Cycle: c.cycle,
-		})
-		prodRate := workload.Random(c.rateSeed+2*int64(s), 5, sim.NS)
-		consRate := workload.Random(c.rateSeed+2*int64(s)+1, 3, sim.NS)
-		delay := func(p *sim.Process, d sim.Time) {
-			if c.decoupled {
-				p.Inc(d)
-			} else {
-				p.Wait(d)
-			}
-		}
-		k.Thread(fmt.Sprintf("s%d.prod", s), func(p *sim.Process) {
+		prodRate := workload.Random(rateSeed+2*int64(s), 5, sim.NS)
+		consRate := workload.Random(rateSeed+2*int64(s)+1, 3, sim.NS)
+		prod := g.Thread(fmt.Sprintf("%ss%d.prod", prefix, s), nil).InGroup(group)
+		srcOut := streams[s].src.Output(prod)
+		prod.Body(func(p *sim.Process) {
+			w := srcOut.End()
 			for i := 0; i < c.words; i++ {
-				src.Write(workload.WordAt(c.paySeed+int64(s), i))
+				w.Write(workload.WordAt(paySeed+int64(s), i))
 				delay(p, prodRate(i)+sim.NS)
 			}
 		})
-		k.Thread(fmt.Sprintf("s%d.cons", s), func(p *sim.Process) {
+		cons := g.Thread(fmt.Sprintf("%ss%d.cons", prefix, s), nil).InGroup(group)
+		dstIn := streams[s].dst.Input(cons)
+		cons.Body(func(p *sim.Process) {
+			r := dstIn.End()
 			sum := uint64(0)
 			for i := 0; i < c.words; i++ {
-				v := dst.Read()
+				v := r.Read()
 				sum = workload.Checksum(sum, v)
 				delay(p, consRate(i))
 				rec.Logf(p, "got %08x", v)
 			}
-			sums[s] = sum
+			sums[island*c.streams+s] = sum
 		})
 	}
-	return m
+}
+
+// buildStreams elaborates the island graph: one kernel for the classic
+// single-island build, up to `meshes` kernels otherwise.
+func buildStreams(c streamParams, rec *trace.Recorder, sums []uint64) ([]*Mesh, *netlist.Build, error) {
+	g := netlist.New("noc")
+	meshes := make([]*Mesh, c.meshes)
+	for i := 0; i < c.meshes; i++ {
+		islandGraph(g, i, c, rec, sums, meshes)
+	}
+	impl := netlist.Plain
+	if c.decoupled {
+		impl = netlist.Smart
+	}
+	part, err := netlist.PartitionerByName(c.partitioner)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := g.Build(netlist.Options{Shards: c.shards, Partitioner: part, Impl: impl})
+	if err != nil {
+		return nil, nil, err
+	}
+	return meshes, b, nil
 }
 
 func runScenario(p scenario.Params) (scenario.Outcome, error) {
@@ -123,20 +209,22 @@ func runScenario(p scenario.Params) (scenario.Outcome, error) {
 	if err != nil {
 		return scenario.Outcome{}, err
 	}
-	k := sim.NewKernel("noc")
 	rec := trace.NewRecorder()
-	sums := make([]uint64, c.streams)
-	m := buildStreams(k, c, rec, sums)
-	k.Run(sim.RunForever)
-	blocked := k.Blocked()
-	stats := k.Stats()
-	k.Shutdown()
+	sums := make([]uint64, c.meshes*c.streams)
+	ms, b, err := buildStreams(c, rec, sums)
+	if err != nil {
+		return scenario.Outcome{}, err
+	}
+	b.Run(sim.RunForever)
+	blocked := b.Blocked()
+	stats := b.Stats()
+	b.Shutdown()
 	if len(blocked) != 0 {
 		return scenario.Outcome{}, fmt.Errorf("noc: deadlock, blocked processes: %v", blocked)
 	}
 	entries := rec.Sorted()
-	if len(entries) != c.streams*c.words {
-		return scenario.Outcome{}, fmt.Errorf("noc: delivered %d words, want %d", len(entries), c.streams*c.words)
+	if len(entries) != c.meshes*c.streams*c.words {
+		return scenario.Outcome{}, fmt.Errorf("noc: delivered %d words, want %d", len(entries), c.meshes*c.streams*c.words)
 	}
 	d := scenario.NewDigest()
 	var simEnd sim.Time
@@ -147,49 +235,69 @@ func runScenario(p scenario.Params) (scenario.Outcome, error) {
 			simEnd = e.Date
 		}
 	}
-	st := m.Stats()
+	var flits, packets uint64
+	for _, m := range ms {
+		st := m.Stats()
+		flits += st.FlitsForwarded
+		packets += st.PacketsDelivered
+	}
 	return scenario.Outcome{
 		SimEndNS:    int64(simEnd / sim.NS),
 		CtxSwitches: stats.ContextSwitches,
 		Checksums:   sums,
 		DatesHash:   d.Sum(),
 		Counters: map[string]uint64{
-			"flits":              st.FlitsForwarded,
-			"packets":            st.PacketsDelivered,
+			"flits":              flits,
+			"packets":            packets,
 			"method_activations": stats.MethodActivations,
+			"shards":             uint64(b.Shards()),
+			"crossings":          uint64(b.Crossings),
+			"rounds":             b.Rounds(),
 		},
 	}, nil
 }
 
-// checkScenario runs the point's stream shape in the decoupled build
-// (Smart FIFO endpoints + Inc) and the reference build (regular FIFOs +
-// Wait) and diffs the consumers' dated delivery traces — the §IV-A oracle
-// applied to the NI/mesh boundary.
+// checkScenario runs the point's stream shape in the decoupled build at
+// the point's shard count (Smart FIFO endpoints + Inc) and the
+// single-kernel reference build (regular FIFOs + Wait) and diffs the
+// consumers' dated delivery traces — the §IV-A oracle applied to the
+// NI/mesh boundary, composed with the island-partitioning claim.
+//
+// As with the soc model's poll-boundary sensitivity, a non-empty diff on
+// a MULTI-stream shape is a real property of the shape, not necessarily a
+// Smart-FIFO bug: router arbitration between streams contending for a
+// link depends on same-date delta ordering, which the decoupled and
+// reference schedules may resolve differently. Single-stream shapes (the
+// default) have no contention and must always diff empty; the sharded
+// island partitioning never changes the diff either way (islands are
+// whole units).
 func checkScenario(p scenario.Params) (string, error) {
 	c, err := streamConfig(p)
 	if err != nil {
 		return "", err
 	}
-	run := func(decoupled bool) (*trace.Recorder, error) {
+	run := func(decoupled bool, shards int) (*trace.Recorder, error) {
 		cc := c
-		cc.decoupled = decoupled
-		k := sim.NewKernel("noc")
+		cc.decoupled, cc.shards = decoupled, shards
 		rec := trace.NewRecorder()
-		sums := make([]uint64, cc.streams)
-		buildStreams(k, cc, rec, sums)
-		k.Run(sim.RunForever)
-		blocked := k.Blocked()
-		k.Shutdown()
+		sums := make([]uint64, cc.meshes*cc.streams)
+		_, b, err := buildStreams(cc, rec, sums)
+		if err != nil {
+			return nil, err
+		}
+		b.Run(sim.RunForever)
+		blocked := b.Blocked()
+		b.Shutdown()
 		if len(blocked) != 0 {
 			return nil, fmt.Errorf("noc: deadlock (decoupled=%v): %v", decoupled, blocked)
 		}
 		return rec, nil
 	}
-	ref, err := run(false)
+	ref, err := run(false, 1)
 	if err != nil {
 		return "", err
 	}
-	dec, err := run(true)
+	dec, err := run(true, c.shards)
 	if err != nil {
 		return "", err
 	}

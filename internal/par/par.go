@@ -10,12 +10,17 @@
 //  1. every bridge is flushed: data and freeing dates staged during the
 //     previous round cross the shard boundary and wake blocked endpoint
 //     processes;
-//  2. every shard's horizon is computed: the minimum Frontier of its
-//     inbound bridges — a lower bound on the insertion dates of anything
-//     that can still arrive. A shard with no inbound bridges is
-//     unbounded;
-//  3. every shard with pending activity dated at or before its horizon
-//     runs concurrently (Kernel.Step) up to that horizon.
+//  2. every shard's horizon is computed: the minimum over the Frontiers
+//     of its inbound bridges — a lower bound on the insertion dates of
+//     anything that can still arrive, taken STRICTLY (the shard stops
+//     short of the bound, so a non-blocking reader polling at date D has
+//     every word inserted at or before D already delivered) — and the
+//     WriteFrontiers of its outbound bridges — the shard's kernel clock
+//     must never pass the date a credit-blocked writer resumes at, or
+//     the writer's restored decoupled local date would clamp to the
+//     clock. A shard with no bridges is unbounded;
+//  3. every shard with pending activity dated inside its horizon runs
+//     concurrently (Kernel.Step) up to it.
 //
 // The scheme is null-message-free: the lookahead a CMB-style scheduler
 // would ship in null messages is already present in the Smart-FIFO access
@@ -56,6 +61,15 @@ type Bridge interface {
 	// deliveries. Called only at barriers, after Flush. sim.TimeMax
 	// means the bridge can never deliver again.
 	Frontier() sim.Time
+	// WriteFrontier returns a lower bound on the resume date of any
+	// writer-side access that blocks on exhausted credits. The writer's
+	// shard must not advance its kernel clock past it: a parked writer
+	// restores its decoupled local date on wake, and the kernel cannot
+	// represent a local date in the global past — an overshooting
+	// co-located process would clamp the restore and corrupt the dates.
+	// Called only at barriers, after Flush. sim.TimeMax means the writer
+	// can never block again.
+	WriteFrontier() sim.Time
 	// Flush moves staged data across the boundary and reports whether
 	// anything moved. Called only at barriers.
 	Flush() bool
@@ -80,11 +94,12 @@ type Stats struct {
 
 // shard is one kernel plus its coordination state.
 type shard struct {
-	k       *sim.Kernel
-	inbound []Bridge
-	horizon sim.Time
-	run     bool          // selected to run this round
-	work    chan sim.Time // persistent worker's horizon feed (multi-shard runs)
+	k        *sim.Kernel
+	inbound  []Bridge
+	outbound []Bridge
+	horizon  sim.Time
+	run      bool          // selected to run this round
+	work     chan sim.Time // persistent worker's horizon feed (multi-shard runs)
 }
 
 // Coordinator drives a set of shards to global quiescence.
@@ -125,10 +140,12 @@ func (c *Coordinator) AddBridge(b Bridge) {
 	if !ok {
 		panic(fmt.Sprintf("par: bridge %q: reader kernel %q is not a shard", b.Name(), b.ReaderKernel().Name()))
 	}
-	if _, ok := c.byKernel[b.WriterKernel()]; !ok {
+	w, ok := c.byKernel[b.WriterKernel()]
+	if !ok {
 		panic(fmt.Sprintf("par: bridge %q: writer kernel %q is not a shard", b.Name(), b.WriterKernel().Name()))
 	}
 	r.inbound = append(r.inbound, b)
+	w.outbound = append(w.outbound, b)
 	c.bridges = append(c.bridges, b)
 }
 
@@ -202,18 +219,34 @@ func (c *Coordinator) Run(limit sim.Time) {
 		}
 		work := 0
 		for _, s := range c.shards {
+			// The inbound bound is STRICT: a shard may only process
+			// events dated before its bridges' frontiers. An inclusive
+			// bound would let a non-blocking (method/Try) reader poll at
+			// date D before a word inserted exactly at D has crossed the
+			// barrier — a visibility miss a single-kernel Smart FIFO
+			// cannot have. (Blocking access is indifferent: a parked
+			// reader advances to the datum's exact date either way.)
 			h := sim.TimeMax
 			for _, b := range s.inbound {
 				if f := b.Frontier(); f < h {
 					h = f
 				}
 			}
-			if limit >= 0 && limit < h {
-				h = limit
+			// The outbound bound is inclusive: never run the kernel
+			// clock PAST the date a credit-blocked writer on this shard
+			// must resume at, or its restored (decoupled) local date
+			// would clamp to the clock.
+			for _, b := range s.outbound {
+				if f := b.WriteFrontier(); f != sim.TimeMax && f+1 < h {
+					h = f + 1
+				}
+			}
+			if limit >= 0 && limit+1 > 0 && limit+1 < h {
+				h = limit + 1
 			}
 			s.horizon = h
 			s.run = false
-			if at, ok := s.k.NextEventAt(); ok && at <= h {
+			if at, ok := s.k.NextEventAt(); ok && at < h {
 				s.run = true
 				work++
 			}
@@ -238,7 +271,7 @@ func (c *Coordinator) Run(limit sim.Time) {
 			}
 			for _, s := range c.shards {
 				if at, ok := s.k.NextEventAt(); ok && at <= tmin {
-					s.horizon = tmin
+					s.horizon = tmin + 1 // exclusive, like the frontier bound
 					s.run = true
 					work++
 				}
@@ -320,12 +353,13 @@ func (c *Coordinator) runRound() {
 	}
 }
 
-// stepLimit maps the unbounded horizon onto Kernel.Step's sentinel.
+// stepLimit maps an exclusive horizon onto Kernel.Step's inclusive limit
+// (and the unbounded horizon onto the run-forever sentinel).
 func stepLimit(h sim.Time) sim.Time {
 	if h == sim.TimeMax {
 		return sim.RunForever
 	}
-	return h
+	return h - 1
 }
 
 // Blocked reports, per shard, the thread processes that are neither

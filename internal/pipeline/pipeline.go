@@ -13,6 +13,13 @@
 //     TLM-2.0 state of the art the paper improves on; fast but introduces
 //     timing errors (our ablation).
 //
+// The model is wired once, declaratively, as an internal/netlist graph:
+// the same three module bodies build single-kernel (any mode) or
+// partitioned over up to three kernels (TDfull only; the netlist inserts
+// core.ShardedFIFO bridges at cut edges and drives the shards through the
+// conservative coordinator). The dates are identical either way — pinned
+// by TestShardedRunMatchesSingleKernel.
+//
 // Run returns wall time, kernel statistics and the dated per-block
 // completion log, so callers can regenerate Fig. 5 and quantify accuracy.
 package pipeline
@@ -21,9 +28,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/fifo"
-	"repro/internal/par"
+	"repro/internal/netlist"
 	"repro/internal/sim"
 	"repro/internal/td"
 	"repro/internal/workload"
@@ -75,13 +81,18 @@ type Config struct {
 	SinkRate     workload.Rate
 	// QuantumValue is the quantum for Mode == Quantum.
 	QuantumValue sim.Time
-	// Shards partitions the model across that many kernels (≤ 3, one
-	// per module) run in parallel by a conservative coordinator
-	// (internal/par) over core.ShardedFIFO bridges. 0 or 1 keeps the
-	// classic single-kernel build. Only Mode == TDfull can be sharded:
-	// the bridges are Smart FIFOs, and their dates are what makes the
-	// partitioning conservative.
+	// Shards partitions the model across that many kernels run in
+	// parallel by the conservative coordinator (internal/par) over
+	// netlist-inserted core.ShardedFIFO bridges. 0 or 1 keeps the classic
+	// single-kernel build. Only Mode == TDfull can be sharded: the
+	// bridges are Smart FIFOs, and their dates are what makes the
+	// partitioning conservative. Asking for more shards than the model
+	// has modules (three) is an error — Run panics with a clear message
+	// instead of silently clamping.
 	Shards int
+	// Partitioner names the netlist partitioner assigning modules to
+	// shards: "single", "roundrobin" (default) or "mincut".
+	Partitioner string
 	// Burst, when > 1, moves words through the FIFOs in chunks of up to
 	// Burst words: the burst-dominated configuration of the §IV-C
 	// packetization extension. The chunked workload samples each rate
@@ -146,29 +157,30 @@ type Result struct {
 	Stats sim.Stats
 	// Shards echoes the partitioning (1 for the single-kernel build);
 	// Rounds is the number of coordinator barrier rounds (0 when
-	// unsharded).
-	Shards int
-	Rounds uint64
+	// unsharded); Crossings counts the channels the netlist elaborated
+	// as cross-shard bridges.
+	Shards    int
+	Rounds    uint64
+	Crossings int
 }
 
 // delayer abstracts the annotation style of a process.
 type delayer func(d sim.Time)
 
-// Run executes the benchmark once and reports the outcome.
+// Run executes the benchmark once and reports the outcome. The model is
+// one netlist graph for every mode and shard count; Build chooses the
+// channel implementation and the partitioning.
 func Run(cfg Config) Result {
 	cfg.fill()
-	if cfg.Shards > 1 {
-		return runSharded(cfg)
+	nShards := cfg.Shards
+	if nShards < 1 {
+		nShards = 1
 	}
-	k := sim.NewKernel("fig5")
-	timed := cfg.Mode != Untimed
+	if nShards > 1 && cfg.Mode != TDfull {
+		panic(fmt.Sprintf("pipeline: mode %v cannot be sharded (only TDfull carries the Smart-FIFO dates)", cfg.Mode))
+	}
 
-	newFIFO := func(name string) fifo.Channel[workload.Word] {
-		if cfg.Mode == TDfull {
-			return core.NewSmart[workload.Word](k, name, cfg.Depth)
-		}
-		return fifo.New[workload.Word](k, name, cfg.Depth)
-	}
+	timed := cfg.Mode != Untimed
 	newDelay := func(p *sim.Process) delayer {
 		switch cfg.Mode {
 		case Untimed:
@@ -184,55 +196,63 @@ func Run(cfg Config) Result {
 		panic("pipeline: unknown mode")
 	}
 
-	f1 := newFIFO("f1")
-	f2 := newFIFO("f2")
+	g := netlist.New("fig5")
+	f1 := netlist.AddChan[workload.Word](g, "f1", cfg.Depth).WithBurst(cfg.Burst)
+	f2 := netlist.AddChan[workload.Word](g, "f2", cfg.Depth).WithBurst(cfg.Burst)
+
 	n := cfg.Blocks * cfg.WordsPerBlock
 	res := Result{Mode: cfg.Mode, Depth: cfg.Depth, Words: n}
 
-	// A decoupled process may terminate with its local date ahead of the
-	// global clock; the simulated end date is the latest local end.
-	end := func(p *sim.Process) {
-		if timed && p.LocalTime() > res.SimEnd {
-			res.SimEnd = p.LocalTime()
-		}
-	}
+	// Each module records its own final local date; the simulated end
+	// date is the latest (a decoupled process may terminate with its
+	// local date ahead of the global clock). Per-module slots keep the
+	// bodies race-free across shards.
+	var ends [3]sim.Time
+
+	src := g.Thread("source", nil)
+	out1 := f1.Output(src)
+	tx := g.Thread("transmitter", nil)
+	in1, out2 := f1.Input(tx), f2.Output(tx)
+	snk := g.Thread("sink", nil)
+	in2 := f2.Input(snk)
 
 	if cfg.Burst > 1 {
 		// Burst-dominated configuration: words move in chunks through
 		// the burst APIs (bulk fast paths for TDfull and Untimed, the
 		// mode's per-word delayer for TDless and Quantum).
-		writeChunk := func(p *sim.Process, ch fifo.Channel[workload.Word], delay delayer, chunk []workload.Word, per sim.Time) {
+		writeChunk := func(p *sim.Process, w fifo.Writer[workload.Word], delay delayer, chunk []workload.Word, per sim.Time) {
 			switch cfg.Mode {
 			case TDfull:
-				fifo.WriteBurst(p, ch, chunk, per)
+				fifo.WriteBurst(p, w, chunk, per)
 			case Untimed:
-				fifo.WriteBurst(p, ch, chunk, 0)
+				fifo.WriteBurst(p, w, chunk, 0)
 			default:
 				for i, v := range chunk {
 					if i > 0 {
 						delay(per)
 					}
-					ch.Write(v)
+					w.Write(v)
 				}
 			}
 		}
-		readChunk := func(p *sim.Process, ch fifo.Channel[workload.Word], delay delayer, chunk []workload.Word, per sim.Time) {
+		readChunk := func(p *sim.Process, r fifo.Reader[workload.Word], delay delayer, chunk []workload.Word, per sim.Time) {
 			switch cfg.Mode {
 			case TDfull:
-				fifo.ReadBurst(p, ch, chunk, per)
+				fifo.ReadBurst(p, r, chunk, per)
 			case Untimed:
-				fifo.ReadBurst(p, ch, chunk, 0)
+				fifo.ReadBurst(p, r, chunk, 0)
 			default:
 				for i := range chunk {
 					if i > 0 {
 						delay(per)
 					}
-					chunk[i] = ch.Read()
+					chunk[i] = r.Read()
 				}
 			}
 		}
-		k.Thread("source", func(p *sim.Process) {
+		src.Body(func(p *sim.Process) {
 			delay := newDelay(p)
+			w := out1.End()
 			buf := make([]workload.Word, cfg.Burst)
 			for i, ci := 0, 0; i < n; ci++ {
 				m := min(cfg.Burst, n-i)
@@ -240,31 +260,33 @@ func Run(cfg Config) Result {
 				for j := 0; j < m; j++ {
 					buf[j] = workload.WordAt(cfg.Seed, i+j)
 				}
-				writeChunk(p, f1, delay, buf[:m], per)
+				writeChunk(p, w, delay, buf[:m], per)
 				delay(per)
 				i += m
 			}
-			end(p)
+			ends[0] = p.LocalTime()
 		})
-		k.Thread("transmitter", func(p *sim.Process) {
+		tx.Body(func(p *sim.Process) {
 			delay := newDelay(p)
+			r, w := in1.End(), out2.End()
 			buf := make([]workload.Word, cfg.Burst)
 			for i, ci := 0, 0; i < n; ci++ {
 				m := min(cfg.Burst, n-i)
 				per := cfg.TransmitRate(ci)
-				readChunk(p, f1, delay, buf[:m], per)
+				readChunk(p, r, delay, buf[:m], per)
 				delay(per)
 				for j := 0; j < m; j++ {
 					buf[j] ^= 0xa5a5a5a5 // the "transmission" transform
 				}
-				writeChunk(p, f2, delay, buf[:m], per)
+				writeChunk(p, w, delay, buf[:m], per)
 				delay(per)
 				i += m
 			}
-			end(p)
+			ends[1] = p.LocalTime()
 		})
-		k.Thread("sink", func(p *sim.Process) {
+		snk.Body(func(p *sim.Process) {
 			delay := newDelay(p)
+			r := in2.End()
 			buf := make([]workload.Word, cfg.Burst)
 			sum := uint64(0)
 			for i, ci := 0, 0; i < n; ci++ {
@@ -272,7 +294,7 @@ func Run(cfg Config) Result {
 				// dated block-completion log keeps its place.
 				m := min(cfg.Burst, n-i, cfg.WordsPerBlock-i%cfg.WordsPerBlock)
 				per := cfg.SinkRate(ci)
-				readChunk(p, f2, delay, buf[:m], per)
+				readChunk(p, r, delay, buf[:m], per)
 				delay(per)
 				for _, w := range buf[:m] {
 					sum = workload.Checksum(sum, w)
@@ -283,178 +305,69 @@ func Run(cfg Config) Result {
 				}
 			}
 			res.Checksum = sum
-			end(p)
+			ends[2] = p.LocalTime()
 		})
 	} else {
-		k.Thread("source", func(p *sim.Process) {
+		src.Body(func(p *sim.Process) {
 			delay := newDelay(p)
+			w := out1.End()
 			for i := 0; i < n; i++ {
-				f1.Write(workload.WordAt(cfg.Seed, i))
+				w.Write(workload.WordAt(cfg.Seed, i))
 				delay(cfg.SourceRate(i))
 			}
-			end(p)
+			ends[0] = p.LocalTime()
 		})
-		k.Thread("transmitter", func(p *sim.Process) {
+		tx.Body(func(p *sim.Process) {
 			delay := newDelay(p)
+			r, w := in1.End(), out2.End()
 			for i := 0; i < n; i++ {
-				v := f1.Read()
+				v := r.Read()
 				delay(cfg.TransmitRate(i))
-				f2.Write(v ^ 0xa5a5a5a5) // the "transmission" transform
+				w.Write(v ^ 0xa5a5a5a5) // the "transmission" transform
 			}
-			end(p)
+			ends[1] = p.LocalTime()
 		})
-		k.Thread("sink", func(p *sim.Process) {
+		snk.Body(func(p *sim.Process) {
 			delay := newDelay(p)
+			r := in2.End()
 			sum := uint64(0)
 			for i := 0; i < n; i++ {
-				sum = workload.Checksum(sum, f2.Read())
+				sum = workload.Checksum(sum, r.Read())
 				delay(cfg.SinkRate(i))
 				if timed && (i+1)%cfg.WordsPerBlock == 0 {
 					res.BlockDates = append(res.BlockDates, p.LocalTime())
 				}
 			}
 			res.Checksum = sum
-			end(p)
-		})
-	}
-
-	start := time.Now()
-	k.Run(sim.RunForever)
-	res.Wall = time.Since(start)
-	res.Stats = k.Stats()
-	res.Shards = 1
-	return res
-}
-
-// runSharded builds the same three-module model across up to three
-// kernels — source, transmitter and sink each on their own shard — with
-// the two FIFOs as cross-shard Smart-FIFO bridges, and runs them in
-// parallel under the conservative coordinator. The dates and values are
-// identical to the single-kernel TDfull build (pinned by
-// TestShardedRunMatchesSingleKernel); only the wall time changes.
-func runSharded(cfg Config) Result {
-	if cfg.Mode != TDfull {
-		panic(fmt.Sprintf("pipeline: mode %v cannot be sharded (only TDfull carries the Smart-FIFO dates)", cfg.Mode))
-	}
-	nShards := cfg.Shards
-	if nShards > 3 {
-		nShards = 3
-	}
-	ks := make([]*sim.Kernel, nShards)
-	c := par.NewCoordinator()
-	for i := range ks {
-		ks[i] = sim.NewKernel(fmt.Sprintf("fig5.s%d", i))
-		c.AddShard(ks[i])
-	}
-	kOf := func(module int) *sim.Kernel { return ks[module%nShards] }
-
-	f1 := core.NewSharded[workload.Word](kOf(0), kOf(1), "f1", cfg.Depth)
-	f2 := core.NewSharded[workload.Word](kOf(1), kOf(2), "f2", cfg.Depth)
-	c.AddBridge(f1)
-	c.AddBridge(f2)
-
-	n := cfg.Blocks * cfg.WordsPerBlock
-	res := Result{Mode: cfg.Mode, Depth: cfg.Depth, Words: n, Shards: nShards}
-
-	// Each thread writes only its own slot: shards run concurrently.
-	var ends [3]sim.Time
-	if cfg.Burst > 1 {
-		// The chunked model over the bridge endpoints' bulk burst
-		// paths: same chunk boundaries and rate sampling as the
-		// single-kernel build, hence identical dates.
-		kOf(0).Thread("source", func(p *sim.Process) {
-			w := f1.Writer()
-			buf := make([]workload.Word, cfg.Burst)
-			for i, ci := 0, 0; i < n; ci++ {
-				m := min(cfg.Burst, n-i)
-				per := cfg.SourceRate(ci)
-				for j := 0; j < m; j++ {
-					buf[j] = workload.WordAt(cfg.Seed, i+j)
-				}
-				w.WriteBurst(buf[:m], per)
-				p.Inc(per)
-				i += m
-			}
-			ends[0] = p.LocalTime()
-		})
-		kOf(1).Thread("transmitter", func(p *sim.Process) {
-			r, w := f1.Reader(), f2.Writer()
-			buf := make([]workload.Word, cfg.Burst)
-			for i, ci := 0, 0; i < n; ci++ {
-				m := min(cfg.Burst, n-i)
-				per := cfg.TransmitRate(ci)
-				r.ReadBurst(buf[:m], per)
-				p.Inc(per)
-				for j := 0; j < m; j++ {
-					buf[j] ^= 0xa5a5a5a5
-				}
-				w.WriteBurst(buf[:m], per)
-				p.Inc(per)
-				i += m
-			}
-			ends[1] = p.LocalTime()
-		})
-		kOf(2).Thread("sink", func(p *sim.Process) {
-			r := f2.Reader()
-			buf := make([]workload.Word, cfg.Burst)
-			sum := uint64(0)
-			for i, ci := 0, 0; i < n; ci++ {
-				m := min(cfg.Burst, n-i, cfg.WordsPerBlock-i%cfg.WordsPerBlock)
-				per := cfg.SinkRate(ci)
-				r.ReadBurst(buf[:m], per)
-				p.Inc(per)
-				for _, w := range buf[:m] {
-					sum = workload.Checksum(sum, w)
-				}
-				i += m
-				if i%cfg.WordsPerBlock == 0 {
-					res.BlockDates = append(res.BlockDates, p.LocalTime())
-				}
-			}
-			res.Checksum = sum
-			ends[2] = p.LocalTime()
-		})
-	} else {
-		kOf(0).Thread("source", func(p *sim.Process) {
-			w := f1.Writer()
-			for i := 0; i < n; i++ {
-				w.Write(workload.WordAt(cfg.Seed, i))
-				p.Inc(cfg.SourceRate(i))
-			}
-			ends[0] = p.LocalTime()
-		})
-		kOf(1).Thread("transmitter", func(p *sim.Process) {
-			r, w := f1.Reader(), f2.Writer()
-			for i := 0; i < n; i++ {
-				v := r.Read()
-				p.Inc(cfg.TransmitRate(i))
-				w.Write(v ^ 0xa5a5a5a5)
-			}
-			ends[1] = p.LocalTime()
-		})
-		kOf(2).Thread("sink", func(p *sim.Process) {
-			r := f2.Reader()
-			sum := uint64(0)
-			for i := 0; i < n; i++ {
-				sum = workload.Checksum(sum, r.Read())
-				p.Inc(cfg.SinkRate(i))
-				if (i+1)%cfg.WordsPerBlock == 0 {
-					res.BlockDates = append(res.BlockDates, p.LocalTime())
-				}
-			}
-			res.Checksum = sum
 			ends[2] = p.LocalTime()
 		})
 	}
 
+	impl := netlist.Plain
+	if cfg.Mode == TDfull {
+		impl = netlist.Smart
+	}
+	part, err := netlist.PartitionerByName(cfg.Partitioner)
+	if err != nil {
+		panic(fmt.Sprintf("pipeline: %v", err))
+	}
+	b, err := g.Build(netlist.Options{Shards: nShards, Partitioner: part, Impl: impl})
+	if err != nil {
+		panic(fmt.Sprintf("pipeline: %v", err))
+	}
+
 	start := time.Now()
-	c.Run(sim.RunForever)
+	b.Run(sim.RunForever)
 	res.Wall = time.Since(start)
-	res.Stats = c.KernelStats()
-	res.Rounds = c.Stats().Rounds
-	for _, e := range ends {
-		if e > res.SimEnd {
-			res.SimEnd = e
+	res.Stats = b.Stats()
+	res.Shards = b.Shards()
+	res.Rounds = b.Rounds()
+	res.Crossings = b.Crossings
+	if timed {
+		for _, e := range ends {
+			if e > res.SimEnd {
+				res.SimEnd = e
+			}
 		}
 	}
 	return res

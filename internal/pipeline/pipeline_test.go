@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fmt"
+	"strings"
 
 	"repro/internal/pipeline"
 	"repro/internal/sim"
@@ -200,4 +201,50 @@ func TestShardedTDlessPanics(t *testing.T) {
 	cfg := small(pipeline.TDless, 4)
 	cfg.Shards = 2
 	pipeline.Run(cfg)
+}
+
+// TestShardsBeyondModulesPanics pins the lifted clamp's replacement: more
+// shards than modules is a clear error, not a silent clamp to 3.
+func TestShardsBeyondModulesPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("shards > modules should panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "3 partitionable units") {
+			t.Fatalf("panic message %q does not name the unit count", msg)
+		}
+	}()
+	cfg := small(pipeline.TDfull, 4)
+	cfg.Shards = 5
+	pipeline.Run(cfg)
+}
+
+// TestPartitionerEquivalence: every registered partitioner at every legal
+// shard count reproduces the single-kernel dates, and mincut cuts fewer
+// channels than roundrobin at 2 shards.
+func TestPartitionerEquivalence(t *testing.T) {
+	cfg := small(pipeline.TDfull, 4)
+	refTrace := blockTrace(pipeline.Run(cfg))
+	crossings := map[string]int{}
+	for _, part := range []string{"single", "roundrobin", "mincut"} {
+		for shards := 1; shards <= 3; shards++ {
+			c := cfg
+			c.Shards, c.Partitioner = shards, part
+			r := pipeline.Run(c)
+			if d := trace.Diff(refTrace, blockTrace(r)); d != "" {
+				t.Errorf("%s/%d shards: trace differs:\n%s", part, shards, d)
+			}
+			if shards == 2 {
+				crossings[part] = r.Crossings
+			}
+		}
+	}
+	if crossings["mincut"] >= crossings["roundrobin"] {
+		t.Errorf("mincut crossings (%d) not below roundrobin (%d) at 2 shards",
+			crossings["mincut"], crossings["roundrobin"])
+	}
+	if crossings["single"] != 0 {
+		t.Errorf("single partitioner crossed %d channels", crossings["single"])
+	}
 }

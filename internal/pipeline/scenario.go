@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 
+	"repro/internal/netlist"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -15,7 +16,7 @@ import (
 func init() {
 	scenario.Register(scenario.Model{
 		Name: "pipeline",
-		Keys: []string{"mode", "depth", "blocks", "words_per_block", "quantum_ns", "shards", "seed"},
+		Keys: []string{"mode", "depth", "blocks", "words_per_block", "quantum_ns", "shards", "partitioner", "seed"},
 		Run:  runScenario,
 		Check: func(p scenario.Params) (string, error) {
 			return checkScenario(p)
@@ -35,6 +36,7 @@ func scenarioConfig(p scenario.Params) (Config, error) {
 		WordsPerBlock: r.Int("words_per_block", 100),
 		QuantumValue:  r.Time("quantum_ns", sim.US),
 		Shards:        r.Int("shards", 0),
+		Partitioner:   r.String("partitioner", ""),
 	}
 	switch m := r.String("mode", "TDfull"); m {
 	case "untimed":
@@ -55,6 +57,12 @@ func scenarioConfig(p scenario.Params) (Config, error) {
 	}
 	if cfg.Shards > 1 && cfg.Mode != TDfull {
 		return cfg, fmt.Errorf("pipeline: mode %v cannot be sharded (only TDfull carries the Smart-FIFO dates)", cfg.Mode)
+	}
+	if cfg.Shards > 3 {
+		return cfg, fmt.Errorf("pipeline: %d shards but the model has only 3 modules", cfg.Shards)
+	}
+	if _, err := netlist.PartitionerByName(cfg.Partitioner); err != nil {
+		return cfg, err
 	}
 	if cfg.Depth < 1 || cfg.Blocks < 1 || cfg.WordsPerBlock < 1 {
 		return cfg, fmt.Errorf("pipeline: depth, blocks and words_per_block must be >= 1")

@@ -7,30 +7,35 @@ import (
 	"repro/internal/accel"
 	"repro/internal/bus"
 	"repro/internal/core"
-	"repro/internal/par"
+	"repro/internal/netlist"
 	"repro/internal/sim"
 )
 
 // RunClustered builds and executes the sharding-friendly variant of the
 // case study: a multi-cluster SoC whose stream traffic crosses cluster
-// boundaries over Smart-FIFO bridges, run on `shards` kernels in parallel
-// by the conservative coordinator (internal/par).
+// boundaries over Smart-FIFO bridges, declared as an internal/netlist
+// graph and partitioned across `shards` kernels by a pluggable netlist
+// partitioner (cfg.Partitioner; roundrobin by default, reproducing the
+// historical cluster-modulo mapping).
 //
 // The model has cfg.Pipelines clusters in a ring. Pipeline i's front half
 // (generator → c1 → scale) lives on cluster i; its back half
 // (fir → c3 → sink) lives on cluster (i+1) mod C, with the middle hop a
-// core.ShardedFIFO bridge. Each cluster has its own memory-mapped side —
-// bus, register files and an embedded control core that programs every
-// job up front (consumers first), then polls its local stages' status and
-// the sink's input FIFO fill level (the §III-C monitor interface) until
-// the cluster is idle.
+// netlist channel cut at the cluster boundary — Build inserts a
+// core.ShardedFIFO bridge wherever the partitioner separates the two
+// halves. Each cluster has its own memory-mapped side — bus, register
+// files and an embedded control core that programs every job up front
+// (consumers first), then polls its local stages' status and the sink's
+// input FIFO fill level (the §III-C monitor interface) until the cluster
+// is idle. A cluster is one netlist colocation group: its bus couples the
+// control core to the stages synchronously.
 //
-// Cluster c maps onto kernel c mod shards, so the same model runs on 1
-// kernel or on N: the stream dates, checksums and job completion dates
-// are identical (pinned by TestClusteredShardEquivalence) because every
-// cross-cluster interaction is a dated Kahn channel. Only the wall-clock
-// schedule — and therefore the monitor's MaxLevels samples, which observe
-// in-flight state — may differ.
+// The same model runs on 1 kernel or on N: the stream dates, checksums
+// and job completion dates are identical (pinned by
+// TestClusteredShardEquivalence) because every cross-cluster interaction
+// is a dated Kahn channel. Only the wall-clock schedule — and therefore
+// the monitor's MaxLevels samples, which observe in-flight state — may
+// differ.
 //
 // The clustered variant always uses Smart FIFOs and ignores the UseNoC,
 // WithDMA and UseIRQ knobs: it is the scaling axis of the reproduction,
@@ -42,24 +47,16 @@ func RunClustered(cfg Config, shards int) Result {
 		shards = 1
 	}
 	if shards > nClusters {
-		shards = nClusters
+		panic(fmt.Sprintf("soc: %d shards but only %d clusters (a cluster is one colocation unit)", shards, nClusters))
 	}
 
-	coord := par.NewCoordinator()
-	kernels := make([]*sim.Kernel, shards)
-	for i := range kernels {
-		kernels[i] = sim.NewKernel(fmt.Sprintf("soc.s%d", i))
-		coord.AddShard(kernels[i])
-	}
-	kOf := func(cluster int) *sim.Kernel { return kernels[cluster%shards] }
+	g := netlist.New("soc")
+	group := func(c int) string { return fmt.Sprintf("cl%d", c%nClusters) }
 
-	// Bridges: pipeline i's middle hop, cluster i → cluster (i+1)%C.
-	bridges := make([]*core.ShardedFIFO[uint32], nClusters)
+	// Middle hops: pipeline i, cluster i → cluster (i+1)%C.
+	mids := make([]*netlist.Chan[uint32], nClusters)
 	for i := 0; i < nClusters; i++ {
-		bridges[i] = core.NewSharded[uint32](
-			kOf(i), kOf((i+1)%nClusters),
-			fmt.Sprintf("p%d.mid", i), cfg.FIFODepth)
-		coord.AddBridge(bridges[i])
+		mids[i] = netlist.AddChan[uint32](g, fmt.Sprintf("p%d.mid", i), cfg.FIFODepth)
 	}
 
 	// Per-cluster register layout on the local bus.
@@ -70,53 +67,56 @@ func RunClustered(cfg Config, shards int) Result {
 		sinkBase  = 0x1030
 	)
 
-	type cluster struct {
-		bus  *bus.Bus
-		sink *accel.Accel // sink of pipeline (c-1+C)%C, homed here
-	}
-	clusters := make([]*cluster, nClusters)
-	maxLevels := make([]uint32, nClusters) // indexed by hosting cluster
+	buses := make([]*bus.Bus, nClusters)
+	sinks := make([]*accel.Accel, nClusters) // sink of pipeline i (homed on cluster (i+1)%C)
+	maxLevels := make([]uint32, nClusters)   // indexed by hosting cluster
 
-	// First pass: buses and the front halves (gen → c1 → scale → bridge).
+	// First pass: the front halves (bus, gen → c1 → scale → mid).
 	for c := 0; c < nClusters; c++ {
-		k := kOf(c)
-		clusters[c] = &cluster{bus: bus.NewBus(k, fmt.Sprintf("cl%d.bus", c), sim.NS)}
-		name := func(s string) string { return fmt.Sprintf("p%d.%s", c, s) }
-		c1 := core.NewSmart[uint32](k, name("c1"), cfg.FIFODepth)
-		gen := accel.New(k, name("gen"), accel.Config{
-			Kind: accel.Generator, Out: c1, WordLat: 3 * sim.NS, Seed: cfg.Seed + int64(c),
+		c := c
+		front := g.Structural(fmt.Sprintf("cl%d.front", c), nil).InGroup(group(c))
+		midOut := mids[c].Output(front)
+		front.Elab(func(k *sim.Kernel) {
+			buses[c] = bus.NewBus(k, fmt.Sprintf("cl%d.bus", c), sim.NS)
+			name := func(s string) string { return fmt.Sprintf("p%d.%s", c, s) }
+			c1 := core.NewSmart[uint32](k, name("c1"), cfg.FIFODepth)
+			gen := accel.New(k, name("gen"), accel.Config{
+				Kind: accel.Generator, Out: c1, WordLat: 3 * sim.NS, Seed: cfg.Seed + int64(c),
+			})
+			scale := accel.New(k, name("scale"), accel.Config{
+				Kind: accel.Scale, In: c1, Out: midOut.End(), WordLat: 2 * sim.NS, Factor: 3,
+			})
+			buses[c].Map(gen.Name(), genBase, accel.NumRegs, gen.Regs())
+			buses[c].Map(scale.Name(), scaleBase, accel.NumRegs, scale.Regs())
 		})
-		scale := accel.New(k, name("scale"), accel.Config{
-			Kind: accel.Scale, In: c1, Out: bridges[c].Writer(), WordLat: 2 * sim.NS, Factor: 3,
-		})
-		clusters[c].bus.Map(gen.Name(), genBase, accel.NumRegs, gen.Regs())
-		clusters[c].bus.Map(scale.Name(), scaleBase, accel.NumRegs, scale.Regs())
 	}
-	// Second pass: the back halves (bridge → fir → c3 → sink), homed one
+	// Second pass: the back halves (mid → fir → c3 → sink), homed one
 	// cluster downstream.
 	for i := 0; i < nClusters; i++ {
+		i := i
 		home := (i + 1) % nClusters
-		k := kOf(home)
-		name := func(s string) string { return fmt.Sprintf("p%d.%s", i, s) }
-		c3 := core.NewSmart[uint32](k, name("c3"), cfg.FIFODepth)
-		fir := accel.New(k, name("fir"), accel.Config{
-			Kind: accel.FIR, In: bridges[i].Reader(), Out: c3, WordLat: 2 * sim.NS,
+		back := g.Structural(fmt.Sprintf("cl%d.back", home), nil).InGroup(group(home))
+		midIn := mids[i].Input(back)
+		back.Elab(func(k *sim.Kernel) {
+			name := func(s string) string { return fmt.Sprintf("p%d.%s", i, s) }
+			c3 := core.NewSmart[uint32](k, name("c3"), cfg.FIFODepth)
+			fir := accel.New(k, name("fir"), accel.Config{
+				Kind: accel.FIR, In: midIn.End(), Out: c3, WordLat: 2 * sim.NS,
+			})
+			sink := accel.New(k, name("sink"), accel.Config{
+				Kind: accel.Sink, In: c3, WordLat: 4 * sim.NS,
+			})
+			buses[home].Map(fir.Name(), firBase, accel.NumRegs, fir.Regs())
+			buses[home].Map(sink.Name(), sinkBase, accel.NumRegs, sink.Regs())
+			sinks[i] = sink
 		})
-		sink := accel.New(k, name("sink"), accel.Config{
-			Kind: accel.Sink, In: c3, WordLat: 4 * sim.NS,
-		})
-		clusters[home].bus.Map(fir.Name(), firBase, accel.NumRegs, fir.Regs())
-		clusters[home].bus.Map(sink.Name(), sinkBase, accel.NumRegs, sink.Regs())
-		clusters[home].sink = sink
 	}
 
 	// Control cores: one per cluster, driving the four stages homed there.
 	for c := 0; c < nClusters; c++ {
 		c := c
-		k := kOf(c)
-		b := clusters[c].bus
-		k.Thread(fmt.Sprintf("cl%d.ctrl", c), func(p *sim.Process) {
-			in := bus.NewInitiator(p, b, cfg.Quantum)
+		g.Thread(fmt.Sprintf("cl%d.ctrl", c), func(p *sim.Process) {
+			in := bus.NewInitiator(p, buses[c], cfg.Quantum)
 			words := uint32(cfg.WordsPerJob)
 			// Program every job up front, consumers first, so job
 			// back-to-back timing is carried by the streams alone.
@@ -143,27 +143,36 @@ func RunClustered(cfg Config, shards int) Result {
 				}
 				p.Inc(cfg.PollPeriod)
 			}
-		})
+		}).InGroup(group(c))
+	}
+
+	part, err := netlist.PartitionerByName(cfg.Partitioner)
+	if err != nil {
+		panic(fmt.Sprintf("soc: %v", err))
+	}
+	built, err := g.Build(netlist.Options{Shards: shards, Partitioner: part, Impl: netlist.Smart})
+	if err != nil {
+		panic(fmt.Sprintf("soc: %v", err))
 	}
 
 	res := Result{
 		Mode:      SmartFIFOs,
-		Shards:    shards,
+		Shards:    built.Shards(),
 		MaxLevels: make([]uint32, nClusters),
 	}
 	start := time.Now()
-	coord.Run(sim.RunForever)
+	built.Run(sim.RunForever)
 	res.Wall = time.Since(start)
-	res.Stats = coord.KernelStats()
-	res.Rounds = coord.Stats().Rounds
+	res.Stats = built.Stats()
+	res.Rounds = built.Rounds()
+	res.Crossings = built.Crossings
 	for i := 0; i < nClusters; i++ {
-		sink := clusters[(i+1)%nClusters].sink
-		res.Checksums = append(res.Checksums, sink.Checksum())
-		res.JobDates = append(res.JobDates, sink.JobDates())
+		res.Checksums = append(res.Checksums, sinks[i].Checksum())
+		res.JobDates = append(res.JobDates, sinks[i].JobDates())
 		res.MaxLevels[i] = maxLevels[(i+1)%nClusters]
 	}
-	for _, b := range clusters {
-		res.BusAccesses += b.bus.Accesses()
+	for _, b := range buses {
+		res.BusAccesses += b.Accesses()
 	}
 	for _, dates := range res.JobDates {
 		for _, d := range dates {
@@ -172,6 +181,6 @@ func RunClustered(cfg Config, shards int) Result {
 			}
 		}
 	}
-	coord.Shutdown()
+	built.Shutdown()
 	return res
 }

@@ -3,6 +3,7 @@ package soc_test
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/soc"
@@ -83,16 +84,20 @@ func TestClusteredMatchesWorkload(t *testing.T) {
 	}
 }
 
-// TestClusteredShardClamp: shard counts beyond the cluster count clamp.
-func TestClusteredShardClamp(t *testing.T) {
-	cfg := clusteredCfg()
-	r := soc.RunClustered(cfg, 64)
-	if r.Shards != cfg.Pipelines {
-		t.Fatalf("want clamp to %d shards, got %d", cfg.Pipelines, r.Shards)
-	}
-	if d := trace.Diff(jobTrace(soc.RunClustered(cfg, 1)), jobTrace(r)); d != "" {
-		t.Errorf("clamped run differs from 1-shard reference:\n%s", d)
-	}
+// TestClusteredShardOverflowPanics: shard counts beyond the cluster
+// count are a clear error, not a silent clamp (a cluster is the model's
+// colocation unit).
+func TestClusteredShardOverflowPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("shards > clusters should panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "clusters") {
+			t.Fatalf("panic message %q does not explain the cluster limit", msg)
+		}
+	}()
+	soc.RunClustered(clusteredCfg(), 64)
 }
 
 // TestClusteredParallelSpeedup checks the point of sharding: on a

@@ -3,6 +3,7 @@ package soc
 import (
 	"fmt"
 
+	"repro/internal/netlist"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -24,7 +25,7 @@ func init() {
 	scenario.Register(scenario.Model{
 		Name: "soc-clustered",
 		Keys: []string{"pipelines", "jobs", "words_per_job", "fifo_depth",
-			"quantum_ns", "poll_period_ns", "seed", "shards"},
+			"quantum_ns", "poll_period_ns", "seed", "shards", "partitioner"},
 		Run:   runClusteredScenario,
 		Check: checkClusteredScenario,
 	})
@@ -45,6 +46,7 @@ func scenarioConfig(p scenario.Params) (Config, int, error) {
 		PollPeriod:   r.Time("poll_period_ns", 200*sim.NS),
 		UseIRQ:       r.Bool("use_irq", false),
 		WithDMA:      r.Bool("with_dma", false),
+		Partitioner:  r.String("partitioner", ""),
 	}
 	switch m := r.String("mode", "smart"); m {
 	case "smart":
@@ -69,6 +71,12 @@ func scenarioConfig(p scenario.Params) (Config, int, error) {
 	}
 	if shards < 1 {
 		return cfg, 0, fmt.Errorf("soc: shards must be >= 1")
+	}
+	if shards > cfg.Pipelines {
+		return cfg, 0, fmt.Errorf("soc: %d shards but only %d clusters (one per pipeline)", shards, cfg.Pipelines)
+	}
+	if _, err := netlist.PartitionerByName(cfg.Partitioner); err != nil {
+		return cfg, 0, err
 	}
 	return cfg, shards, nil
 }

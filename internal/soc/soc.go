@@ -27,6 +27,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/fifo"
+	"repro/internal/netlist"
 	"repro/internal/noc"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -73,6 +74,10 @@ type Config struct {
 	// PollPeriod is the control core's status/level polling period (also
 	// the interrupt-wait timeout in IRQ mode).
 	PollPeriod sim.Time
+	// Partitioner names the netlist partitioner for RunClustered
+	// ("single", "roundrobin" — the default — or "mincut"). Run ignores
+	// it: the single-SoC model is one colocation unit.
+	Partitioner string
 	// UseIRQ makes the control core sleep on an interrupt controller
 	// instead of polling status registers; accelerator sinks and the DMA
 	// writer raise lines at job completion.
@@ -140,9 +145,11 @@ type Result struct {
 	NoC noc.Stats
 	// Shards is the number of kernels the run was partitioned over (1
 	// for Run); Rounds is the number of coordinator barrier rounds (0
-	// for Run). See RunClustered.
-	Shards int
-	Rounds uint64
+	// for Run); Crossings counts the channels elaborated as cross-shard
+	// bridges (0 for Run). See RunClustered.
+	Shards    int
+	Rounds    uint64
+	Crossings int
 }
 
 // pipeline groups the per-chain bookkeeping.
@@ -151,115 +158,174 @@ type pipeline struct {
 	regBase               uint32
 }
 
-// Run builds and executes the SoC once.
+// Run builds and executes the SoC once. The model is declared as an
+// internal/netlist graph — the fabric (bus, NoC, IRQ controller), every
+// accelerator and the DMA engines are modules, the stream hops are
+// netlist channels — and elaborated onto one kernel: the whole SoC is a
+// single colocation unit, because the bus couples the control core to
+// every register file synchronously.
 func Run(cfg Config) Result {
 	cfg.fill()
-	k := sim.NewKernel("soc")
-	b := bus.NewBus(k, "bus", sim.NS)
-
-	newChannel := func(name string) fifo.Channel[uint32] {
-		if cfg.Mode == SmartFIFOs {
-			return core.NewSmart[uint32](k, name, cfg.FIFODepth)
-		}
-		return fifo.NewSync[uint32](k, name, cfg.FIFODepth)
+	g := netlist.New("soc")
+	impl := netlist.Smart
+	if cfg.Mode == SyncFIFOs {
+		impl = netlist.Sync
 	}
 
-	// Stream NoC: one column per pipeline, two rows; odd pipelines send
-	// their middle hop to the neighbouring column's bottom row, forcing
-	// X-then-Y routing and shared links.
+	// Shared fabric state, populated by the module elaboration hooks in
+	// declaration order (fabric first).
+	var b *bus.Bus
 	var mesh *noc.Mesh
-	if cfg.UseNoC {
-		mesh = noc.NewMesh(k, "noc", noc.Config{
-			Width:     cfg.Pipelines,
-			Height:    2,
-			Cycle:     sim.NS,
-			FIFODepth: 4,
-		})
-	}
-
-	// Interrupt controller: sink of pipeline i raises line i, the DMA
-	// writer raises line cfg.Pipelines.
 	var irq *bus.IRQController
+	var mem *bus.Memory
 	const irqBase = 0xf00
-	if cfg.UseIRQ {
-		irq = bus.NewIRQController(k, "irq")
-		b.Map("irq", irqBase, bus.IRQNumRegs, irq)
+	const memBase, memSize = 0x100000, 16384
+
+	// NI attachments requested by the pipeline declarations below; the
+	// fabric elaboration performs them (the NIs belong to the mesh).
+	type niReq struct {
+		name string
+		x, y int
+		src  *netlist.InPort[uint32]
+		dst  *netlist.OutPort[uint32]
+		dstX int // ingress destination router coordinates
+		dstY int
 	}
+	var niReqs []niReq
+
+	fabric := g.Structural("fabric", nil).InGroup("soc")
+	fabric.Elab(func(k *sim.Kernel) {
+		b = bus.NewBus(k, "bus", sim.NS)
+		// Stream NoC: one column per pipeline, two rows; odd pipelines
+		// send their middle hop to the neighbouring column's bottom row,
+		// forcing X-then-Y routing and shared links.
+		if cfg.UseNoC {
+			mesh = noc.NewMesh(k, "noc", noc.Config{
+				Width:     cfg.Pipelines,
+				Height:    2,
+				Cycle:     sim.NS,
+				FIFODepth: 4,
+			})
+			for _, rq := range niReqs {
+				nicfg := noc.NIConfig{PacketLen: cfg.NoCPacketLen, Cycle: sim.NS}
+				if rq.src != nil {
+					nicfg.Dst = mesh.RouterIndex(rq.dstX, rq.dstY)
+					mesh.AttachNI(rq.name, rq.x, rq.y, rq.src.End(), nil, nicfg)
+				} else {
+					mesh.AttachNI(rq.name, rq.x, rq.y, nil, rq.dst.End(), nicfg)
+				}
+			}
+		}
+		// Interrupt controller: sink of pipeline i raises line i, the
+		// DMA writer raises line cfg.Pipelines.
+		if cfg.UseIRQ {
+			irq = bus.NewIRQController(k, "irq")
+			b.Map("irq", irqBase, bus.IRQNumRegs, irq)
+		}
+	})
 
 	// Accelerator pipelines: generator → scale → (NoC) → fir → sink.
+	// Each accelerator is a structural module holding one end of its
+	// stream channels; the channels are netlist channels, so the same
+	// declaration would shard if the colocation allowed it.
 	pipes := make([]*pipeline, cfg.Pipelines)
 	regBase := uint32(0x1000)
 	for i := range pipes {
+		i := i
 		name := func(s string) string { return fmt.Sprintf("p%d.%s", i, s) }
-		c1 := newChannel(name("c1"))
-		var mid struct{ out, in fifo.Channel[uint32] }
-		if cfg.UseNoC && i%2 == 1 {
-			a := newChannel(name("toNoC"))
-			z := newChannel(name("fromNoC"))
-			dst := mesh.RouterIndex((i+1)%cfg.Pipelines, 1)
-			mesh.AttachNI(name("ni.in"), i, 0, a, nil, noc.NIConfig{
-				PacketLen: cfg.NoCPacketLen, Cycle: sim.NS, Dst: dst,
-			})
-			mesh.AttachNI(name("ni.out"), (i+1)%cfg.Pipelines, 1, nil, z, noc.NIConfig{
-				PacketLen: cfg.NoCPacketLen, Cycle: sim.NS,
-			})
-			mid.out, mid.in = a, z
-		} else {
-			c := newChannel(name("c2"))
-			mid.out, mid.in = c, c
-		}
-		c3 := newChannel(name("c3"))
 		p := &pipeline{regBase: regBase}
-		p.gen = accel.New(k, name("gen"), accel.Config{
-			Kind: accel.Generator, Out: c1, WordLat: 3 * sim.NS, Seed: cfg.Seed + int64(i),
-		})
-		p.scale = accel.New(k, name("scale"), accel.Config{
-			Kind: accel.Scale, In: c1, Out: mid.out, WordLat: 2 * sim.NS, Factor: 3,
-		})
-		p.fir = accel.New(k, name("fir"), accel.Config{
-			Kind: accel.FIR, In: mid.in, Out: c3, WordLat: 2 * sim.NS,
-		})
-		p.sink = accel.New(k, name("sink"), accel.Config{
-			Kind: accel.Sink, In: c3, WordLat: 4 * sim.NS,
-			IRQ: irq, IRQLine: i,
-		})
-		for j, a := range []*accel.Accel{p.gen, p.scale, p.fir, p.sink} {
-			b.Map(a.Name(), regBase+uint32(j)*0x10, accel.NumRegs, a.Regs())
-		}
 		pipes[i] = p
+		base := regBase
+
+		c1 := netlist.AddChan[uint32](g, name("c1"), cfg.FIFODepth)
+		var midOut netlist.OutPort[uint32] // written by scale
+		var midIn netlist.InPort[uint32]   // read by fir
+		genMod := g.Structural(name("gen"), nil).InGroup("soc")
+		scaleMod := g.Structural(name("scale"), nil).InGroup("soc")
+		firMod := g.Structural(name("fir"), nil).InGroup("soc")
+		sinkMod := g.Structural(name("sink"), nil).InGroup("soc")
+		c1Out, c1In := c1.Output(genMod), c1.Input(scaleMod)
+		if cfg.UseNoC && i%2 == 1 {
+			a := netlist.AddChan[uint32](g, name("toNoC"), cfg.FIFODepth).WithBurst(cfg.NoCPacketLen)
+			z := netlist.AddChan[uint32](g, name("fromNoC"), cfg.FIFODepth).WithBurst(cfg.NoCPacketLen)
+			midOut = a.Output(scaleMod)
+			toNoC := a.Input(fabric)
+			fromNoC := z.Output(fabric)
+			midIn = z.Input(firMod)
+			niReqs = append(niReqs,
+				niReq{name: name("ni.in"), x: i, y: 0, src: &toNoC,
+					dstX: (i + 1) % cfg.Pipelines, dstY: 1},
+				niReq{name: name("ni.out"), x: (i + 1) % cfg.Pipelines, y: 1, dst: &fromNoC})
+		} else {
+			c := netlist.AddChan[uint32](g, name("c2"), cfg.FIFODepth)
+			midOut, midIn = c.Output(scaleMod), c.Input(firMod)
+		}
+		c3 := netlist.AddChan[uint32](g, name("c3"), cfg.FIFODepth)
+		c3Out, c3In := c3.Output(firMod), c3.Input(sinkMod)
+
+		genMod.Elab(func(k *sim.Kernel) {
+			p.gen = accel.New(k, name("gen"), accel.Config{
+				Kind: accel.Generator, Out: c1Out.End(), WordLat: 3 * sim.NS, Seed: cfg.Seed + int64(i),
+			})
+			b.Map(p.gen.Name(), base+0x00, accel.NumRegs, p.gen.Regs())
+		})
+		scaleMod.Elab(func(k *sim.Kernel) {
+			p.scale = accel.New(k, name("scale"), accel.Config{
+				Kind: accel.Scale, In: c1In.End(), Out: midOut.End(), WordLat: 2 * sim.NS, Factor: 3,
+			})
+			b.Map(p.scale.Name(), base+0x10, accel.NumRegs, p.scale.Regs())
+		})
+		firMod.Elab(func(k *sim.Kernel) {
+			p.fir = accel.New(k, name("fir"), accel.Config{
+				Kind: accel.FIR, In: midIn.End(), Out: c3Out.End(), WordLat: 2 * sim.NS,
+			})
+			b.Map(p.fir.Name(), base+0x20, accel.NumRegs, p.fir.Regs())
+		})
+		sinkMod.Elab(func(k *sim.Kernel) {
+			p.sink = accel.New(k, name("sink"), accel.Config{
+				Kind: accel.Sink, In: c3In.End(), WordLat: 4 * sim.NS,
+				IRQ: irq, IRQLine: i,
+			})
+			b.Map(p.sink.Name(), base+0x30, accel.NumRegs, p.sink.Regs())
+		})
 		regBase += 0x100
 	}
 
-	// Optional memory↔memory DMA pipeline over the bus.
-	const memBase, memSize = 0x100000, 16384
-	var mem *bus.Memory
-	var dmaRd, dmaWr *accel.DMA
+	// Optional memory↔memory DMA pipeline over the bus. The DMA channel
+	// is internal wiring of the module (both engines live in it).
 	var dmaRdBase, dmaWrBase uint32
 	if cfg.WithDMA {
-		mem = bus.NewMemory(memSize, sim.NS, sim.NS)
-		b.Map("mem", memBase, memSize, mem)
-		ch := newChannel("dma.ch")
-		dmaRd = accel.NewDMA(k, "dma.rd", accel.DMAConfig{
-			Dir: accel.MemToStream, Channel: ch, Bus: b,
-			Quantum: cfg.Quantum, WordLat: 2 * sim.NS, ChunkWords: 16,
-		})
-		dmaWr = accel.NewDMA(k, "dma.wr", accel.DMAConfig{
-			Dir: accel.StreamToMem, Channel: ch, Bus: b,
-			Quantum: cfg.Quantum, WordLat: 2 * sim.NS, ChunkWords: 16,
-			IRQ: irq, IRQLine: cfg.Pipelines,
-		})
 		dmaRdBase, dmaWrBase = regBase, regBase+0x10
-		b.Map("dma.rd", dmaRdBase, accel.DMANumRegs, dmaRd.Regs())
-		b.Map("dma.wr", dmaWrBase, accel.DMANumRegs, dmaWr.Regs())
-		for i := 0; i < cfg.WordsPerJob && i < memSize/2; i++ {
-			mem.Poke(uint32(i), uint32(workload.WordAt(cfg.Seed+99, i)))
-		}
+		g.Structural("dma", nil).InGroup("soc").Elab(func(k *sim.Kernel) {
+			mem = bus.NewMemory(memSize, sim.NS, sim.NS)
+			b.Map("mem", memBase, memSize, mem)
+			var ch fifo.Channel[uint32]
+			if cfg.Mode == SmartFIFOs {
+				ch = core.NewSmart[uint32](k, "dma.ch", cfg.FIFODepth)
+			} else {
+				ch = fifo.NewSync[uint32](k, "dma.ch", cfg.FIFODepth)
+			}
+			dmaRd := accel.NewDMA(k, "dma.rd", accel.DMAConfig{
+				Dir: accel.MemToStream, Channel: ch, Bus: b,
+				Quantum: cfg.Quantum, WordLat: 2 * sim.NS, ChunkWords: 16,
+			})
+			dmaWr := accel.NewDMA(k, "dma.wr", accel.DMAConfig{
+				Dir: accel.StreamToMem, Channel: ch, Bus: b,
+				Quantum: cfg.Quantum, WordLat: 2 * sim.NS, ChunkWords: 16,
+				IRQ: irq, IRQLine: cfg.Pipelines,
+			})
+			b.Map("dma.rd", dmaRdBase, accel.DMANumRegs, dmaRd.Regs())
+			b.Map("dma.wr", dmaWrBase, accel.DMANumRegs, dmaWr.Regs())
+			for i := 0; i < cfg.WordsPerJob && i < memSize/2; i++ {
+				mem.Poke(uint32(i), uint32(workload.WordAt(cfg.Seed+99, i)))
+			}
+		})
 	}
 
 	res := Result{Mode: cfg.Mode, Shards: 1, MaxLevels: make([]uint32, cfg.Pipelines)}
 
 	// The control core: embedded software on the memory-mapped side.
-	k.Thread("ctrl", func(p *sim.Process) {
+	g.Thread("ctrl", func(p *sim.Process) {
 		in := bus.NewInitiator(p, b, cfg.Quantum)
 		words := uint32(cfg.WordsPerJob)
 		for j := 0; j < cfg.Jobs; j++ {
@@ -350,10 +416,14 @@ func Run(cfg Config) Result {
 		}
 	})
 
+	built, err := g.Build(netlist.Options{Shards: 1, Impl: impl})
+	if err != nil {
+		panic(fmt.Sprintf("soc: %v", err))
+	}
 	start := time.Now()
-	k.Run(sim.RunForever)
+	built.Run(sim.RunForever)
 	res.Wall = time.Since(start)
-	res.Stats = k.Stats()
+	res.Stats = built.Stats()
 	res.BusAccesses = b.Accesses()
 	if mesh != nil {
 		res.NoC = mesh.Stats()
@@ -365,6 +435,6 @@ func Run(cfg Config) Result {
 			}
 		}
 	}
-	k.Shutdown()
+	built.Shutdown()
 	return res
 }

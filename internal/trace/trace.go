@@ -16,6 +16,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -35,8 +36,12 @@ func (e Entry) String() string {
 	return fmt.Sprintf("%v\t%s\t%s", e.Date, e.Proc, e.Msg)
 }
 
-// Recorder collects trace entries in emission order.
+// Recorder collects trace entries in emission order. It is safe for
+// concurrent logging from processes of different kernels (a sharded
+// netlist build); the emission order across kernels is then
+// schedule-dependent, which Sorted erases.
 type Recorder struct {
+	mu      sync.Mutex
 	entries []Entry
 }
 
@@ -46,21 +51,33 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // Logf records a line stamped with p's local date (paper: "each trace
 // contains the local date of the process that printed it").
 func (r *Recorder) Logf(p *sim.Process, format string, args ...any) {
-	r.entries = append(r.entries, Entry{
+	e := Entry{
 		Date: p.LocalTime(),
 		Proc: p.Name(),
 		Msg:  fmt.Sprintf(format, args...),
-	})
+	}
+	r.mu.Lock()
+	r.entries = append(r.entries, e)
+	r.mu.Unlock()
 }
 
 // Log records a pre-built entry.
-func (r *Recorder) Log(e Entry) { r.entries = append(r.entries, e) }
+func (r *Recorder) Log(e Entry) {
+	r.mu.Lock()
+	r.entries = append(r.entries, e)
+	r.mu.Unlock()
+}
 
-// Entries returns the recorded entries in emission order.
+// Entries returns the recorded entries in emission order. Call it only
+// while no kernel is running.
 func (r *Recorder) Entries() []Entry { return r.entries }
 
 // Len returns the number of recorded entries.
-func (r *Recorder) Len() int { return len(r.entries) }
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
 
 // Sorted returns a copy of the entries reordered by (date, proc, msg). Two
 // traces of the same model are equivalent iff their Sorted forms are equal:
