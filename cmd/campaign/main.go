@@ -10,10 +10,19 @@
 // Usage:
 //
 //	campaign -spec sweep.json [-workers N] [-check-every K] [-format json|csv] [-wall] [-o out]
+//	campaign -spec sweep.json [-timeout D] [-stall D] [-retries N]
 //	campaign -models
 //
+// -timeout bounds each point's wall-clock attempt, -stall arms the
+// no-simulated-time-progress watchdog, and -retries bounds the attempts
+// of a transiently-failing point before the single-kernel degradation
+// rerun kicks in (see the campaign package docs for the full policy).
+//
 // Exit status: 0 on success, 1 if any point failed or any trace-
-// equivalence spot check found a difference, 2 on usage or I/O errors.
+// equivalence spot check found a difference, 2 on usage or I/O errors —
+// or, when a run ends with stalled points, 2 with the first structured
+// stall diagnostic printed to stderr so a wedged model is diagnosable
+// straight from CI logs.
 package main
 
 import (
@@ -43,6 +52,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wall       = fs.Bool("wall", false, "include nondeterministic wall-clock timing")
 		outPath    = fs.String("o", "", "output file (default stdout)")
 		models     = fs.Bool("models", false, "list registered workload models and exit")
+		timeout    = fs.Duration("timeout", 0, "per-point wall-clock deadline (0 = none)")
+		stall      = fs.Duration("stall", 0, "stall watchdog window: no simulated-time progress for this long fails the attempt (0 = off)")
+		retries    = fs.Int("retries", 0, "attempts per transiently-failing point before degradation (0 = 1, no retry)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,9 +94,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	res, err := campaign.Run(context.Background(), set, campaign.Options{
-		Workers:    *workers,
-		CheckEvery: *checkEvery,
-		MaxPoints:  *maxPoints,
+		Workers:       *workers,
+		CheckEvery:    *checkEvery,
+		MaxPoints:     *maxPoints,
+		PointDeadline: *timeout,
+		StallWindow:   *stall,
+		MaxAttempts:   *retries,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "campaign: %v\n", err)
@@ -112,6 +127,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if res.Aggregate.Stalled > 0 {
+		// A wedged model is an environment/model defect, not an ordinary
+		// point failure: exit 2 and print the first structured diagnostic
+		// so the stuck shard and frontier are readable from the log.
+		for _, p := range res.Points {
+			if p.Stall != nil {
+				fmt.Fprintf(stderr, "campaign: point %d (%s) stalled: %s\n", p.Index, p.Model, p.Stall)
+				break
+			}
+		}
+		fmt.Fprintf(stderr, "campaign: %d stalled points over %d points\n",
+			res.Aggregate.Stalled, res.Aggregate.Points)
+		return 2
+	}
 	if res.Aggregate.Errors > 0 || res.Aggregate.CheckFailures > 0 {
 		fmt.Fprintf(stderr, "campaign: %d point errors, %d check failures over %d points\n",
 			res.Aggregate.Errors, res.Aggregate.CheckFailures, res.Aggregate.Points)

@@ -2,12 +2,40 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/scenario"
+	"repro/internal/sim"
 )
+
+// wedge-test is a deliberately livelocked model (delta-cycle ping-pong
+// frozen at date 0) for exercising the CLI's stall exit path.
+func init() {
+	scenario.Register(scenario.Model{
+		Name: "wedge-test",
+		Keys: []string{"shards"},
+		Run: func(ctx context.Context, p scenario.Params) (scenario.Outcome, error) {
+			r := scenario.NewReader(p)
+			w := chaos.Workload{Words: 32, Shards: r.Int("shards", 2), Wedge: true}
+			if err := r.Err(); err != nil {
+				return scenario.Outcome{}, err
+			}
+			b, fp := w.Build()
+			defer b.Shutdown()
+			if err := b.RunGuarded(ctx, sim.RunForever); err != nil {
+				return scenario.Outcome{}, err
+			}
+			return scenario.Outcome{DatesHash: fmt.Sprintf("%016x", fp())}, nil
+		},
+	})
+}
 
 // TestGoldenSmoke pins the CI smoke campaign: the checked-in spec must
 // reproduce the checked-in results byte for byte, at any worker count.
@@ -83,6 +111,29 @@ func TestExitCodes(t *testing.T) {
 	os.WriteFile(bad, []byte(`{"model":"warpdrive"}`), 0o644)
 	if code := run([]string{"-spec", bad}, &out, &errBuf); code != 2 {
 		t.Errorf("unknown model: exit %d, want 2", code)
+	}
+}
+
+// TestStallExitCode pins the CLI end of the robustness contract: a
+// wedged model under -stall terminates within the window, exits 2, and
+// prints the structured stall diagnostic (stuck shard + frontier) to
+// stderr.
+func TestStallExitCode(t *testing.T) {
+	spec := t.TempDir() + "/wedge.json"
+	os.WriteFile(spec, []byte(`{"model":"wedge-test","params":{"shards":2}}`), 0o644)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-spec", spec, "-stall", "80ms", "-timeout", "5s"}, &out, &errBuf)
+	if code != 2 {
+		t.Fatalf("stalled campaign: exit %d, want 2 (stderr: %s)", code, errBuf.String())
+	}
+	msg := errBuf.String()
+	for _, want := range []string{"stalled", "shard", "1 stalled points"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("stderr misses %q:\n%s", want, msg)
+		}
+	}
+	if !strings.Contains(out.String(), `"stall"`) {
+		t.Errorf("results document misses the stall diagnostic:\n%s", out.String())
 	}
 }
 

@@ -3,17 +3,24 @@
 // expanded design-space points out over a worker pool (one or more
 // sim.Kernel instances per point), and serves progress and results:
 //
-//	POST /campaigns          submit a Spec or Set JSON document
-//	GET  /campaigns          list campaigns
-//	GET  /campaigns/{id}     status and progress
+//	POST   /campaigns          submit a Spec or Set JSON document
+//	GET    /campaigns          list campaigns
+//	GET    /campaigns/{id}     status and progress
+//	DELETE /campaigns/{id}     cancel (partial results are kept)
 //	GET  /campaigns/{id}/results[?format=csv][&wall=1]
 //	GET  /models             registered workload models and their keys
 //	GET  /healthz            liveness
 //
 // The server uses only net/http; it shuts down gracefully on SIGINT or
-// SIGTERM (in-flight requests drain, running campaigns stop dispatching
-// new points). Results stay deterministic: the default document carries
-// no wall-clock fields, so identical specs return identical bytes.
+// SIGTERM: in-flight requests drain, and running campaigns are cancelled
+// cooperatively — every in-flight point is interrupted at a kernel safe
+// point and the partial results documents are kept. Submissions are
+// bounded (body size, expansion size, concurrent campaigns — the latter
+// answering 429 with a Retry-After), each point runs under a wall-clock
+// deadline and a no-progress stall watchdog, and DELETE /campaigns/{id}
+// cancels one campaign the same way. Results stay deterministic: the
+// default document carries no wall-clock fields, so identical specs
+// return identical bytes.
 //
 // Example:
 //
@@ -46,14 +53,22 @@ func main() {
 		checkEvery = flag.Int("check-every", 16, "trace-equivalence spot check every k-th point (0 = off)")
 		maxPoints  = flag.Int("max-points", 10000, "largest accepted expansion")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		deadline   = flag.Duration("deadline", 2*time.Minute, "per-point wall-clock deadline (0 = none)")
+		stall      = flag.Duration("stall", 10*time.Second, "per-point no-progress stall window (0 = off)")
+		retries    = flag.Int("retries", 2, "attempts per transiently-failing point before degradation")
+		maxActive  = flag.Int("max-active", 4, "concurrently running campaigns before 429 (0 = unbounded)")
 		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling the live service)")
 	)
 	flag.Parse()
 
 	eng := campaign.NewEngine(campaign.Options{
-		Workers:    *workers,
-		CheckEvery: *checkEvery,
-		MaxPoints:  *maxPoints,
+		Workers:       *workers,
+		CheckEvery:    *checkEvery,
+		MaxPoints:     *maxPoints,
+		PointDeadline: *deadline,
+		StallWindow:   *stall,
+		MaxAttempts:   *retries,
+		MaxActive:     *maxActive,
 	})
 	var handler http.Handler = newServer(eng)
 	if *pprofOn {
@@ -66,7 +81,15 @@ func main() {
 			app.ServeHTTP(w, r)
 		})
 	}
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	// Slow-client hardening: a peer that trickles its headers or body
+	// cannot pin a connection open indefinitely.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/leakcheck"
+)
+
+// newRobustServer is newTestServer with defer-ordered teardown: the
+// returned close func shuts everything down before the caller's
+// leakcheck defer fires (t.Cleanup would run after it).
+func newRobustServer(opts campaign.Options) (*httptest.Server, *campaign.Engine, func()) {
+	eng := campaign.NewEngine(opts)
+	ts := httptest.NewServer(newServer(eng))
+	return ts, eng, func() {
+		ts.Close()
+		eng.Close()
+		http.DefaultClient.CloseIdleConnections()
+	}
+}
+
+func doReq(t *testing.T, method, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain and close eagerly: these tests leak-check their goroutines,
+	// and an open body pins the connection past the check.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestCancelCampaign: DELETE interrupts a running campaign; the job
+// settles as cancelled and its partial results stay served.
+func TestCancelCampaign(t *testing.T) {
+	defer leakcheck.Check(t)()
+	ts, eng, done := newRobustServer(campaign.Options{Workers: 2})
+	defer done()
+	release := armSlowGate()
+	defer release()
+
+	code, body := post(t, ts.URL+"/campaigns", `{"model":"slow-test","matrix":{"id":[1,2,3,4]}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := doReq(t, http.MethodDelete, ts.URL+"/campaigns/"+created.ID, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	job, _ := eng.Job(created.ID)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := job.Status(); st.State == campaign.JobCancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never settled cancelled: %+v", job.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Partial results are kept and served.
+	code, body = get(t, ts.URL+"/campaigns/"+created.ID+"/results")
+	if code != http.StatusOK {
+		t.Fatalf("results after cancel: %d %s", code, body)
+	}
+	if !bytes.Contains(body, []byte("cancel")) {
+		t.Errorf("partial results should mark cancelled points: %s", body)
+	}
+
+	resp = doReq(t, http.MethodDelete, ts.URL+"/campaigns/nope", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cancel unknown id: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestBusyQueue: with MaxActive=1 a second live campaign answers 429
+// with a Retry-After, and submission works again once the first drains.
+func TestBusyQueue(t *testing.T) {
+	defer leakcheck.Check(t)()
+	ts, eng, done := newRobustServer(campaign.Options{Workers: 2, MaxActive: 1})
+	defer done()
+	release := armSlowGate()
+	defer release()
+
+	code, body := post(t, ts.URL+"/campaigns", `{"model":"slow-test","params":{"id":1}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("first submit: %d %s", code, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := doReq(t, http.MethodPost, ts.URL+"/campaigns", `{"model":"slow-test","params":{"id":2}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	release()
+	job, _ := eng.Job(created.ID)
+	if _, err := job.Wait(t.Context()); err != nil {
+		t.Fatalf("first campaign: %v", err)
+	}
+	if code, body = post(t, ts.URL+"/campaigns", `{"model":"slow-test","params":{"id":3}}`); code != http.StatusCreated {
+		t.Fatalf("submit after drain: %d %s", code, body)
+	}
+}
+
+// TestPanicRecovery: a panicking handler answers 500 instead of killing
+// the connection.
+func TestPanicRecovery(t *testing.T) {
+	defer leakcheck.Check(t)()
+	eng := campaign.NewEngine(campaign.Options{Workers: 1})
+	s := newServer(eng)
+	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		eng.Close()
+		http.DefaultClient.CloseIdleConnections()
+	}()
+
+	code, body := get(t, ts.URL+"/boom")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: %d %s", code, body)
+	}
+	if !bytes.Contains(body, []byte("kaboom")) {
+		t.Errorf("500 body should carry the panic value: %s", body)
+	}
+	// The server survives and keeps answering.
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz after panic: %d", code)
+	}
+}
+
+// TestMalformedRequests: byte-level junk, oversized bodies and bad
+// parameters all map to structured 4xx errors, never a hang or a 500.
+func TestMalformedRequests(t *testing.T) {
+	defer leakcheck.Check(t)()
+	ts, _, done := newRobustServer(campaign.Options{Workers: 2})
+	defer done()
+
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"junk body", "POST", "/campaigns", "{not json", http.StatusBadRequest},
+		{"empty body", "POST", "/campaigns", "", http.StatusBadRequest},
+		{"unknown model", "POST", "/campaigns", `{"model":"no-such-model"}`, http.StatusBadRequest},
+		{"oversize body", "POST", "/campaigns",
+			`{"model":"kpn","params":{"pad":"` + strings.Repeat("x", maxSpecBytes) + `"}}`,
+			http.StatusRequestEntityTooLarge},
+		{"unknown campaign", "GET", "/campaigns/zzz", "", http.StatusNotFound},
+		{"unknown results", "GET", "/campaigns/zzz/results", "", http.StatusNotFound},
+		{"bad method", "PUT", "/campaigns", "", http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		resp := doReq(t, c.method, ts.URL+c.path, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+
+	// Bad ?format on a finished campaign.
+	code, body := post(t, ts.URL+"/campaigns", `{"model":"kpn","params":{"tokens":4}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _ = get(t, fmt.Sprintf("%s/campaigns/%s/results?format=xml", ts.URL, created.ID))
+		if code != http.StatusConflict || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code != http.StatusBadRequest {
+		t.Errorf("bad format: %d, want 400", code)
+	}
+}

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/debug"
 
 	"repro/internal/campaign"
 	"repro/internal/scenario"
@@ -26,11 +28,23 @@ func newServer(eng *campaign.Engine) *server {
 	s.mux.HandleFunc("POST /campaigns", s.submit)
 	s.mux.HandleFunc("GET /campaigns", s.list)
 	s.mux.HandleFunc("GET /campaigns/{id}", s.status)
+	s.mux.HandleFunc("DELETE /campaigns/{id}", s.cancel)
 	s.mux.HandleFunc("GET /campaigns/{id}/results", s.results)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP wraps the mux in the panic-recovery middleware: a handler
+// panic answers 500 instead of tearing the connection (and, under
+// net/http, only that connection) down with a stack dump to stderr.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			debug.PrintStack()
+			writeError(w, http.StatusInternalServerError, "internal error: %v", rec)
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 // writeJSON emits one API response document.
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -60,15 +74,18 @@ func (s *server) models(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"models": docs})
 }
 
-// submit accepts a Spec or Set document and starts a campaign.
+// submit accepts a Spec or Set document and starts a campaign. The body
+// is bounded by http.MaxBytesReader (413 beyond it); a full job queue
+// answers 429 with a Retry-After.
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
-		return
-	}
-	if len(body) > maxSpecBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
 		return
 	}
 	set, err := scenario.ParseSet(body)
@@ -78,6 +95,11 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.eng.Submit(set)
 	if err != nil {
+		if errors.Is(err, campaign.ErrBusy) {
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -99,6 +121,18 @@ func (s *server) list(w http.ResponseWriter, r *http.Request) {
 		statuses[i] = j.Status()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"campaigns": statuses})
+}
+
+// cancel interrupts a running campaign cooperatively; the partial
+// results stay available. Cancelling a settled campaign is a no-op.
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.eng.Cancel(id) {
+		writeError(w, http.StatusNotFound, "no campaign %q", id)
+		return
+	}
+	job, _ := s.eng.Job(id)
+	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
 func (s *server) status(w http.ResponseWriter, r *http.Request) {
@@ -125,7 +159,7 @@ func (s *server) results(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, job.Status())
 		return
 	}
-	if jobErr != nil {
+	if jobErr != nil && res == nil {
 		writeError(w, http.StatusInternalServerError, "campaign failed: %v", jobErr)
 		return
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -44,8 +45,12 @@ func init() {
 	scenario.Register(scenario.Model{
 		Name: "slow-test",
 		Keys: []string{"id"},
-		Run: func(p scenario.Params) (scenario.Outcome, error) {
-			<-slowChan()
+		Run: func(ctx context.Context, p scenario.Params) (scenario.Outcome, error) {
+			select {
+			case <-slowChan():
+			case <-ctx.Done():
+				return scenario.Outcome{}, ctx.Err()
+			}
 			return scenario.Outcome{SimEndNS: 1, CtxSwitches: 1}, nil
 		},
 	})

@@ -19,11 +19,20 @@
 //     trace-equivalence oracle (decoupled vs reference, compared with
 //     trace.Diff after date reordering);
 //   - shared caching: an Engine's Cache carries outcomes across campaigns,
-//     so overlapping sweeps only pay for new points.
+//     so overlapping sweeps only pay for new points;
+//   - fault tolerance: every failure mode of a point — panic, wall-clock
+//     deadline (PointDeadline), no-simulated-time-progress stall
+//     (StallWindow) — becomes a structured per-point error, never a hang.
+//     Transient failures retry with exponential backoff up to MaxAttempts;
+//     a sharded point whose attempts are exhausted is quarantined into a
+//     single-kernel rerun (flagged Degraded, date-exact by the
+//     coordinator-equivalence claim). Cancelling the context stops the
+//     campaign cooperatively and returns the partial results document.
 package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -31,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/par"
 	"repro/internal/scenario"
 )
 
@@ -52,6 +62,36 @@ type Options struct {
 	// with the number of finished points and the total. Calls may come
 	// from worker goroutines.
 	OnProgress func(done, total int)
+
+	// PointDeadline bounds each attempt's wall-clock time: a point still
+	// running when it expires is interrupted cooperatively (par guard)
+	// and reported as a deadline failure with a stall diagnostic — or
+	// retried/degraded, see MaxAttempts. 0 means no deadline.
+	PointDeadline time.Duration
+	// StallWindow arms the no-progress watchdog inside each attempt: an
+	// attempt whose kernels dispatch nothing for a full window is
+	// interrupted with par.ErrStalled. 0 disables the watchdog.
+	StallWindow time.Duration
+	// MaxAttempts bounds the executions of a transiently-failing point
+	// (panic, stall, deadline): after the first failure the point is
+	// retried with exponential backoff until it succeeds or the budget
+	// is spent. 0 or 1 means a single attempt.
+	MaxAttempts int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt; 0 means 50ms. Only meaningful with MaxAttempts > 1.
+	RetryBackoff time.Duration
+	// AbandonGrace is how long, past an attempt's cancellation, to wait
+	// for a model that does not honour the cooperative interrupt before
+	// abandoning its goroutine and failing the attempt; 0 means 5s.
+	// Only meaningful when a deadline or cancellable context is in play.
+	AbandonGrace time.Duration
+	// NoDegrade disables the sharded→single-kernel degradation rerun
+	// that otherwise follows a transiently-failed sharded point.
+	NoDegrade bool
+	// MaxActive bounds the campaigns an Engine runs concurrently:
+	// Submit returns ErrBusy beyond it. 0 means unbounded. Ignored by
+	// the synchronous Run.
+	MaxActive int
 }
 
 func (o *Options) fill() {
@@ -60,6 +100,15 @@ func (o *Options) fill() {
 	}
 	if o.MaxPoints <= 0 {
 		o.MaxPoints = 10000
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 1
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.AbandonGrace <= 0 {
+		o.AbandonGrace = 5 * time.Second
 	}
 }
 
@@ -84,6 +133,21 @@ type PointResult struct {
 	// CheckDiff holds the first difference ("" = traces identical).
 	Checked   bool   `json:"checked,omitempty"`
 	CheckDiff string `json:"check_diff,omitempty"`
+	// Degraded marks a sharded point whose outcome comes from the
+	// single-kernel quarantine rerun after its sharded attempts failed
+	// — date-exact by the coordinator-equivalence claim, with the shard
+	// counters reflecting the rerun. Outcome provenance: it stays in
+	// the canonical document (healthy runs never set it).
+	Degraded bool `json:"degraded,omitempty"`
+	// Stall carries the structured stall diagnostic of the last failed
+	// attempt (deadline or watchdog), when one was produced. Like
+	// Degraded it stays in the canonical document.
+	Stall *par.StallDiagnostic `json:"stall,omitempty"`
+	// Attempts counts the executions the point needed (retries plus the
+	// degradation rerun): present only when more than one. Wall-clock
+	// dependent like WallMS, so it is zeroed in the canonical results
+	// document (see Results.JSON).
+	Attempts int `json:"attempts,omitempty"`
 	// WallMS is the point's host execution time. Nondeterministic:
 	// zeroed in the canonical results document (see Results.JSON).
 	WallMS float64 `json:"wall_ms,omitempty"`
@@ -101,6 +165,12 @@ type Aggregate struct {
 	Errors        int `json:"errors"`
 	Checked       int `json:"checked"`
 	CheckFailures int `json:"check_failures"`
+	// Degraded counts points served by the single-kernel quarantine
+	// rerun; Stalled counts points whose final state carries a stall
+	// diagnostic (deadline or watchdog interrupt). Zero — and omitted —
+	// on healthy campaigns.
+	Degraded int `json:"degraded,omitempty"`
+	Stalled  int `json:"stalled,omitempty"`
 	// MinSimEndNS/MaxSimEndNS/MeanSimEndNS summarize the final
 	// simulated dates across successful points.
 	MinSimEndNS  int64   `json:"min_sim_end_ns"`
@@ -212,8 +282,10 @@ func runPoints(ctx context.Context, name string, points []scenario.Point, opt Op
 	close(jobs)
 	wg.Wait()
 
-	// Duplicates copy their canonical point's outcome; checks are not
-	// repeated (Checked stays false so the flag is deterministic).
+	// Duplicates copy their canonical point's outcome (including its
+	// degradation provenance); checks are not repeated (Checked stays
+	// false so the flag is deterministic), and Attempts stays zero —
+	// the duplicate itself executed nothing.
 	for i := range res.Points {
 		if !res.Points[i].Dedup {
 			continue
@@ -221,6 +293,8 @@ func runPoints(ctx context.Context, name string, points []scenario.Point, opt Op
 		src := &res.Points[canonical[res.Points[i].Hash]]
 		res.Points[i].Outcome = src.Outcome
 		res.Points[i].Err = src.Err
+		res.Points[i].Degraded = src.Degraded
+		res.Points[i].Stall = src.Stall
 	}
 
 	res.Aggregate = aggregate(res.Points)
@@ -240,7 +314,88 @@ func runPoints(ctx context.Context, name string, points []scenario.Point, opt Op
 	return res
 }
 
-// runOne executes (or fetches) one canonical point and its sampled check.
+// ErrAbandoned marks an attempt whose model kept running past its
+// cancellation plus the abandon grace: the attempt goroutine is left
+// behind (it holds no shared state) and the attempt fails. A model that
+// honours the cooperative interrupt never produces it.
+var ErrAbandoned = fmt.Errorf("campaign: attempt abandoned (model did not stop within the abandon grace)")
+
+// panicError wraps a recovered model panic so the retry logic can
+// recognize it (transient: chaos-induced or scheduling-dependent panics
+// deserve a retry; deterministic config panics just fail again).
+type panicError struct{ val any }
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.val) }
+
+// transient reports whether an attempt failure is worth retrying or
+// degrading: panics, stalls, deadline expiries and abandonments.
+// Plain model errors (bad parameters) and the parent context's own
+// cancellation are final.
+func transient(err error) bool {
+	var pe *panicError
+	return errors.As(err, &pe) ||
+		errors.Is(err, par.ErrStalled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrAbandoned)
+}
+
+// shardsOf reads a point's "shards" parameter (the convention every
+// shardable model follows); 1 when absent or malformed.
+func shardsOf(p scenario.Params) int {
+	r := scenario.NewReader(p)
+	n := r.Int("shards", 1)
+	if r.Err() != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
+// runAttempt executes one model call under the point deadline, the
+// stall watchdog and the abandon grace. The default configuration (no
+// deadline, non-cancellable parent) stays on the calling goroutine with
+// zero overhead; otherwise the attempt runs on its own goroutine so a
+// model that ignores the interrupt can be abandoned instead of wedging
+// the worker. An abandoned attempt's goroutine writes only to its
+// (buffered, private) channel, never to shared state.
+func runAttempt(ctx context.Context, opt Options, call func(context.Context) error) error {
+	actx := ctx
+	if opt.StallWindow > 0 {
+		actx = par.WithStallWindow(actx, opt.StallWindow)
+	}
+	if opt.PointDeadline <= 0 {
+		if ctx.Done() == nil {
+			return call(actx)
+		}
+		// Cancellable parent but no deadline: still run on a goroutine
+		// so cancellation plus grace cannot wedge the worker forever.
+	} else {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(actx, opt.PointDeadline)
+		defer cancel()
+	}
+	res := make(chan error, 1)
+	go func() { res <- call(actx) }()
+	select {
+	case err := <-res:
+		return err
+	case <-actx.Done():
+	}
+	// The attempt's context ended; give the cooperative interrupt a
+	// grace period to unwind the run before abandoning the goroutine.
+	timer := time.NewTimer(opt.AbandonGrace)
+	defer timer.Stop()
+	select {
+	case err := <-res:
+		return err
+	case <-timer.C:
+		return fmt.Errorf("%w after %v + %v grace", ErrAbandoned, opt.PointDeadline, opt.AbandonGrace)
+	}
+}
+
+// runOne executes (or fetches) one canonical point and its sampled
+// check, applying the robustness policy: bounded retries with
+// exponential backoff for transient failures, then — for sharded
+// points — one quarantined single-kernel degradation rerun.
 func runOne(ctx context.Context, pr *PointResult, pt scenario.Point, opt Options, cacheHits *atomic.Int64) {
 	model, ok := scenario.Lookup(pt.Model)
 	if !ok { // unreachable after Expand validation; belt and braces
@@ -256,16 +411,20 @@ func runOne(ctx context.Context, pr *PointResult, pt scenario.Point, opt Options
 		pr.Outcome = &out
 		cacheHits.Add(1)
 	} else {
-		out, err := safeRun(model, pt.Params)
+		out, err := runPoint(ctx, model, pt.Params, opt, pr)
 		if err != nil {
 			pr.Err = err.Error()
 		} else {
 			pr.Outcome = &out
-			opt.Cache.Put(pt.Hash, out)
+			if !pr.Degraded {
+				// A degraded outcome is not cached: the hash names the
+				// sharded point, and the rerun's shard counters differ.
+				opt.Cache.Put(pt.Hash, out)
+			}
 		}
 	}
 	if pr.Err == "" && opt.CheckEvery > 0 && pr.Index%opt.CheckEvery == 0 && model.Check != nil {
-		diff, err := safeCheck(model, pt.Params)
+		diff, err := safeCheck(ctx, model, pt.Params, opt)
 		if err != nil {
 			pr.Err = fmt.Sprintf("check: %v", err)
 		} else {
@@ -276,24 +435,101 @@ func runOne(ctx context.Context, pr *PointResult, pt scenario.Point, opt Options
 	pr.WallMS = float64(time.Since(start).Microseconds()) / 1000
 }
 
-// safeRun converts a model panic (bad config deep in a builder) into a
-// per-point error instead of killing the whole campaign.
-func safeRun(m scenario.Model, p scenario.Params) (out scenario.Outcome, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
+// runPoint drives the attempt loop for one canonical point, recording
+// attempt counts and stall diagnostics into pr as it goes.
+func runPoint(ctx context.Context, m scenario.Model, params scenario.Params, opt Options, pr *PointResult) (scenario.Outcome, error) {
+	record := func(err error) {
+		var se *par.StallError
+		if errors.As(err, &se) {
+			pr.Stall = &se.Diag
 		}
-	}()
-	return m.Run(p)
+	}
+	attempts := 0
+	backoff := opt.RetryBackoff
+	var lastErr error
+	for attempts < opt.MaxAttempts {
+		if attempts > 0 {
+			// Exponential backoff between attempts, cut short by the
+			// campaign context.
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return scenario.Outcome{}, lastErr
+			}
+			backoff *= 2
+		}
+		attempts++
+		out, err := safeRun(ctx, m, params, opt)
+		if err == nil {
+			if attempts > 1 {
+				pr.Attempts = attempts
+			}
+			return out, nil
+		}
+		record(err)
+		lastErr = err
+		if !transient(err) || ctx.Err() != nil {
+			pr.Attempts = attempts
+			return scenario.Outcome{}, err
+		}
+	}
+	// Quarantine: a sharded point that kept failing transiently is
+	// re-run on a single kernel — date-exact by the PR 2/5 equivalence
+	// pins, and immune to coordinator-level faults.
+	if !opt.NoDegrade && shardsOf(params) > 1 {
+		p1 := params.Clone()
+		p1["shards"] = 1
+		attempts++
+		out, err := safeRun(ctx, m, p1, opt)
+		pr.Attempts = attempts
+		if err == nil {
+			pr.Degraded = true
+			return out, nil
+		}
+		record(err)
+		return scenario.Outcome{}, fmt.Errorf("%v (degraded rerun also failed: %v)", lastErr, err)
+	}
+	pr.Attempts = attempts
+	return scenario.Outcome{}, lastErr
 }
 
-func safeCheck(m scenario.Model, p scenario.Params) (diff string, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
-		}
-	}()
-	return m.Check(p)
+// safeRun runs the model once under the attempt guards, converting a
+// panic (bad config deep in a builder, an injected shard fault) into an
+// error instead of killing the whole campaign.
+func safeRun(ctx context.Context, m scenario.Model, p scenario.Params, opt Options) (out scenario.Outcome, err error) {
+	err = runAttempt(ctx, opt, func(actx context.Context) (aerr error) {
+		defer func() {
+			if r := recover(); r != nil {
+				aerr = &panicError{r}
+			}
+		}()
+		out, aerr = m.Run(actx, p)
+		return aerr
+	})
+	if err != nil {
+		return scenario.Outcome{}, err
+	}
+	return out, nil
+}
+
+// safeCheck runs the spot check under the same guards (one attempt: the
+// check is advisory and never retried or degraded).
+func safeCheck(ctx context.Context, m scenario.Model, p scenario.Params, opt Options) (diff string, err error) {
+	err = runAttempt(ctx, opt, func(actx context.Context) (aerr error) {
+		defer func() {
+			if r := recover(); r != nil {
+				aerr = &panicError{r}
+			}
+		}()
+		diff, aerr = m.Check(actx, p)
+		return aerr
+	})
+	if err != nil {
+		return "", err
+	}
+	return diff, nil
 }
 
 // aggregate folds the per-point reports, iterating in index order so the
@@ -308,6 +544,12 @@ func aggregate(points []PointResult) Aggregate {
 		models[p.Model] = true
 		if !p.Dedup {
 			a.Unique++
+		}
+		if p.Degraded {
+			a.Degraded++
+		}
+		if p.Stall != nil {
+			a.Stalled++
 		}
 		if p.Err != "" {
 			a.Errors++

@@ -80,6 +80,12 @@ func (r *Results) JSON(w io.Writer, includeTiming bool) error {
 		copy(doc.Points, r.Points)
 		for i := range doc.Points {
 			doc.Points[i].WallMS = 0
+			// Attempt counts are scheduling-dependent (a transient
+			// fault may or may not bite a given attempt); like wall
+			// times they are timing telemetry, not outcome. Degraded
+			// and Stall stay: they are outcome provenance, and healthy
+			// runs never set them.
+			doc.Points[i].Attempts = 0
 		}
 	}
 	return WriteJSON(w, &doc)
@@ -87,7 +93,8 @@ func (r *Results) JSON(w io.Writer, includeTiming bool) error {
 
 // CSVColumns is the header of the per-point CSV emitted by WriteCSV.
 var CSVColumns = []string{"index", "model", "hash", "sim_end_ns", "ctx_switches",
-	"checksums", "dates_hash", "dedup", "checked", "check_diff", "error", "wall_ms", "params"}
+	"checksums", "dates_hash", "dedup", "checked", "check_diff", "degraded", "stalled",
+	"attempts", "error", "wall_ms", "params"}
 
 // WriteCSV emits one row per point. As with JSON, wall times are zeroed
 // unless includeTiming is set.
@@ -108,15 +115,18 @@ func (r *Results) WriteCSV(w io.Writer, includeTiming bool) error {
 			}
 		}
 		wall := p.WallMS
+		attempts := p.Attempts
 		if !includeTiming {
 			wall = 0
+			attempts = 0
 		}
 		params, err := json.Marshal(p.Params)
 		if err != nil {
 			return err
 		}
 		c.Row(p.Index, p.Model, p.Hash, simEnd, ctx, sums, dates,
-			p.Dedup, p.Checked, p.CheckDiff, p.Err, wall, string(params))
+			p.Dedup, p.Checked, p.CheckDiff, p.Degraded, p.Stall != nil,
+			attempts, p.Err, wall, string(params))
 	}
 	return c.Flush()
 }

@@ -21,8 +21,14 @@ type Engine struct {
 	jobs   map[string]*Job
 	order  []string
 	seq    int
+	active int
 	closed bool
 }
+
+// ErrBusy rejects a submission when MaxActive campaigns are already
+// running; the caller should retry later (simd maps it to 429 with a
+// Retry-After).
+var ErrBusy = fmt.Errorf("campaign: engine at max active campaigns")
 
 // NewEngine returns an engine applying opts to every campaign. A nil
 // Cache in opts is replaced by a fresh shared cache; per-job progress
@@ -46,6 +52,10 @@ const (
 	JobDone JobState = "done"
 	// JobFailed means the run aborted (engine shutdown mid-campaign).
 	JobFailed JobState = "failed"
+	// JobCancelled means the job was cancelled (Engine.Cancel or
+	// shutdown); the partial results document — every point finished
+	// before the cut, the rest marked cancelled — is retained.
+	JobCancelled JobState = "cancelled"
 )
 
 // Job is one submitted campaign.
@@ -56,6 +66,7 @@ type Job struct {
 	total  int // unique
 
 	done     chan struct{}
+	cancel   context.CancelFunc
 	progress func() int
 
 	mu      sync.Mutex
@@ -69,7 +80,7 @@ type Status struct {
 	// ID addresses the job; Name echoes the set name.
 	ID   string `json:"id"`
 	Name string `json:"name,omitempty"`
-	// State is running, done or failed.
+	// State is running, done, cancelled or failed.
 	State JobState `json:"state"`
 	// Points counts the expanded points; Total counts the unique
 	// simulations to execute (after hash dedup); Done counts the
@@ -125,26 +136,54 @@ func (e *Engine) Submit(set scenario.Set) (*Job, error) {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("campaign: engine is shut down")
 	}
+	if opts.MaxActive > 0 && e.active >= opts.MaxActive {
+		e.mu.Unlock()
+		return nil, ErrBusy
+	}
 	e.seq++
+	e.active++
 	j.id = fmt.Sprintf("c%d", e.seq)
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
 	e.wg.Add(1)
 	e.mu.Unlock()
 
+	jctx, jcancel := context.WithCancel(e.ctx)
+	j.cancel = jcancel
 	go func() {
 		defer e.wg.Done()
-		res := runPoints(e.ctx, set.Name, points, opts)
+		defer jcancel()
+		res := runPoints(jctx, set.Name, points, opts)
+		e.mu.Lock()
+		e.active--
+		e.mu.Unlock()
 		j.mu.Lock()
 		defer j.mu.Unlock()
-		if err := e.ctx.Err(); err != nil {
-			j.state, j.err = JobFailed, err
+		if err := jctx.Err(); err != nil {
+			// Keep the partial document: every point that finished
+			// before the cancellation carries its real outcome.
+			j.state, j.err, j.results = JobCancelled, err, res
 		} else {
 			j.state, j.results = JobDone, res
 		}
 		close(j.done)
 	}()
 	return j, nil
+}
+
+// Cancel interrupts a running job cooperatively: in-flight points are
+// aborted through the par guard and the job settles as JobCancelled
+// with its partial results. Cancelling a settled job is a no-op.
+// Returns false if no job has this id.
+func (e *Engine) Cancel(id string) bool {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.cancel()
+	return true
 }
 
 // Job returns the job registered under id.
@@ -169,9 +208,10 @@ func (e *Engine) Jobs() []*Job {
 // Cache exposes the engine's shared outcome cache.
 func (e *Engine) Cache() *Cache { return e.opts.Cache }
 
-// Close rejects further submissions, cancels the points not yet started
-// (a running kernel cannot be interrupted mid-simulation; its point
-// completes) and waits for all jobs to settle.
+// Close rejects further submissions, cancels every running job — the
+// in-flight points are interrupted cooperatively through the par guard —
+// and waits for all jobs to settle. Cancelled jobs keep their partial
+// results documents.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	e.closed = true
@@ -192,6 +232,12 @@ func (j *Job) Status() Status {
 	case JobDone:
 		s.Done = j.total
 		s.Aggregate = &j.results.Aggregate
+	case JobCancelled:
+		s.Error = j.err.Error()
+		if j.results != nil {
+			s.Done = j.results.Aggregate.Points - j.results.Aggregate.Errors
+			s.Aggregate = &j.results.Aggregate
+		}
 	case JobFailed:
 		s.Error = j.err.Error()
 	default:

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/scenario"
@@ -16,11 +17,11 @@ func TestRegisteredModels(t *testing.T) {
 		if !ok {
 			t.Fatalf("model %q not registered (have %v)", name, scenario.Models())
 		}
-		out1, err := m.Run(scenario.Params{})
+		out1, err := m.Run(context.Background(), scenario.Params{})
 		if err != nil {
 			t.Fatalf("%s: Run: %v", name, err)
 		}
-		out2, err := m.Run(scenario.Params{})
+		out2, err := m.Run(context.Background(), scenario.Params{})
 		if err != nil {
 			t.Fatalf("%s: second Run: %v", name, err)
 		}
@@ -35,7 +36,7 @@ func TestRegisteredModels(t *testing.T) {
 			t.Errorf("%s: no trace-equivalence check registered", name)
 			continue
 		}
-		diff, err := m.Check(scenario.Params{})
+		diff, err := m.Check(context.Background(), scenario.Params{})
 		if err != nil {
 			t.Fatalf("%s: Check: %v", name, err)
 		}
@@ -50,11 +51,11 @@ func TestRegisteredModels(t *testing.T) {
 func TestModelSeedsChangeTraces(t *testing.T) {
 	for _, name := range []string{"pipeline", "kpn", "noc"} {
 		m, _ := scenario.Lookup(name)
-		a, err := m.Run(scenario.Params{"seed": 1})
+		a, err := m.Run(context.Background(), scenario.Params{"seed": 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := m.Run(scenario.Params{"seed": 2})
+		b, err := m.Run(context.Background(), scenario.Params{"seed": 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func TestModelBadParams(t *testing.T) {
 	}
 	for _, c := range cases {
 		m, _ := scenario.Lookup(c.model)
-		if _, err := m.Run(c.p); err == nil {
+		if _, err := m.Run(context.Background(), c.p); err == nil {
 			t.Errorf("%s %v: Run accepted bad params", c.model, c.p)
 		}
 	}

@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Workload is the soak tests' representative model: a seeded stream
+// chain (source → stages → sink) over Smart-FIFO channels, shardable
+// through the netlist partitioner so every stage boundary can become a
+// bridge. Its observable result is a fingerprint over the sink's dated
+// words — exactly the quantity the conservative protocol promises is
+// invariant under scheduling, so any chaos-induced date drift fails a
+// simple equality check.
+type Workload struct {
+	// Stages is the number of processing stages between source and
+	// sink; 0 means 4. The graph has Stages+2 modules.
+	Stages int
+	// Words is the stream length; 0 means 256.
+	Words int
+	// Depth is the channel depth; 0 means 8.
+	Depth int
+	// Shards is the kernel count; 0 means 1.
+	Shards int
+	// Seed varies the payload.
+	Seed int64
+	// Wedge, when set, adds a delta-cycle livelock to the source's
+	// shard: two threads ping-ponging zero-delay notifications at date
+	// 0, so the run dispatches forever without advancing simulated
+	// time. This is the reproducible "deadlocked model" the stall
+	// watchdog must catch.
+	Wedge bool
+}
+
+func (w *Workload) fill() {
+	if w.Stages <= 0 {
+		w.Stages = 4
+	}
+	if w.Words <= 0 {
+		w.Words = 256
+	}
+	if w.Depth <= 0 {
+		w.Depth = 8
+	}
+	if w.Shards <= 0 {
+		w.Shards = 1
+	}
+}
+
+// Build elaborates the workload and returns the build plus the
+// fingerprint collector (valid after a completed run).
+func (w Workload) Build() (*netlist.Build, func() uint64) {
+	w.fill()
+	g := netlist.New("chaos")
+	group := func(i int) string { return fmt.Sprintf("g%d", i) }
+
+	nch := w.Stages + 1
+	chans := make([]*netlist.Chan[uint32], nch)
+	for i := range chans {
+		chans[i] = netlist.AddChan[uint32](g, fmt.Sprintf("c%d", i), w.Depth)
+	}
+
+	var out netlist.OutPort[uint32]
+	src := g.Thread("src", func(p *sim.Process) {
+		we := out.End()
+		v := uint32(w.Seed)*2654435761 + 12345
+		for i := 0; i < w.Words; i++ {
+			v = v*1664525 + 1013904223
+			we.Write(v)
+			p.Inc(3 * sim.NS)
+		}
+	}).InGroup(group(0))
+	out = chans[0].Output(src)
+
+	for s := 0; s < w.Stages; s++ {
+		s := s
+		var in netlist.InPort[uint32]
+		var sout netlist.OutPort[uint32]
+		m := g.Thread(fmt.Sprintf("s%d", s), func(p *sim.Process) {
+			re, we := in.End(), sout.End()
+			for i := 0; i < w.Words; i++ {
+				v := re.Read()
+				p.Inc(2 * sim.NS)
+				we.Write(v*2654435761 + uint32(s))
+			}
+		}).InGroup(group(s + 1))
+		in = chans[s].Input(m)
+		sout = chans[s+1].Output(m)
+	}
+
+	h := fnv.New64a()
+	var buf [12]byte
+	var sinkIn netlist.InPort[uint32]
+	sink := g.Thread("sink", func(p *sim.Process) {
+		re := sinkIn.End()
+		for i := 0; i < w.Words; i++ {
+			v := re.Read()
+			p.Inc(4 * sim.NS)
+			d := p.LocalTime()
+			buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			u := uint64(d)
+			for j := 0; j < 8; j++ {
+				buf[4+j] = byte(u >> (8 * j))
+			}
+			h.Write(buf[:])
+		}
+	}).InGroup(group(w.Stages + 1))
+	sinkIn = chans[nch-1].Input(sink)
+
+	if w.Wedge {
+		var ping, pong *sim.Event
+		g.Structural("wedge.events", func(k *sim.Kernel) {
+			ping = sim.NewEvent(k, "wedge.ping")
+			pong = sim.NewEvent(k, "wedge.pong")
+		}).InGroup(group(0))
+		g.Thread("wedge.a", func(p *sim.Process) {
+			for {
+				ping.NotifyDelta()
+				p.WaitEvent(pong)
+			}
+		}).InGroup(group(0))
+		g.Thread("wedge.b", func(p *sim.Process) {
+			for {
+				p.WaitEvent(ping)
+				pong.NotifyDelta()
+			}
+		}).InGroup(group(0))
+	}
+
+	b, err := g.Build(netlist.Options{Shards: w.Shards, Impl: netlist.Smart})
+	if err != nil {
+		panic(fmt.Sprintf("chaos: %v", err))
+	}
+	return b, h.Sum64
+}

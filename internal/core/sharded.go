@@ -261,6 +261,20 @@ func (f *ShardedFIFO[T]) Frontier() sim.Time {
 	return front
 }
 
+// StagedFrontier returns the minimum insertion date staged in the
+// writer-side outbox — data written but not yet flushed across the
+// boundary — and ok=false when nothing is staged. Insertion dates on a
+// side never decrease, so the first staged entry is the minimum. The
+// coordinator's deferred-flush injection (par.StagedBridge) uses it to
+// keep Frontier's bound honest when a Flush is withheld: undelivered
+// outbox entries can be older than Frontier, never older than this.
+func (f *ShardedFIFO[T]) StagedFrontier() (at sim.Time, ok bool) {
+	if len(f.w.outIns) == 0 {
+		return 0, false
+	}
+	return f.w.outIns[0], true
+}
+
 // WriteFrontier returns a lower bound on the resume date of any write
 // that blocks (now or later this round) on exhausted credits: the writer's
 // shard must not advance its kernel clock past this date, or a parked

@@ -4,6 +4,7 @@ package kpn
 // §IV-A dual-mode oracle over Chan.WriteBurst/ReadBurst.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/scenario"
@@ -35,7 +36,7 @@ func TestBurstScenarioCheck(t *testing.T) {
 	if !ok {
 		t.Fatal("kpn model not registered")
 	}
-	diff, err := m.Check(scenario.Params{"burst": 8.0, "depth": 4.0, "tokens": 64.0})
+	diff, err := m.Check(context.Background(), scenario.Params{"burst": 8.0, "depth": 4.0, "tokens": 64.0})
 	if err != nil {
 		t.Fatalf("Check: %v", err)
 	}

@@ -26,6 +26,7 @@
 package kpn
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fifo"
@@ -193,6 +194,14 @@ func (c *Chan[T]) Monitor() fifo.Monitor {
 // and returns an error naming the blocked actors if the network
 // deadlocked with tokens still owed.
 func (n *Network) Run() error {
+	return n.RunCtx(context.Background())
+}
+
+// RunCtx is Run under the par supervisor: the run is interrupted when
+// ctx ends or the stall watchdog it carries (par.WithStallWindow)
+// fires, returning the guard's error. Call Shutdown afterwards either
+// way, as with Run.
+func (n *Network) RunCtx(ctx context.Context) error {
 	if n.built == nil {
 		impl := netlist.Plain
 		if n.Decoupled {
@@ -213,7 +222,9 @@ func (n *Network) Run() error {
 		n.built = b
 		n.K = b.Kernels[0]
 	}
-	n.built.Run(sim.RunForever)
+	if err := n.built.RunGuarded(ctx, sim.RunForever); err != nil {
+		return err
+	}
 	if blocked := n.built.Blocked(); len(blocked) != 0 {
 		if bl, one := blocked[n.K.Name()]; one && len(blocked) == 1 {
 			return fmt.Errorf("kpn: %s: deadlock, blocked actors: %v", n.name, bl)

@@ -1,6 +1,7 @@
 package kpn
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/netlist"
@@ -173,7 +174,7 @@ func burstChainBuilder(c chainParams, sum *uint64) Builder {
 	}
 }
 
-func runScenario(p scenario.Params) (scenario.Outcome, error) {
+func runScenario(ctx context.Context, p scenario.Params) (scenario.Outcome, error) {
 	c, err := chainConfig(p)
 	if err != nil {
 		return scenario.Outcome{}, err
@@ -182,7 +183,7 @@ func runScenario(p scenario.Params) (scenario.Outcome, error) {
 	net.Shards, net.Partitioner = c.shards, c.partitioner
 	var checksum uint64
 	chainBuilder(c, &checksum)(net)
-	runErr := net.Run()
+	runErr := net.RunCtx(ctx)
 	stats := net.Stats()
 	entries := net.Trace().Sorted()
 	net.Shutdown()
@@ -216,7 +217,7 @@ func runScenario(p scenario.Params) (scenario.Outcome, error) {
 // checkScenario runs the point's chain through Verify: the reference
 // (regular FIFOs + Wait) versus the decoupled (Smart FIFOs + Inc) build
 // must produce date-identical traces.
-func checkScenario(p scenario.Params) (string, error) {
+func checkScenario(_ context.Context, p scenario.Params) (string, error) {
 	c, err := chainConfig(p)
 	if err != nil {
 		return "", err

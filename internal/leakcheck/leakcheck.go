@@ -1,0 +1,65 @@
+// Package leakcheck asserts that a test leaves no goroutines behind —
+// the hand-rolled core of the robustness contract's "never a leak"
+// clause. Model goroutines live on sim.Kernel stacks and must be torn
+// down by Shutdown; a guard/watchdog/abandon path that forgot one shows
+// up here as a stable extra goroutine.
+//
+// Usage, first line of the test:
+//
+//	defer leakcheck.Check(t)()
+//
+// The returned func snapshots the goroutine count at defer time and
+// retries with backoff (runtime shutdown of freshly-killed goroutines
+// is asynchronous) before failing with a full stack dump.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check records the current goroutine count and returns the assertion
+// to defer. Tests that themselves run in parallel with goroutine-churny
+// siblings should not use it (the count is process-global).
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		// Allow the runtime to retire goroutines that just exited
+		// (kernel Shutdown kills via panic-unwind; the dying goroutine
+		// is still counted for a few scheduler ticks).
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+			time.Sleep(5 * time.Millisecond)
+		}
+		if after > before {
+			t.Errorf("leakcheck: %d goroutines before, %d after\n%s",
+				before, after, stacks())
+		}
+	}
+}
+
+// stacks renders all goroutine stacks, trimming runtime-internal noise
+// so the leaked model/guard goroutine is easy to spot.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var b strings.Builder
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, "testing.") || strings.Contains(g, "runtime.gc") {
+			continue
+		}
+		fmt.Fprintf(&b, "%s\n\n", g)
+	}
+	return b.String()
+}

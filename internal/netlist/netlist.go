@@ -29,6 +29,7 @@
 package netlist
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -563,6 +564,20 @@ func (b *Build) Run(limit sim.Time) {
 		return
 	}
 	b.Kernels[0].Run(limit)
+}
+
+// RunGuarded is Run under the par supervisor: the run is interrupted
+// when ctx ends or when no progress is made for the stall window
+// carried by ctx (par.WithStallWindow; absent means no watchdog). It
+// returns nil on completion, ctx.Err() on plain cancellation, and a
+// *par.StallError with a structured diagnostic on deadline or stall.
+// With a background ctx and no window it is exactly Run.
+func (b *Build) RunGuarded(ctx context.Context, limit sim.Time) error {
+	stall := par.StallWindowFrom(ctx)
+	if b.Coord != nil {
+		return b.Coord.RunGuarded(ctx, limit, stall)
+	}
+	return par.RunKernel(ctx, b.Kernels[0], limit, stall)
 }
 
 // Stats sums the kernel activity counters over the shards.

@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/scenario"
@@ -63,6 +64,14 @@ func topoConfig(p scenario.Params) (Topo, int, Partitioner, error) {
 // never changes the probe's dated logs — only wall time and coordinator
 // activity.
 func RunTopo(t Topo, shards int, part Partitioner) (*TopoProbe, *Build, error) {
+	return RunTopoCtx(context.Background(), t, shards, part)
+}
+
+// RunTopoCtx is RunTopo under the par supervisor: the run is
+// interrupted when ctx ends or the stall watchdog it carries fires,
+// returning the guard's error. The build is shut down either way, so no
+// goroutine outlives an aborted run.
+func RunTopoCtx(ctx context.Context, t Topo, shards int, part Partitioner) (*TopoProbe, *Build, error) {
 	g, probe, err := NewTopoGraph(t)
 	if err != nil {
 		return nil, nil, err
@@ -75,21 +84,24 @@ func RunTopo(t Topo, shards int, part Partitioner) (*TopoProbe, *Build, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	b.Run(sim.RunForever)
+	err = b.RunGuarded(ctx, sim.RunForever)
 	blocked := b.Blocked()
 	b.Shutdown()
+	if err != nil {
+		return nil, nil, err
+	}
 	if len(blocked) != 0 {
 		return nil, nil, fmt.Errorf("netlist: %s topology deadlocked: %v", t.Kind, blocked)
 	}
 	return probe, b, nil
 }
 
-func runScenario(p scenario.Params) (scenario.Outcome, error) {
+func runScenario(ctx context.Context, p scenario.Params) (scenario.Outcome, error) {
 	t, shards, part, err := topoConfig(p)
 	if err != nil {
 		return scenario.Outcome{}, err
 	}
-	probe, b, err := RunTopo(t, shards, part)
+	probe, b, err := RunTopoCtx(ctx, t, shards, part)
 	if err != nil {
 		return scenario.Outcome{}, err
 	}
@@ -134,20 +146,20 @@ func topoTrace(p *TopoProbe) *trace.Recorder {
 // the decoupled build at the point's shard count and partitioner. Their
 // dated sink logs must be identical — the §IV-A oracle composed with the
 // bridge-exactness claim.
-func checkScenario(p scenario.Params) (string, error) {
+func checkScenario(ctx context.Context, p scenario.Params) (string, error) {
 	t, shards, part, err := topoConfig(p)
 	if err != nil {
 		return "", err
 	}
 	ref := t
 	ref.Decoupled = false
-	refProbe, _, err := RunTopo(ref, 1, Single)
+	refProbe, _, err := RunTopoCtx(ctx, ref, 1, Single)
 	if err != nil {
 		return "", err
 	}
 	dec := t
 	dec.Decoupled = true
-	decProbe, _, err := RunTopo(dec, shards, part)
+	decProbe, _, err := RunTopoCtx(ctx, dec, shards, part)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -106,7 +107,7 @@ func TestNetlistScenarioModel(t *testing.T) {
 		{"kind": "tree", "arity": 2, "levels": 2, "words": 8, "shards": 4},
 		{"kind": "mesh", "width": 2, "height": 3, "words": 8, "shards": 2, "partitioner": "mincut"},
 	} {
-		out, err := m.Run(params)
+		out, err := m.Run(context.Background(), params)
 		if err != nil {
 			t.Fatalf("%v: %v", params, err)
 		}
@@ -120,25 +121,25 @@ func TestNetlistScenarioModel(t *testing.T) {
 		}
 		single["shards"] = 1
 		delete(single, "partitioner")
-		ref, err := m.Run(single)
+		ref, err := m.Run(context.Background(), single)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if ref.DatesHash != out.DatesHash || fmt.Sprint(ref.Checksums) != fmt.Sprint(out.Checksums) {
 			t.Fatalf("%v: sharded digest %s != single %s", params, out.DatesHash, ref.DatesHash)
 		}
-		if diff, err := m.Check(params); err != nil || diff != "" {
+		if diff, err := m.Check(context.Background(), params); err != nil || diff != "" {
 			t.Fatalf("%v: check: %v %s", params, err, diff)
 		}
 	}
 	// Validation errors surface.
-	if _, err := m.Run(scenario.Params{"kind": "blimp"}); err == nil {
+	if _, err := m.Run(context.Background(), scenario.Params{"kind": "blimp"}); err == nil {
 		t.Fatal("bad kind accepted")
 	}
-	if _, err := m.Run(scenario.Params{"decoupled": false, "shards": 2}); err == nil {
+	if _, err := m.Run(context.Background(), scenario.Params{"decoupled": false, "shards": 2}); err == nil {
 		t.Fatal("sharded reference build accepted")
 	}
-	if _, err := m.Run(scenario.Params{"kind": "chain", "stages": 3, "shards": 9}); err == nil {
+	if _, err := m.Run(context.Background(), scenario.Params{"kind": "chain", "stages": 3, "shards": 9}); err == nil {
 		t.Fatal("shards > modules accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/netlist"
@@ -204,7 +205,7 @@ func buildStreams(c streamParams, rec *trace.Recorder, sums []uint64) ([]*Mesh, 
 	return meshes, b, nil
 }
 
-func runScenario(p scenario.Params) (scenario.Outcome, error) {
+func runScenario(ctx context.Context, p scenario.Params) (scenario.Outcome, error) {
 	c, err := streamConfig(p)
 	if err != nil {
 		return scenario.Outcome{}, err
@@ -215,10 +216,13 @@ func runScenario(p scenario.Params) (scenario.Outcome, error) {
 	if err != nil {
 		return scenario.Outcome{}, err
 	}
-	b.Run(sim.RunForever)
+	runErr := b.RunGuarded(ctx, sim.RunForever)
 	blocked := b.Blocked()
 	stats := b.Stats()
 	b.Shutdown()
+	if runErr != nil {
+		return scenario.Outcome{}, runErr
+	}
 	if len(blocked) != 0 {
 		return scenario.Outcome{}, fmt.Errorf("noc: deadlock, blocked processes: %v", blocked)
 	}
@@ -271,7 +275,7 @@ func runScenario(p scenario.Params) (scenario.Outcome, error) {
 // default) have no contention and must always diff empty; the sharded
 // island partitioning never changes the diff either way (islands are
 // whole units).
-func checkScenario(p scenario.Params) (string, error) {
+func checkScenario(ctx context.Context, p scenario.Params) (string, error) {
 	c, err := streamConfig(p)
 	if err != nil {
 		return "", err
@@ -285,9 +289,12 @@ func checkScenario(p scenario.Params) (string, error) {
 		if err != nil {
 			return nil, err
 		}
-		b.Run(sim.RunForever)
+		runErr := b.RunGuarded(ctx, sim.RunForever)
 		blocked := b.Blocked()
 		b.Shutdown()
+		if runErr != nil {
+			return nil, runErr
+		}
 		if len(blocked) != 0 {
 			return nil, fmt.Errorf("noc: deadlock (decoupled=%v): %v", decoupled, blocked)
 		}

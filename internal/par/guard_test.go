@@ -1,0 +1,106 @@
+package par_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// wedged builds a single-kernel delta-cycle livelock pinned at date 0.
+func wedged() *sim.Kernel {
+	k := sim.NewKernel("wedge")
+	ping := sim.NewEvent(k, "ping")
+	pong := sim.NewEvent(k, "pong")
+	k.Thread("a", func(p *sim.Process) {
+		for {
+			ping.NotifyDelta()
+			p.WaitEvent(pong)
+		}
+	})
+	k.Thread("b", func(p *sim.Process) {
+		for {
+			p.WaitEvent(ping)
+			pong.NotifyDelta()
+		}
+	})
+	return k
+}
+
+// TestGuardDeadline: a context deadline interrupts a runaway single
+// kernel and surfaces as a *StallError wrapping DeadlineExceeded, with
+// the one-shard diagnostic showing the frozen date and climbing beat.
+func TestGuardDeadline(t *testing.T) {
+	defer leakcheck.Check(t)()
+	k := wedged()
+	defer k.Shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := par.RunKernel(ctx, k, sim.RunForever, 0)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to bite", elapsed)
+	}
+	var se *par.StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v (%T), want *StallError", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cause = %v, want DeadlineExceeded", se.Cause)
+	}
+	if len(se.Diag.Shards) != 1 {
+		t.Fatalf("diagnostic has %d shards, want 1", len(se.Diag.Shards))
+	}
+	sd := se.Diag.Shards[0]
+	if sd.Now != 0 || sd.Beat == 0 {
+		t.Errorf("shard diag now=%v beat=%d, want frozen date with nonzero beat", sd.Now, sd.Beat)
+	}
+	if k.Interrupted() {
+		t.Error("guard should unlatch the interrupt before returning")
+	}
+}
+
+// TestGuardCancel: plain cancellation returns ctx.Err() without a
+// diagnostic — the caller abandoned the run, nothing is "stalled".
+func TestGuardCancel(t *testing.T) {
+	defer leakcheck.Check(t)()
+	k := wedged()
+	defer k.Shutdown()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := par.RunKernel(ctx, k, sim.RunForever, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var se *par.StallError
+	if errors.As(err, &se) {
+		t.Error("plain cancellation should not carry a StallError")
+	}
+}
+
+// TestGuardHealthyRun: guarding a run that completes normally returns
+// nil even with an armed watchdog and deadline.
+func TestGuardHealthyRun(t *testing.T) {
+	defer leakcheck.Check(t)()
+	k := sim.NewKernel("healthy")
+	k.Thread("p", func(p *sim.Process) {
+		for i := 0; i < 50; i++ {
+			p.Wait(sim.NS)
+		}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := par.RunKernel(ctx, k, sim.RunForever, 5*time.Second); err != nil {
+		t.Fatalf("healthy guarded run: %v", err)
+	}
+	if k.Now() != 50*sim.NS {
+		t.Errorf("now = %v, want 50ns", k.Now())
+	}
+}

@@ -43,6 +43,7 @@ package par
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -95,6 +96,7 @@ type Stats struct {
 // shard is one kernel plus its coordination state.
 type shard struct {
 	k        *sim.Kernel
+	idx      int
 	inbound  []Bridge
 	outbound []Bridge
 	horizon  sim.Time
@@ -111,9 +113,106 @@ type Coordinator struct {
 	running  bool
 
 	// Round barrier state, shared with the shard workers.
-	wg       sync.WaitGroup
-	panicMu  sync.Mutex
-	panicVal any
+	wg        sync.WaitGroup
+	panicMu   sync.Mutex
+	panicVals []any
+
+	// intr is the coordinator-level interrupt latch (see Interrupt).
+	intr atomic.Bool
+
+	// hooks is the fault-injection surface (nil in production);
+	// deferred marks bridges whose Flush the hook withheld this round.
+	hooks    *Hooks
+	deferred map[Bridge]bool
+}
+
+// Hooks is the coordinator's fault-injection surface, used by the chaos
+// harness (internal/chaos) to perturb scheduling without touching the
+// protocol. All hooks are optional; a nil *Hooks disables injection.
+type Hooks struct {
+	// BeforeStep runs on the shard's worker goroutine immediately before
+	// Kernel.Step each round. It may sleep (scheduling jitter) or panic
+	// (an induced shard failure); it must not touch kernel state.
+	BeforeStep func(shard int, k *sim.Kernel, round uint64)
+	// DeferFlush, when it returns true, withholds the bridge's Flush
+	// this round: staged data stays on the writer side and the
+	// coordinator bounds the reader with the bridge's staged frontier
+	// instead, so the delay never changes dates. Deferred bridges are
+	// force-flushed before the coordinator concludes quiescence or
+	// falls back to the global minimum.
+	DeferFlush func(b Bridge, round uint64) bool
+}
+
+// SetHooks installs (or, with nil, removes) the fault-injection hooks.
+// Must not be called while Run is in progress.
+func (c *Coordinator) SetHooks(h *Hooks) {
+	if c.running {
+		panic("par: SetHooks called while running")
+	}
+	c.hooks = h
+}
+
+// StagedBridge is the optional bridge extension the deferred-flush
+// injection relies on: a lower bound on the insertion dates of data
+// staged but not yet flushed. core.ShardedFIFO implements it. A bridge
+// without it is never deferred.
+type StagedBridge interface {
+	// StagedFrontier returns the minimum insertion date staged in the
+	// writer-side outbox, and ok=false when nothing is staged.
+	StagedFrontier() (at sim.Time, ok bool)
+}
+
+// Interrupt asks the coordinator and every shard kernel to stop at the
+// next safe point (the current barrier round completes first). Safe from
+// any goroutine. The latch persists until ClearInterrupt.
+func (c *Coordinator) Interrupt() {
+	c.intr.Store(true)
+	for _, s := range c.shards {
+		s.k.Interrupt()
+	}
+}
+
+// Interrupted reports whether an interrupt is latched.
+func (c *Coordinator) Interrupted() bool { return c.intr.Load() }
+
+// ClearInterrupt unlatches the coordinator and every shard kernel so the
+// run can be resumed. Call only while Run is not in progress.
+func (c *Coordinator) ClearInterrupt() {
+	c.intr.Store(false)
+	for _, s := range c.shards {
+		s.k.ClearInterrupt()
+	}
+}
+
+// Progress returns the simulated-time beacon stall watchdogs sample:
+// the sum of every shard's published simulated time (sim.Kernel.Beacon).
+// Two equal samples a stall window apart mean no shard advanced
+// simulated time at all in between — the run is deadlocked across a
+// bridge, livelocked in delta cycles at one date, or stuck in a
+// non-cooperative call; the stall diagnostic's per-shard Beat and
+// blocked-thread snapshot say which. Wall-clock-slow but advancing
+// models keep the beacon climbing and are never flagged.
+func (c *Coordinator) Progress() uint64 {
+	var p uint64
+	for _, s := range c.shards {
+		p += uint64(s.k.Beacon())
+	}
+	return p
+}
+
+// PanicSet carries the panic values of every shard that failed in one
+// barrier round, joined so no secondary failure is masked. It is the
+// value Run re-panics when more than one shard panicked.
+type PanicSet []any
+
+// Error formats all joined panics; PanicSet satisfies error so recovered
+// values print usefully through %v.
+func (p PanicSet) Error() string {
+	s := fmt.Sprintf("par: %d shards panicked in one round:", len(p))
+	for i, v := range p {
+		s += fmt.Sprintf(" [%d] %v;", i, v)
+	}
+	return s
 }
 
 // NewCoordinator returns an empty coordinator.
@@ -127,7 +226,7 @@ func (c *Coordinator) AddShard(k *sim.Kernel) {
 	if _, dup := c.byKernel[k]; dup {
 		panic(fmt.Sprintf("par: shard %q added twice", k.Name()))
 	}
-	s := &shard{k: k}
+	s := &shard{k: k, idx: len(c.shards)}
 	c.byKernel[k] = s
 	c.shards = append(c.shards, s)
 }
@@ -209,14 +308,17 @@ func (c *Coordinator) Run(limit sim.Time) {
 	}
 
 	for {
+		// Cooperative abort: an Interrupt latched during the previous
+		// round (every shard kernel is latched too, so in-flight Steps
+		// returned at their next safe point) ends the run at the
+		// barrier, where all state is consistent and diagnosable.
+		if c.intr.Load() {
+			return
+		}
 		// Barrier: deliver everything staged during the previous round,
 		// then bound each shard by its inbound frontiers. Flushing first
 		// makes Frontier's bound cover all undelivered traffic.
-		for _, b := range c.bridges {
-			if b.Flush() {
-				c.stats.Flushes++
-			}
-		}
+		c.flushBridges(false)
 		work := 0
 		for _, s := range c.shards {
 			// The inbound bound is STRICT: a shard may only process
@@ -228,7 +330,17 @@ func (c *Coordinator) Run(limit sim.Time) {
 			// reader advances to the datum's exact date either way.)
 			h := sim.TimeMax
 			for _, b := range s.inbound {
-				if f := b.Frontier(); f < h {
+				f := b.Frontier()
+				// A bridge whose Flush was withheld by the chaos hook
+				// may still hold staged data older than its frontier;
+				// bound the reader by the staged dates so the deferral
+				// can never cause a visibility miss.
+				if c.deferred[b] {
+					if at, ok := b.(StagedBridge).StagedFrontier(); ok && at < f {
+						f = at
+					}
+				}
+				if f < h {
 					h = f
 				}
 			}
@@ -252,6 +364,13 @@ func (c *Coordinator) Run(limit sim.Time) {
 			}
 		}
 		if work == 0 {
+			// A deferred flush may be hiding the only deliverable work:
+			// force everything across and re-derive the horizons before
+			// concluding anything about quiescence or frozen frontiers.
+			if len(c.deferred) > 0 {
+				c.flushBridges(true)
+				continue
+			}
 			// No shard can act inside its horizon. Either the model is
 			// globally quiescent, or every frontier is frozen because
 			// the processes that would advance them are themselves
@@ -284,6 +403,28 @@ func (c *Coordinator) Run(limit sim.Time) {
 	}
 }
 
+// flushBridges flushes every bridge, honouring the DeferFlush injection
+// hook unless force is set. Only bridges that can report a staged
+// frontier (StagedBridge) are ever deferred: the horizon computation
+// needs that bound to keep the delay invisible to dates.
+func (c *Coordinator) flushBridges(force bool) {
+	for _, b := range c.bridges {
+		if !force && c.hooks != nil && c.hooks.DeferFlush != nil {
+			if _, ok := b.(StagedBridge); ok && c.hooks.DeferFlush(b, c.stats.Rounds) {
+				if c.deferred == nil {
+					c.deferred = make(map[Bridge]bool)
+				}
+				c.deferred[b] = true
+				continue
+			}
+		}
+		delete(c.deferred, b)
+		if b.Flush() {
+			c.stats.Flushes++
+		}
+	}
+}
+
 // startWorkers spawns one long-lived goroutine per shard; each waits for
 // a horizon on its channel, steps its kernel, and signals the round
 // WaitGroup. The channel send / WaitGroup barrier provide the
@@ -308,18 +449,24 @@ func (c *Coordinator) stopWorkers() {
 }
 
 // stepShard runs one shard's round, capturing a model panic so the
-// barrier still completes; Run re-panics it on the caller's goroutine.
+// barrier still completes; Run re-panics on the caller's goroutine —
+// every captured value, joined, so a second shard's failure in the same
+// round is never masked by the first.
 func (c *Coordinator) stepShard(s *shard, h sim.Time) {
 	defer c.wg.Done()
 	defer func() {
 		if r := recover(); r != nil {
 			c.panicMu.Lock()
-			if c.panicVal == nil {
-				c.panicVal = r
-			}
+			c.panicVals = append(c.panicVals, r)
 			c.panicMu.Unlock()
 		}
 	}()
+	// Reading stats.Rounds here is race-free: Run wrote it before the
+	// channel send that started this round, and writes it again only
+	// after the round's wg.Wait.
+	if c.hooks != nil && c.hooks.BeforeStep != nil {
+		c.hooks.BeforeStep(s.idx, s.k, c.stats.Rounds)
+	}
 	s.k.Step(stepLimit(h))
 }
 
@@ -335,6 +482,11 @@ func (c *Coordinator) runRound() {
 	}
 	if n == 1 {
 		// Only one shard has work: step it inline, skipping the barrier.
+		// The injection hook still fires — a chaos-induced panic here
+		// propagates directly, like any single-kernel model panic.
+		if c.hooks != nil && c.hooks.BeforeStep != nil {
+			c.hooks.BeforeStep(single.idx, single.k, c.stats.Rounds)
+		}
 		single.k.Step(stepLimit(single.horizon))
 		return
 	}
@@ -346,10 +498,13 @@ func (c *Coordinator) runRound() {
 		s.work <- s.horizon
 	}
 	c.wg.Wait()
-	if c.panicVal != nil {
-		v := c.panicVal
-		c.panicVal = nil
-		panic(v)
+	if len(c.panicVals) > 0 {
+		vals := c.panicVals
+		c.panicVals = nil
+		if len(vals) == 1 {
+			panic(vals[0])
+		}
+		panic(PanicSet(vals))
 	}
 }
 

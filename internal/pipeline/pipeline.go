@@ -25,6 +25,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -171,6 +172,20 @@ type delayer func(d sim.Time)
 // one netlist graph for every mode and shard count; Build chooses the
 // channel implementation and the partitioning.
 func Run(cfg Config) Result {
+	res, err := RunCtx(context.Background(), cfg)
+	if err != nil {
+		// Unreachable: only a guarded abort errors, and a background
+		// context with no stall window never aborts.
+		panic(fmt.Sprintf("pipeline: %v", err))
+	}
+	return res
+}
+
+// RunCtx is Run under the par supervisor: the run is interrupted when
+// ctx ends or the stall watchdog it carries (par.WithStallWindow)
+// fires, returning the guard's error with all model goroutines shut
+// down.
+func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	cfg.fill()
 	nShards := cfg.Shards
 	if nShards < 1 {
@@ -357,7 +372,10 @@ func Run(cfg Config) Result {
 	}
 
 	start := time.Now()
-	b.Run(sim.RunForever)
+	if err := b.RunGuarded(ctx, sim.RunForever); err != nil {
+		b.Shutdown()
+		return Result{}, err
+	}
 	res.Wall = time.Since(start)
 	res.Stats = b.Stats()
 	res.Shards = b.Shards()
@@ -370,7 +388,7 @@ func Run(cfg Config) Result {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // MaxTimingError returns the largest absolute difference between the

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/netlist"
@@ -15,12 +16,10 @@ import (
 // across runs and worker counts.
 func init() {
 	scenario.Register(scenario.Model{
-		Name: "pipeline",
-		Keys: []string{"mode", "depth", "blocks", "words_per_block", "quantum_ns", "shards", "partitioner", "seed"},
-		Run:  runScenario,
-		Check: func(p scenario.Params) (string, error) {
-			return checkScenario(p)
-		},
+		Name:  "pipeline",
+		Keys:  []string{"mode", "depth", "blocks", "words_per_block", "quantum_ns", "shards", "partitioner", "seed"},
+		Run:   runScenario,
+		Check: checkScenario,
 	})
 }
 
@@ -70,12 +69,15 @@ func scenarioConfig(p scenario.Params) (Config, error) {
 	return cfg, nil
 }
 
-func runScenario(p scenario.Params) (scenario.Outcome, error) {
+func runScenario(ctx context.Context, p scenario.Params) (scenario.Outcome, error) {
 	cfg, err := scenarioConfig(p)
 	if err != nil {
 		return scenario.Outcome{}, err
 	}
-	res := Run(cfg)
+	res, err := RunCtx(ctx, cfg)
+	if err != nil {
+		return scenario.Outcome{}, err
+	}
 	d := scenario.NewDigest()
 	d.Times(res.BlockDates)
 	return scenario.Outcome{
@@ -109,7 +111,7 @@ func blockTrace(r Result) *trace.Recorder {
 // The point's own mode is deliberately ignored: quantum points have a
 // known nonzero timing error — that is the ablation, not a bug — while
 // the TDless/TDfull pair must agree exactly for every shape.
-func checkScenario(p scenario.Params) (string, error) {
+func checkScenario(ctx context.Context, p scenario.Params) (string, error) {
 	cfg, err := scenarioConfig(p)
 	if err != nil {
 		return "", err
@@ -118,5 +120,13 @@ func checkScenario(p scenario.Params) (string, error) {
 	ref.Mode, ref.Shards = TDless, 0
 	dec := cfg
 	dec.Mode = TDfull
-	return trace.Diff(blockTrace(Run(ref)), blockTrace(Run(dec))), nil
+	refRes, err := RunCtx(ctx, ref)
+	if err != nil {
+		return "", err
+	}
+	decRes, err := RunCtx(ctx, dec)
+	if err != nil {
+		return "", err
+	}
+	return trace.Diff(blockTrace(refRes), blockTrace(decRes)), nil
 }

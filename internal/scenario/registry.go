@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -35,14 +36,19 @@ type Model struct {
 	// Keys lists the accepted parameter names; Spec.Validate rejects
 	// anything else.
 	Keys []string
-	// Run executes one concrete point.
-	Run func(Params) (Outcome, error)
+	// Run executes one concrete point. The context carries the caller's
+	// deadline and (via par.WithStallWindow) the stall-watchdog window;
+	// models thread it to their guarded run so a runaway or wedged
+	// point is interrupted cooperatively instead of hanging its worker.
+	// A Run ended by the context returns the guard's error (ctx.Err()
+	// or a *par.StallError) with a zero Outcome.
+	Run func(context.Context, Params) (Outcome, error)
 	// Check is the §IV-A trace-equivalence oracle for the point's
 	// workload shape: it runs the decoupled and the reference build and
 	// returns a non-empty description if their dated traces differ
 	// after reordering (via trace.Diff). Nil if the model has no
-	// reference build.
-	Check func(Params) (string, error)
+	// reference build. The context works as for Run.
+	Check func(context.Context, Params) (string, error)
 }
 
 var (

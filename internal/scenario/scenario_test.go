@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"testing"
@@ -11,7 +12,7 @@ func init() {
 	Register(Model{
 		Name: "test",
 		Keys: []string{"a", "b", "c", "mode"},
-		Run: func(p Params) (Outcome, error) {
+		Run: func(_ context.Context, p Params) (Outcome, error) {
 			r := NewReader(p)
 			a, b := r.Int("a", 0), r.Int("b", 0)
 			if err := r.Err(); err != nil {

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// wedgedKernel builds a delta-cycle livelock: two threads ping-ponging
+// zero-delay notifications at date 0, so Run never returns on its own.
+func wedgedKernel() *Kernel {
+	k := NewKernel("wedge")
+	ping := NewEvent(k, "ping")
+	pong := NewEvent(k, "pong")
+	k.Thread("a", func(p *Process) {
+		for {
+			ping.NotifyDelta()
+			p.WaitEvent(pong)
+		}
+	})
+	k.Thread("b", func(p *Process) {
+		for {
+			p.WaitEvent(ping)
+			pong.NotifyDelta()
+		}
+	})
+	return k
+}
+
+// TestInterruptStopsLivelock: an interrupt from another goroutine makes
+// a livelocked Run return with consistent state, and the interrupt
+// stays latched until cleared.
+func TestInterruptStopsLivelock(t *testing.T) {
+	k := wedgedKernel()
+	defer k.Shutdown()
+	go func() {
+		// Let the kernel spin long enough to cross several poll points.
+		for k.Beat() < 3 {
+			time.Sleep(time.Millisecond)
+		}
+		k.Interrupt()
+	}()
+	done := make(chan struct{})
+	go func() { k.Run(RunForever); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("interrupt did not stop the livelocked run")
+	}
+	if !k.Interrupted() {
+		t.Error("interrupt flag should stay latched after return")
+	}
+	if k.Now() != 0 {
+		t.Errorf("livelock advanced time to %v", k.Now())
+	}
+	// Latched: another Step returns immediately without dispatching.
+	beat := k.Beat()
+	k.Step(RunForever)
+	if got := k.Beat(); got > beat+1 {
+		t.Errorf("latched interrupt still dispatched (beat %d -> %d)", beat, got)
+	}
+}
+
+// TestClearInterruptResumes: interrupting mid-run leaves the model
+// resumable — clearing the flag and stepping again completes the run
+// exactly as an uninterrupted one would.
+func TestClearInterruptResumes(t *testing.T) {
+	mk := func() (*Kernel, *[]Time) {
+		k := NewKernel("resume")
+		var dates []Time
+		k.Thread("p", func(p *Process) {
+			for i := 0; i < 100; i++ {
+				dates = append(dates, k.Now())
+				p.Wait(NS)
+			}
+		})
+		return k, &dates
+	}
+
+	ref, refDates := mk()
+	ref.Run(RunForever)
+
+	k, dates := mk()
+	k.SetInterruptHook(func() bool { return k.Now() >= 10*NS })
+	k.Run(RunForever)
+	if !k.Interrupted() {
+		t.Fatal("step-budget hook did not latch an interrupt")
+	}
+	if n := len(*dates); n == 0 || n >= 100 {
+		t.Fatalf("interrupted run dispatched %d/100 iterations", n)
+	}
+	k.ClearInterrupt()
+	k.SetInterruptHook(nil)
+	k.Run(RunForever)
+	if len(*dates) != len(*refDates) {
+		t.Fatalf("resumed run: %d dates, want %d", len(*dates), len(*refDates))
+	}
+	for i := range *dates {
+		if (*dates)[i] != (*refDates)[i] {
+			t.Fatalf("date %d drifted after resume: %v != %v", i, (*dates)[i], (*refDates)[i])
+		}
+	}
+}
+
+// TestBeaconPublishesTime: Beacon tracks simulated time across polls
+// (readable cross-goroutine), while a livelock freezes it at one date
+// even as Beat keeps climbing — the discrimination the stall watchdog
+// relies on.
+func TestBeaconPublishesTime(t *testing.T) {
+	k := NewKernel("beacon")
+	k.Thread("p", func(p *Process) {
+		for i := 0; i < 10; i++ {
+			p.Wait(10 * NS)
+		}
+	})
+	k.Run(RunForever)
+	if got, want := k.Beacon(), k.Now(); got != want {
+		t.Errorf("Beacon = %v after run, want %v", got, want)
+	}
+	if k.Beat() == 0 {
+		t.Error("Beat stayed zero across a full run")
+	}
+
+	w := wedgedKernel()
+	defer w.Shutdown()
+	w.SetInterruptHook(func() bool { return w.Beat() > 1000 })
+	w.Run(RunForever)
+	if w.Beacon() != 0 {
+		t.Errorf("livelocked Beacon = %v, want 0", w.Beacon())
+	}
+	if w.Beat() <= 1000 {
+		t.Errorf("livelocked Beat = %d, want climbing past the budget", w.Beat())
+	}
+}

@@ -72,6 +72,11 @@ type Kernel struct {
 	current *Process
 	running bool
 
+	// is holds the cross-goroutine interrupt/beacon state (see
+	// interrupt.go); everything above is owned by the running process or
+	// the Run caller.
+	is interruptState
+
 	stats Stats
 }
 
@@ -221,6 +226,10 @@ func (k *Kernel) NextEventAt() (at Time, ok bool) {
 // kernels may Step concurrently; the shard coordinator (internal/par) calls
 // Step once per barrier round with the shard's conservative horizon as the
 // limit.
+//
+// Step polls the interrupt flag (see Interrupt) at safe points — phase
+// boundaries and every few dozen dispatches — and returns early when it
+// is latched, leaving the kernel consistent and resumable.
 func (k *Kernel) Step(limit Time) bool {
 	if k.running {
 		panic("sim: kernel already running (re-entrant Run or Step)")
@@ -229,6 +238,9 @@ func (k *Kernel) Step(limit Time) bool {
 	defer func() { k.running = false }()
 	did := false
 	for {
+		if k.poll() {
+			return did
+		}
 		// Evaluate phase: drain the runnable queue. Immediate
 		// notifications extend the queue within the same phase.
 		if k.head < len(k.runnable) {
@@ -240,6 +252,9 @@ func (k *Kernel) Step(limit Time) bool {
 					break
 				}
 				k.dispatch(p)
+				if k.pollDispatch() {
+					return did
+				}
 			}
 		}
 		// Delta notification phase.

@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -41,6 +42,20 @@ import (
 // WithDMA and UseIRQ knobs: it is the scaling axis of the reproduction,
 // not the accuracy-ablation axis.
 func RunClustered(cfg Config, shards int) Result {
+	res, err := RunClusteredCtx(context.Background(), cfg, shards)
+	if err != nil {
+		// Unreachable: only a guarded abort errors, and a background
+		// context with no stall window never aborts.
+		panic(fmt.Sprintf("soc: %v", err))
+	}
+	return res
+}
+
+// RunClusteredCtx is RunClustered under the par supervisor: the run is
+// interrupted when ctx ends or the stall watchdog it carries
+// (par.WithStallWindow) fires, returning the guard's error with all
+// model goroutines shut down.
+func RunClusteredCtx(ctx context.Context, cfg Config, shards int) (Result, error) {
 	cfg.fill()
 	nClusters := cfg.Pipelines
 	if shards < 1 {
@@ -161,7 +176,10 @@ func RunClustered(cfg Config, shards int) Result {
 		MaxLevels: make([]uint32, nClusters),
 	}
 	start := time.Now()
-	built.Run(sim.RunForever)
+	if err := built.RunGuarded(ctx, sim.RunForever); err != nil {
+		built.Shutdown()
+		return Result{}, err
+	}
 	res.Wall = time.Since(start)
 	res.Stats = built.Stats()
 	res.Rounds = built.Rounds()
@@ -182,5 +200,5 @@ func RunClustered(cfg Config, shards int) Result {
 		}
 	}
 	built.Shutdown()
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/netlist"
@@ -107,21 +108,29 @@ func outcome(res Result) scenario.Outcome {
 	}
 }
 
-func runScenario(p scenario.Params) (scenario.Outcome, error) {
+func runScenario(ctx context.Context, p scenario.Params) (scenario.Outcome, error) {
 	cfg, _, err := scenarioConfig(p)
 	if err != nil {
 		return scenario.Outcome{}, err
 	}
-	return outcome(Run(cfg)), nil
+	res, err := RunCtx(ctx, cfg)
+	if err != nil {
+		return scenario.Outcome{}, err
+	}
+	return outcome(res), nil
 }
 
-func runClusteredScenario(p scenario.Params) (scenario.Outcome, error) {
+func runClusteredScenario(ctx context.Context, p scenario.Params) (scenario.Outcome, error) {
 	cfg, shards, err := scenarioConfig(p)
 	if err != nil {
 		return scenario.Outcome{}, err
 	}
 	cfg.Mode = SmartFIFOs // the clustered variant is Smart-FIFO only
-	return outcome(RunClustered(cfg, shards)), nil
+	res, err := RunClusteredCtx(ctx, cfg, shards)
+	if err != nil {
+		return scenario.Outcome{}, err
+	}
+	return outcome(res), nil
 }
 
 // jobTrace renders a run's dated job completions and checksums as a trace
@@ -147,24 +156,40 @@ func jobTrace(r Result) *trace.Recorder {
 // of in-flight state), so shapes where a job completion lands exactly on
 // a poll boundary can reprogram one tick apart across builds. The stream
 // dates inside a job, and all checksums, never differ.
-func checkScenario(p scenario.Params) (string, error) {
+func checkScenario(ctx context.Context, p scenario.Params) (string, error) {
 	cfg, _, err := scenarioConfig(p)
 	if err != nil {
 		return "", err
 	}
 	smart, syncCfg := cfg, cfg
 	smart.Mode, syncCfg.Mode = SmartFIFOs, SyncFIFOs
-	return trace.Diff(jobTrace(Run(syncCfg)), jobTrace(Run(smart))), nil
+	syncRes, err := RunCtx(ctx, syncCfg)
+	if err != nil {
+		return "", err
+	}
+	smartRes, err := RunCtx(ctx, smart)
+	if err != nil {
+		return "", err
+	}
+	return trace.Diff(jobTrace(syncRes), jobTrace(smartRes)), nil
 }
 
 // checkClusteredScenario runs the clustered shape on 1 kernel and on the
 // point's shard count and diffs the dated job completions: the
 // conservative-coordinator equivalence claim.
-func checkClusteredScenario(p scenario.Params) (string, error) {
+func checkClusteredScenario(ctx context.Context, p scenario.Params) (string, error) {
 	cfg, shards, err := scenarioConfig(p)
 	if err != nil {
 		return "", err
 	}
 	cfg.Mode = SmartFIFOs
-	return trace.Diff(jobTrace(RunClustered(cfg, 1)), jobTrace(RunClustered(cfg, shards))), nil
+	one, err := RunClusteredCtx(ctx, cfg, 1)
+	if err != nil {
+		return "", err
+	}
+	many, err := RunClusteredCtx(ctx, cfg, shards)
+	if err != nil {
+		return "", err
+	}
+	return trace.Diff(jobTrace(one), jobTrace(many)), nil
 }

@@ -20,6 +20,7 @@
 package soc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -165,6 +166,20 @@ type pipeline struct {
 // single colocation unit, because the bus couples the control core to
 // every register file synchronously.
 func Run(cfg Config) Result {
+	res, err := RunCtx(context.Background(), cfg)
+	if err != nil {
+		// Unreachable: only a guarded abort errors, and a background
+		// context with no stall window never aborts.
+		panic(fmt.Sprintf("soc: %v", err))
+	}
+	return res
+}
+
+// RunCtx is Run under the par supervisor: the run is interrupted when
+// ctx ends or the stall watchdog it carries (par.WithStallWindow)
+// fires, returning the guard's error with all model goroutines shut
+// down.
+func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	cfg.fill()
 	g := netlist.New("soc")
 	impl := netlist.Smart
@@ -421,7 +436,10 @@ func Run(cfg Config) Result {
 		panic(fmt.Sprintf("soc: %v", err))
 	}
 	start := time.Now()
-	built.Run(sim.RunForever)
+	if err := built.RunGuarded(ctx, sim.RunForever); err != nil {
+		built.Shutdown()
+		return Result{}, err
+	}
 	res.Wall = time.Since(start)
 	res.Stats = built.Stats()
 	res.BusAccesses = b.Accesses()
@@ -436,5 +454,5 @@ func Run(cfg Config) Result {
 		}
 	}
 	built.Shutdown()
-	return res
+	return res, nil
 }
