@@ -454,21 +454,21 @@ func BenchmarkMonitorSize(b *testing.B) {
 // execution of the Fig. 5 model: the same TDfull build partitioned over
 // 1..3 kernels by internal/par, with the FIFOs as ShardedFIFO bridges.
 // On a multi-core host the 3-shard run should beat single-kernel TDfull;
-// rounds/op counts the barrier rounds the coordinator needed.
+// advances/op counts the kernel advances the coordinator dispatched.
 func BenchmarkShardedPipeline(b *testing.B) {
 	const blocks, words = 20, 1000
 	for _, depth := range []int{16, 256} {
 		for _, shards := range []int{2, 3} {
 			b.Run(fmt.Sprintf("depth=%d/shards=%d", depth, shards), func(b *testing.B) {
-				var rounds uint64
+				var advances uint64
 				for i := 0; i < b.N; i++ {
 					r := pipeline.Run(pipeline.Config{
 						Mode: pipeline.TDfull, Depth: depth, Shards: shards,
 						Blocks: blocks, WordsPerBlock: words,
 					})
-					rounds += r.Rounds
+					advances += r.Advances
 				}
-				b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+				b.ReportMetric(float64(advances)/float64(b.N), "advances/op")
 			})
 		}
 	}
@@ -480,12 +480,12 @@ func BenchmarkClusteredSoC(b *testing.B) {
 	cfg := soc.Config{Pipelines: 4, Jobs: 2, WordsPerJob: 512, FIFODepth: 16, Seed: 7}
 	for _, shards := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			var rounds uint64
+			var advances uint64
 			for i := 0; i < b.N; i++ {
 				r := soc.RunClustered(cfg, shards)
-				rounds += r.Rounds
+				advances += r.Advances
 			}
-			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+			b.ReportMetric(float64(advances)/float64(b.N), "advances/op")
 		})
 	}
 }

@@ -72,13 +72,21 @@
 //     date, writer's local clock, next free cell's freeing date, or the
 //     reader's own read floor when the writer is credit-blocked — bounds
 //     everything it can still deliver. No null messages, no quantum;
-//   - each barrier round, every shard runs ahead to the minimum frontier
-//     of its inbound bridges; staged data and credits cross at the
-//     barrier. A barrier therefore occurs when a shard exhausts that
-//     lookahead, roughly every FIFO-depth words per bridge;
-//   - when every frontier is frozen (producers parked, not terminated),
-//     the coordinator falls back to the globally earliest event date,
-//     which is always safe to process.
+//   - scheduling is frontier-driven and asynchronous: a long-lived
+//     worker per shard exchanges staged data, credits and frontier
+//     bounds over its own bridges, re-derives its horizon (inbound
+//     frontiers strictly, outbound write frontiers inclusively) and
+//     keeps stepping while an event lies inside it, poking only the
+//     neighbours its publications can unblock — coordination cost
+//     follows a shard's bridge degree, not the shard count;
+//   - only when every worker is parked do they rendezvous: the
+//     coordinator recomputes every horizon with full knowledge, and if
+//     nothing is runnable even then it falls back to the globally
+//     earliest event date, which is always safe to process. Lookahead
+//     runs out roughly every FIFO-depth words per bridge, so deeper
+//     FIFOs mean fewer rendezvous. SetBarrier(true) forces the legacy
+//     lockstep barrier scheduler; both produce identical dates
+//     (cmd/parlat re-checks this while measuring the latency gap).
 //
 // Blocking Read/Write through a bridge produce local dates identical to a
 // single-kernel SmartFIFO — 1-shard and N-shard runs of the same model

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/fifo"
 	"repro/internal/sim"
@@ -51,6 +53,46 @@ type ShardedFIFO[T any] struct {
 
 	w ShardedWriter[T]
 	r ShardedReader[T]
+	x xfer[T]
+}
+
+// xfer is the cross-shard mailbox between the two endpoints: the only
+// state both shards touch while their kernels run concurrently. Each
+// side moves its staged batch in and the peer's batch out under mu at
+// its own kernel safe points (between Steps), so endpoint internals
+// never need locking. The published bounds let the reading shard derive
+// its horizon the moment the writer publishes one, without a global
+// barrier.
+type xfer[T any] struct {
+	mu sync.Mutex
+
+	// data/ins are delivered-but-unimported writes (writer → reader);
+	// frees are returned-but-unimported credits (reader → writer).
+	data  []T
+	ins   []sim.Time
+	frees []sim.Time
+
+	// base is the writer-published frontier base: a lower bound, over
+	// writer-side state only, on the insertion date of anything the
+	// writer stages after the publish. Monotone (the max of valid lower
+	// bounds is a valid lower bound). blocked records whether the credit
+	// window was full at publish time — the reader then completes the
+	// bound with its own read floor (or the oldest outstanding credit).
+	// term latches when the sole writer terminated: no future delivery.
+	base    sim.Time
+	blocked bool
+	term    bool
+
+	// rFloor is the reader-published pop floor (monotone): every future
+	// credit carries a freeing date at or after it.
+	rFloor sim.Time
+
+	// baseA/rFloorA/wfA mirror the published bounds for lock-free
+	// observation (diagnostics, benchmarks); the authoritative values
+	// are read under mu by the exchange halves.
+	baseA   atomic.Int64
+	rFloorA atomic.Int64
+	wfA     atomic.Int64
 }
 
 // ShardedWriter is the writer-side endpoint, owned by the writer kernel.
@@ -97,6 +139,12 @@ type ShardedReader[T any] struct {
 	retryAt     sim.Time
 	reader      *sim.Process
 	multiReader bool
+
+	// effFrontier caches the highest effective inbound frontier this
+	// endpoint has derived (FlushReaderSide). Monotone: an old bound
+	// stays valid because the set of future deliveries only shrinks.
+	// Touched only by the reader shard's worker.
+	effFrontier sim.Time
 
 	stats Stats
 }
@@ -170,50 +218,273 @@ func (f *ShardedFIFO[T]) Stats() Stats {
 	}
 }
 
-// Flush moves staged data and credits across the shard boundary and
-// reports whether anything moved. It must be called only at a coordinator
-// barrier, while neither kernel is running: the barrier provides the
-// happens-before edges, so the endpoints themselves need no locking. Both
-// directions move as bulk ring copies (≤ 2 contiguous segments each).
+// Flush moves everything staged on either side across the shard boundary
+// — outbox and mailbox data to the reader, pending and mailbox credits to
+// the writer — and reports whether anything moved. It must be called only
+// at a global safe point (a coordinator barrier or all-parked rendezvous),
+// while neither kernel is running. Both directions move as bulk ring
+// copies (≤ 2 contiguous segments each). It also refreshes the published
+// bounds, since a global safe point is trivially a safe point for each
+// side.
 func (f *ShardedFIFO[T]) Flush() bool {
-	w, r := &f.w, &f.r
-	moved := false
-	if k := len(w.outData); k > 0 {
-		rc := &r.cells
-		wasEmpty := rc.nBusy == 0
-		q0 := rc.firstFree
-		copyIn(rc.data, q0, w.outData)
-		copyIn(rc.ins, q0, w.outIns)
-		rc.firstFree = wrap(q0+k, rc.depth())
-		rc.nBusy += k
-		clear(w.outData) // release payload references to the GC
-		w.outData = w.outData[:0]
-		w.outIns = w.outIns[:0]
-		// Wake a blocked reader and refresh the external view: the FIFO
-		// becomes non-empty at the insertion date of the first datum.
-		r.cellFilled.NotifyDelta()
-		if wasEmpty {
-			r.notEmpty.NotifyAtReplace(rc.ins[rc.firstBusy])
-		}
-		moved = true
+	f.x.mu.Lock()
+	defer f.x.mu.Unlock()
+	a := f.stageOutboxLocked()
+	b := f.deliverDataLocked()
+	c := f.stageFreesLocked()
+	d := f.deliverFreesLocked()
+	f.publishWriterBoundsLocked()
+	f.publishReaderFloorLocked()
+	return a || b || c || d
+}
+
+// stageOutboxLocked moves the writer outbox into the mailbox. Writer-side
+// safe point; x.mu held.
+func (f *ShardedFIFO[T]) stageOutboxLocked() bool {
+	w, x := &f.w, &f.x
+	if len(w.outData) == 0 {
+		return false
 	}
-	if k := len(r.pendingFrees); k > 0 {
-		wc := &w.cells
-		wasFull := wc.nBusy == len(wc.ins)
-		q0 := wc.firstBusy
-		copyIn(wc.free, q0, r.pendingFrees)
-		wc.firstBusy = wrap(q0+k, wc.depth())
-		wc.nBusy -= k
-		r.pendingFrees = r.pendingFrees[:0]
-		// Wake a blocked writer; the FIFO becomes non-full at the freeing
-		// date of the first available cell.
-		w.cellFreed.NotifyDelta()
-		if wasFull {
-			w.notFull.NotifyAtReplace(wc.free[wc.firstFree])
-		}
-		moved = true
+	x.data = append(x.data, w.outData...)
+	x.ins = append(x.ins, w.outIns...)
+	clear(w.outData) // release payload references to the GC
+	w.outData = w.outData[:0]
+	w.outIns = w.outIns[:0]
+	return true
+}
+
+// deliverDataLocked moves mailbox data into the reader's cells, waking a
+// blocked reader and refreshing the external view (the FIFO becomes
+// non-empty at the insertion date of the first datum). Reader-side safe
+// point; x.mu held.
+func (f *ShardedFIFO[T]) deliverDataLocked() bool {
+	x, r := &f.x, &f.r
+	k := len(x.data)
+	if k == 0 {
+		return false
 	}
-	return moved
+	rc := &r.cells
+	wasEmpty := rc.nBusy == 0
+	q0 := rc.firstFree
+	copyIn(rc.data, q0, x.data)
+	copyIn(rc.ins, q0, x.ins)
+	rc.firstFree = wrap(q0+k, rc.depth())
+	rc.nBusy += k
+	clear(x.data)
+	x.data = x.data[:0]
+	x.ins = x.ins[:0]
+	r.cellFilled.NotifyDelta()
+	if wasEmpty {
+		r.notEmpty.NotifyAtReplace(rc.ins[rc.firstBusy])
+	}
+	return true
+}
+
+// stageFreesLocked moves the reader's pending freeing dates into the
+// mailbox. Reader-side safe point; x.mu held.
+func (f *ShardedFIFO[T]) stageFreesLocked() bool {
+	r, x := &f.r, &f.x
+	if len(r.pendingFrees) == 0 {
+		return false
+	}
+	x.frees = append(x.frees, r.pendingFrees...)
+	r.pendingFrees = r.pendingFrees[:0]
+	return true
+}
+
+// deliverFreesLocked moves mailbox credits into the writer's window,
+// waking a blocked writer (the FIFO becomes non-full at the freeing date
+// of the first available cell). Writer-side safe point; x.mu held.
+func (f *ShardedFIFO[T]) deliverFreesLocked() bool {
+	x, w := &f.x, &f.w
+	k := len(x.frees)
+	if k == 0 {
+		return false
+	}
+	wc := &w.cells
+	wasFull := wc.nBusy == len(wc.ins)
+	q0 := wc.firstBusy
+	copyIn(wc.free, q0, x.frees)
+	wc.firstBusy = wrap(q0+k, wc.depth())
+	wc.nBusy -= k
+	x.frees = x.frees[:0]
+	w.cellFreed.NotifyDelta()
+	if wasFull {
+		w.notFull.NotifyAtReplace(wc.free[wc.firstFree])
+	}
+	return true
+}
+
+// publishWriterBoundsLocked recomputes the writer-side frontier terms and
+// publishes them into the mailbox, monotonically. It must only run with
+// the outbox empty (already staged): the base covers future writes, and a
+// withheld outbox entry could be older than it. Writer-side safe point;
+// x.mu held. Reports whether the published state changed.
+func (f *ShardedFIFO[T]) publishWriterBoundsLocked() bool {
+	w, x := &f.w, &f.x
+	if !w.multiWriter && w.writer != nil && w.writer.Terminated() {
+		if !x.term {
+			x.term = true
+			x.baseA.Store(int64(sim.TimeMax))
+			return true
+		}
+		return false
+	}
+	base := w.lastWriteDate
+	if now := w.k.Now(); now > base {
+		base = now
+	}
+	if !w.multiWriter && w.writer != nil {
+		if lt := w.writer.LocalTime(); lt > base {
+			base = lt
+		}
+	}
+	wc := &w.cells
+	blocked := wc.nBusy == len(wc.ins)
+	if !blocked {
+		if fd := wc.free[wc.firstFree]; fd > base {
+			base = fd
+		}
+	}
+	changed := false
+	if base > x.base {
+		x.base = base
+		x.baseA.Store(int64(base))
+		changed = true
+	}
+	if blocked != x.blocked {
+		x.blocked = blocked
+		changed = true
+	}
+	return changed
+}
+
+// publishReaderFloorLocked publishes the reader's pop floor, monotonically.
+// Reader-side safe point; x.mu held. Reports whether the floor rose.
+func (f *ShardedFIFO[T]) publishReaderFloorLocked() bool {
+	r, x := &f.r, &f.x
+	if rf := r.readFloor(); rf > x.rFloor {
+		x.rFloor = rf
+		x.rFloorA.Store(int64(rf))
+		return true
+	}
+	return false
+}
+
+// FlushWriterSide is the writer shard's half of an asynchronous exchange:
+// stage the outbox into the mailbox, import pending credits, publish the
+// frontier bounds, and return the write frontier bounding the shard's own
+// clock. Call it only from the writer shard's worker at a kernel safe
+// point (between Steps).
+//
+// deferData (fault injection) withholds the whole exchange: nothing is
+// staged, imported, or published, so the previously published bounds —
+// still valid, since they covered all deliveries future of their own
+// publish — keep bounding the reader until a later exchange or a
+// rendezvous Flush.
+//
+// The two publication flags grade what the reader shard can now observe:
+// data means words were staged — the only writer-side publication that
+// can make a reader process runnable — while bound means a frontier
+// bound was raised, which matters only to a reader shard whose horizon
+// is capping timed work it already holds.
+func (f *ShardedFIFO[T]) FlushWriterSide(deferData bool) (writeFrontier sim.Time, data, bound bool) {
+	w, x := &f.w, &f.x
+	x.mu.Lock()
+	if !deferData {
+		data = f.stageOutboxLocked()
+		f.deliverFreesLocked()
+		// Publish after the credit import so the base reflects the
+		// freshest window state — and so "blocked" is always current
+		// with respect to every credit published so far, which is what
+		// lets the reader trust its own read floor when the mailbox
+		// holds no credits.
+		bound = f.publishWriterBoundsLocked()
+	}
+	rf := x.rFloor
+	x.mu.Unlock()
+
+	if !w.multiWriter && w.writer != nil && w.writer.Terminated() {
+		x.wfA.Store(int64(sim.TimeMax))
+		return sim.TimeMax, data, bound
+	}
+	wf := w.lastWriteDate
+	if rf > wf {
+		wf = rf
+	}
+	if !w.multiWriter && w.writer != nil {
+		if lt := w.writer.LocalTime(); lt > wf {
+			wf = lt
+		}
+	}
+	x.wfA.Store(int64(wf))
+	return wf, data, bound
+}
+
+// FlushReaderSide is the reader shard's half of an asynchronous exchange:
+// publish freed-cell credits and the pop floor, import delivered data,
+// and derive the effective inbound frontier. Call it only from the reader
+// shard's worker at a kernel safe point (between Steps).
+//
+// The returned frontier is the writer-published base completed with the
+// reader-side half of the Smart-FIFO lookahead: when the writer was
+// credit-blocked at publish time, the next insertion follows either the
+// oldest credit it has not yet imported (the mailbox head) or, when every
+// credit has been imported and none is staged here, the reader's own next
+// pop. The value is monotone across calls.
+//
+// The publication flags grade what the writer shard can now observe:
+// credit means freed cells crossed while the writer had published a full
+// window — importing them is what makes a credit-parked writer process
+// runnable again — while bound covers credits and floor raises that only
+// refresh the writer's frontier arithmetic. A credit-parked writer always
+// publishes blocked first (its worker exchanges after every Step, before
+// parking), so staged frees against a non-blocked window are never a
+// missed wake.
+func (f *ShardedFIFO[T]) FlushReaderSide() (frontier sim.Time, credit, bound bool) {
+	r, x := &f.r, &f.x
+	staged := false
+	x.mu.Lock()
+	if f.stageFreesLocked() {
+		staged = true
+		bound = true
+	}
+	if f.publishReaderFloorLocked() {
+		bound = true
+	}
+	credit = staged && x.blocked
+	f.deliverDataLocked()
+	front := x.base
+	switch {
+	case x.term:
+		front = sim.TimeMax
+	case x.blocked:
+		if len(x.frees) > 0 {
+			// Credits the writer has not imported: its next write lands
+			// in the cell freed by the oldest of them.
+			if d := x.frees[0]; d > front {
+				front = d
+			}
+		} else if rf := r.readFloor(); rf > front {
+			// No credit outstanding anywhere (the writer republishes
+			// under the same lock whenever it imports), so the writer
+			// stays parked until this side pops again.
+			front = rf
+		}
+	}
+	x.mu.Unlock()
+	if front > r.effFrontier {
+		r.effFrontier = front
+	}
+	return r.effFrontier, credit, bound
+}
+
+// AsyncBounds returns the last published frontier base and write
+// frontier without locking — a racy but monotone observation for
+// diagnostics and benchmarks. The exchange halves read the authoritative
+// values under the mailbox lock.
+func (f *ShardedFIFO[T]) AsyncBounds() (base, writeFrontier sim.Time) {
+	return sim.Time(f.x.baseA.Load()), sim.Time(f.x.wfA.Load())
 }
 
 // Frontier returns a lower bound on the insertion dates of everything the

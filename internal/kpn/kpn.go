@@ -243,7 +243,7 @@ func (n *Network) Stats() sim.Stats {
 }
 
 // Build exposes the elaborated netlist build (nil before Run), for
-// callers that report partitioning outcomes (crossings, rounds).
+// callers that report partitioning outcomes (crossings, advances).
 func (n *Network) Build() *netlist.Build { return n.built }
 
 // Shutdown force-terminates remaining actor goroutines (after a deadlock,

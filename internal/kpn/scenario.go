@@ -199,9 +199,15 @@ func runScenario(ctx context.Context, p scenario.Params) (scenario.Outcome, erro
 			simEnd = e.Date
 		}
 	}
+	// Kernel-stat counters are schedule-dependent for sharded runs
+	// (see scenario.Outcome.CtxSwitches); report them single-kernel only.
+	ctxSw := stats.ContextSwitches
+	if net.Build().Shards() > 1 {
+		ctxSw = 0
+	}
 	return scenario.Outcome{
 		SimEndNS:    int64(simEnd / sim.NS),
-		CtxSwitches: stats.ContextSwitches,
+		CtxSwitches: ctxSw,
 		Checksums:   []uint64{checksum},
 		DatesHash:   d.Sum(),
 		Counters: map[string]uint64{
@@ -209,7 +215,6 @@ func runScenario(ctx context.Context, p scenario.Params) (scenario.Outcome, erro
 			"tokens":        uint64(c.tokens),
 			"shards":        uint64(net.Build().Shards()),
 			"crossings":     uint64(net.Build().Crossings),
-			"rounds":        net.Build().Rounds(),
 		},
 	}, nil
 }

@@ -588,13 +588,15 @@ func (b *Build) Stats() sim.Stats {
 	return b.Kernels[0].Stats()
 }
 
-// Rounds returns the number of coordinator barrier rounds (0 for a
-// single-kernel build).
-func (b *Build) Rounds() uint64 {
+// Advances returns the number of coordinator kernel advances (0 for a
+// single-kernel build). Scheduler telemetry: the value depends on
+// goroutine interleaving under the async coordinator, so never fold it
+// into a deterministic model output.
+func (b *Build) Advances() uint64 {
 	if b.Coord == nil {
 		return 0
 	}
-	return b.Coord.Stats().Rounds
+	return b.Coord.Stats().Advances
 }
 
 // Blocked reports the thread processes that are neither terminated nor

@@ -110,9 +110,15 @@ func runScenario(ctx context.Context, p scenario.Params) (scenario.Outcome, erro
 		d.Str(name)
 		d.Times(probe.Dates(s))
 	}
+	// Kernel-stat counters are schedule-dependent for sharded runs
+	// (see scenario.Outcome.CtxSwitches); report them single-kernel only.
+	ctxSw := b.Stats().ContextSwitches
+	if b.Shards() > 1 {
+		ctxSw = 0
+	}
 	return scenario.Outcome{
 		SimEndNS:    int64(probe.SimEnd() / sim.NS),
-		CtxSwitches: b.Stats().ContextSwitches,
+		CtxSwitches: ctxSw,
 		Checksums:   probe.Checksums(),
 		DatesHash:   d.Sum(),
 		Counters: map[string]uint64{
@@ -120,7 +126,6 @@ func runScenario(ctx context.Context, p scenario.Params) (scenario.Outcome, erro
 			"sinks":     uint64(len(probe.Sinks())),
 			"shards":    uint64(b.Shards()),
 			"crossings": uint64(b.Crossings),
-			"rounds":    b.Rounds(),
 		},
 	}, nil
 }

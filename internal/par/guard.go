@@ -54,9 +54,10 @@ func (e *StallError) Unwrap() error { return e.Cause }
 // returned, when no kernel is executing, so it is exact — not a racy
 // sample of a moving target.
 type StallDiagnostic struct {
-	// Rounds is the number of barrier rounds completed (0 for
-	// single-kernel runs).
-	Rounds uint64 `json:"rounds"`
+	// Advances is the number of kernel Step dispatches that found work,
+	// summed over the shards (0 for single-kernel runs) — the
+	// scheduler-neutral unit of coordinator progress (Stats.Advances).
+	Advances uint64 `json:"advances"`
 	// GlobalNow is the conservative global date at the stop.
 	GlobalNow sim.Time `json:"global_now"`
 	// Shards describes every shard; single-kernel runs have one.
@@ -108,7 +109,7 @@ func fmtTime(t sim.Time) string {
 // String renders the diagnostic as an indented multi-line report.
 func (d StallDiagnostic) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "stall diagnostic: round %d, global now %s", d.Rounds, fmtTime(d.GlobalNow))
+	fmt.Fprintf(&b, "stall diagnostic: advances %d, global now %s", d.Advances, fmtTime(d.GlobalNow))
 	for _, s := range d.Shards {
 		fmt.Fprintf(&b, "\n  shard %s: now=%s", s.Name, fmtTime(s.Now))
 		if s.HasWork {
@@ -131,7 +132,7 @@ func (d StallDiagnostic) String() string {
 // Diagnose snapshots the coordinator's shards and bridges. Call it only
 // while no shard kernel is running (after Run returned).
 func (c *Coordinator) Diagnose() StallDiagnostic {
-	d := StallDiagnostic{Rounds: c.stats.Rounds, GlobalNow: c.Now()}
+	d := StallDiagnostic{Advances: c.ctr.advances.Load(), GlobalNow: c.Now()}
 	for _, s := range c.shards {
 		sd := ShardDiag{
 			Name:    s.k.Name(),

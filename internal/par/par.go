@@ -1,43 +1,57 @@
 // Package par executes a partitioned simulation: N sim.Kernel shards, each
-// advanced on its own OS thread, coordinated by a conservative barrier
-// scheduler over the Smart-FIFO dates carried by cross-shard bridges
+// advanced on its own long-lived worker goroutine, scheduled conservatively
+// over the Smart-FIFO dates carried by cross-shard bridges
 // (core.ShardedFIFO).
 //
 // # Protocol
 //
-// The coordinator runs barrier rounds. Each round:
+// Progress is frontier-driven and asynchronous: each shard's worker loops
+// through
 //
-//  1. every bridge is flushed: data and freeing dates staged during the
-//     previous round cross the shard boundary and wake blocked endpoint
-//     processes;
-//  2. every shard's horizon is computed: the minimum over the Frontiers
-//     of its inbound bridges — a lower bound on the insertion dates of
-//     anything that can still arrive, taken STRICTLY (the shard stops
-//     short of the bound, so a non-blocking reader polling at date D has
-//     every word inserted at or before D already delivered) — and the
-//     WriteFrontiers of its outbound bridges — the shard's kernel clock
-//     must never pass the date a credit-blocked writer resumes at, or
-//     the writer's restored decoupled local date would clamp to the
-//     clock. A shard with no bridges is unbounded;
-//  3. every shard with pending activity dated inside its horizon runs
-//     concurrently (Kernel.Step) up to it.
+//  1. exchange — for every inbound bridge, publish freed-cell credits and
+//     import delivered data; for every outbound bridge, stage written data
+//     and publish the frontier bound (AsyncBridge's locked, directional
+//     halves of Flush). Peers whose inputs changed are poked awake;
+//  2. horizon — the minimum over the inbound bridges' effective frontiers
+//     — a lower bound on the insertion dates of anything that can still
+//     arrive, taken STRICTLY (the shard stops short of the bound, so a
+//     non-blocking reader polling at date D has every word inserted at or
+//     before D already delivered) — and the outbound bridges'
+//     WriteFrontiers — the shard's kernel clock must never pass the date
+//     a credit-blocked writer resumes at, or the writer's restored
+//     decoupled local date would clamp to the clock. A shard with no
+//     bridges is unbounded;
+//  3. step — if the shard holds an event inside its horizon, run the
+//     kernel up to it (Kernel.Step) and loop; otherwise park until a peer
+//     pokes.
+//
+// A shard therefore advances the moment its own inbound frontiers allow —
+// no all-shard rendezvous, no global round as the unit of progress. When
+// every live worker is parked, the Run goroutine takes the all-parked
+// rendezvous: a global safe point where it force-flushes every bridge
+// (delivering anything withheld), recomputes horizons with full knowledge,
+// and either hands the runnable shards one-shot horizon grants, applies
+// the global-minimum fallback (see Stats.Fallbacks) when every frontier is
+// frozen, or concludes global quiescence: no shard has any pending event
+// inside the run limit. That covers both normal termination and model
+// deadlock; Blocked distinguishes them.
 //
 // The scheme is null-message-free: the lookahead a CMB-style scheduler
 // would ship in null messages is already present in the Smart-FIFO access
 // discipline — write dates on a side never decrease, so the last insertion
 // date (plus the writer's local clock, which a temporally decoupled writer
 // pushes far ahead of its kernel's date) bounds all future traffic on the
-// bridge. A shard therefore runs ahead of the global date exactly as far
-// as the paper's cell timestamps prove safe, and blocking bridge accesses
-// reproduce single-kernel Smart-FIFO dates bit for bit.
+// bridge. A shard runs ahead of the global date exactly as far as the
+// paper's cell timestamps prove safe, and blocking bridge accesses
+// reproduce single-kernel Smart-FIFO dates bit for bit — under either
+// scheduler, since every published bound is conservative no matter when
+// it is observed.
 //
-// When no shard has work inside its horizon but events remain, the
-// coordinator falls back to the globally earliest event date (see
-// Stats.Fallbacks) — the standard conservative floor, needed only when
-// every frontier is frozen. The coordinator stops at global quiescence:
-// after flushing every bridge, no shard has any pending event inside the
-// run limit. That covers both normal termination and model deadlock;
-// Blocked distinguishes them.
+// The legacy all-shard barrier scheduler is retained (SetBarrier, and
+// automatically when a bridge does not implement AsyncBridge): it flushes
+// every bridge, bounds every shard, and steps the runnable ones in
+// lockstep rounds. Single-shard coordinators always take it — there is
+// nothing to overlap.
 package par
 
 import (
@@ -59,8 +73,9 @@ type Bridge interface {
 	// ReaderKernel is the shard that consumes from the bridge.
 	ReaderKernel() *sim.Kernel
 	// Frontier returns a lower bound on the dates of all future
-	// deliveries. Called only at barriers, after Flush. sim.TimeMax
-	// means the bridge can never deliver again.
+	// deliveries. Called only at global safe points (barriers and
+	// rendezvous), after Flush. sim.TimeMax means the bridge can never
+	// deliver again.
 	Frontier() sim.Time
 	// WriteFrontier returns a lower bound on the resume date of any
 	// writer-side access that blocks on exhausted credits. The writer's
@@ -68,29 +83,49 @@ type Bridge interface {
 	// restores its decoupled local date on wake, and the kernel cannot
 	// represent a local date in the global past — an overshooting
 	// co-located process would clamp the restore and corrupt the dates.
-	// Called only at barriers, after Flush. sim.TimeMax means the writer
-	// can never block again.
+	// Called only at global safe points, after Flush. sim.TimeMax means
+	// the writer can never block again.
 	WriteFrontier() sim.Time
 	// Flush moves staged data across the boundary and reports whether
-	// anything moved. Called only at barriers.
+	// anything moved. Called only at global safe points.
 	Flush() bool
 }
 
-// Stats counts coordinator activity.
+// Stats counts coordinator activity. The counters are scheduler-neutral:
+// they are meaningful under both the async frontier-driven scheduler and
+// the legacy barrier scheduler, but their values depend on goroutine
+// interleaving under the async one — report them as performance
+// telemetry, never as part of a deterministic model output.
 type Stats struct {
-	// Rounds is the number of barrier rounds executed.
+	// Advances counts kernel Step dispatches that found work, summed
+	// over the shards — the scheduler-neutral unit of progress (a
+	// barrier round advances every selected shard once; the async
+	// scheduler advances shards independently).
+	Advances uint64
+	// Rounds counts global rendezvous that dispatched work: barrier
+	// rounds under the barrier scheduler, all-parked rendezvous under
+	// the async one (where most progress happens between rendezvous,
+	// so Rounds is far below Advances).
 	Rounds uint64
-	// Steps counts Kernel.Step calls that found work.
-	Steps uint64
-	// Flushes counts bridge flushes that moved data or credits.
+	// Flushes counts bridge exchanges that moved data or credits across
+	// a shard boundary, or raised a published bound.
 	Flushes uint64
-	// Fallbacks counts rounds resolved by the global-minimum rule: no
-	// shard had work inside its frontier-derived horizon, so the shards
-	// holding the globally earliest event were advanced to exactly that
-	// date. This happens when every frontier is frozen — typically the
-	// drain phase of a model whose producers park forever instead of
-	// terminating (idle accelerators waiting for a next job).
+	// Fallbacks counts rendezvous resolved by the global-minimum rule:
+	// no shard had work inside its frontier-derived horizon, so the
+	// shards holding the globally earliest event were advanced to
+	// exactly that date. This happens when every frontier is frozen —
+	// typically the drain phase of a model whose producers park forever
+	// instead of terminating (idle accelerators waiting for a next job).
 	Fallbacks uint64
+}
+
+// counters is the internal, atomically updated form of Stats: the async
+// scheduler's workers bump them concurrently.
+type counters struct {
+	advances  atomic.Uint64
+	rounds    atomic.Uint64
+	flushes   atomic.Uint64
+	fallbacks atomic.Uint64
 }
 
 // shard is one kernel plus its coordination state.
@@ -99,9 +134,17 @@ type shard struct {
 	idx      int
 	inbound  []Bridge
 	outbound []Bridge
-	horizon  sim.Time
-	run      bool          // selected to run this round
-	work     chan sim.Time // persistent worker's horizon feed (multi-shard runs)
+	// aIn/aOut are the async views of inbound/outbound (nil entries when
+	// a bridge lacks them — the coordinator then stays on the barrier
+	// scheduler); inPeer/outPeer are the peer shard indices, for pokes.
+	aIn     []AsyncBridge
+	aOut    []AsyncBridge
+	inPeer  []int
+	outPeer []int
+	horizon sim.Time
+	run     bool          // selected to run this round/rendezvous
+	advs    uint64        // per-shard advance ordinal (worker-local)
+	work    chan sim.Time // persistent worker's horizon feed (barrier multi-shard runs)
 }
 
 // Coordinator drives a set of shards to global quiescence.
@@ -109,10 +152,16 @@ type Coordinator struct {
 	shards   []*shard
 	byKernel map[*sim.Kernel]*shard
 	bridges  []Bridge
-	stats    Stats
+	ctr      counters
 	running  bool
 
-	// Round barrier state, shared with the shard workers.
+	// asyncOK is true while every registered bridge supports the
+	// frontier-driven scheduler; barrierOnly forces the legacy barrier
+	// scheduler regardless (SetBarrier).
+	asyncOK     bool
+	barrierOnly bool
+
+	// Round barrier state, shared with the shard workers (barrier mode).
 	wg        sync.WaitGroup
 	panicMu   sync.Mutex
 	panicVals []any
@@ -121,7 +170,9 @@ type Coordinator struct {
 	intr atomic.Bool
 
 	// hooks is the fault-injection surface (nil in production);
-	// deferred marks bridges whose Flush the hook withheld this round.
+	// deferred marks bridges whose Flush the hook withheld this round
+	// (barrier mode only; the async scheduler withholds the writer-side
+	// exchange instead).
 	hooks    *Hooks
 	deferred map[Bridge]bool
 }
@@ -131,15 +182,22 @@ type Coordinator struct {
 // protocol. All hooks are optional; a nil *Hooks disables injection.
 type Hooks struct {
 	// BeforeStep runs on the shard's worker goroutine immediately before
-	// Kernel.Step each round. It may sleep (scheduling jitter) or panic
-	// (an induced shard failure); it must not touch kernel state.
+	// Kernel.Step. It may sleep (scheduling jitter) or panic (an induced
+	// shard failure); it must not touch kernel state. round is the
+	// barrier round under the barrier scheduler and the shard's own
+	// advance ordinal (1-based) under the async one — either way, "the
+	// shard's first step at or after round R" is well-defined. Hooks
+	// must be safe for concurrent calls from different shard workers.
 	BeforeStep func(shard int, k *sim.Kernel, round uint64)
-	// DeferFlush, when it returns true, withholds the bridge's Flush
-	// this round: staged data stays on the writer side and the
-	// coordinator bounds the reader with the bridge's staged frontier
-	// instead, so the delay never changes dates. Deferred bridges are
-	// force-flushed before the coordinator concludes quiescence or
-	// falls back to the global minimum.
+	// DeferFlush, when it returns true, withholds the bridge's delivery
+	// once: under the barrier scheduler the whole Flush is skipped and
+	// the coordinator bounds the reader with the bridge's staged
+	// frontier instead; under the async scheduler the writer shard's
+	// half of the exchange is withheld, leaving the previously published
+	// (still valid) bounds in place. Either way the delay never changes
+	// dates, and withheld bridges are force-flushed at the next global
+	// safe point before the coordinator concludes anything about
+	// quiescence. Hooks must be safe for concurrent calls.
 	DeferFlush func(b Bridge, round uint64) bool
 }
 
@@ -217,7 +275,19 @@ func (p PanicSet) Error() string {
 
 // NewCoordinator returns an empty coordinator.
 func NewCoordinator() *Coordinator {
-	return &Coordinator{byKernel: make(map[*sim.Kernel]*shard)}
+	return &Coordinator{byKernel: make(map[*sim.Kernel]*shard), asyncOK: true}
+}
+
+// SetBarrier forces (or, with false, releases) the legacy all-shard
+// barrier scheduler even when every bridge supports the asynchronous
+// frontier-driven one — for scheduler comparisons (cmd/parlat) and
+// debugging. Must not be called while Run is in progress. Dates are
+// byte-identical under both schedulers.
+func (c *Coordinator) SetBarrier(on bool) {
+	if c.running {
+		panic("par: SetBarrier called while running")
+	}
+	c.barrierOnly = on
 }
 
 // AddShard registers a kernel as a shard. Every kernel referenced by a
@@ -245,6 +315,14 @@ func (c *Coordinator) AddBridge(b Bridge) {
 	}
 	r.inbound = append(r.inbound, b)
 	w.outbound = append(w.outbound, b)
+	ab, isAsync := b.(AsyncBridge)
+	if !isAsync {
+		c.asyncOK = false
+	}
+	r.aIn = append(r.aIn, ab)
+	r.inPeer = append(r.inPeer, w.idx)
+	w.aOut = append(w.aOut, ab)
+	w.outPeer = append(w.outPeer, r.idx)
 	c.bridges = append(c.bridges, b)
 }
 
@@ -257,8 +335,16 @@ func (c *Coordinator) Kernels() []*sim.Kernel {
 	return out
 }
 
-// Stats returns a copy of the coordinator counters.
-func (c *Coordinator) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the coordinator counters. Safe to call
+// concurrently with a run, though the counters move while it does.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		Advances:  c.ctr.advances.Load(),
+		Rounds:    c.ctr.rounds.Load(),
+		Flushes:   c.ctr.flushes.Load(),
+		Fallbacks: c.ctr.fallbacks.Load(),
+	}
+}
 
 // KernelStats sums the activity counters of every shard.
 func (c *Coordinator) KernelStats() sim.Stats {
@@ -289,15 +375,22 @@ func (c *Coordinator) Now() sim.Time {
 	return min
 }
 
-// Run executes barrier rounds until global quiescence, or — with
+// Run executes the shards until global quiescence, or — with
 // limit >= 0 — until no shard has activity dated at or before limit.
 // Like Kernel.Run it may be called again to resume with a larger limit.
+// Multi-shard runs whose bridges all support AsyncBridge take the
+// frontier-driven scheduler (see the package doc) unless SetBarrier
+// forced the legacy barrier one; dates are identical either way.
 func (c *Coordinator) Run(limit sim.Time) {
 	if c.running {
 		panic("par: Run called re-entrantly")
 	}
 	c.running = true
 	defer func() { c.running = false }()
+	if len(c.shards) > 1 && c.asyncOK && !c.barrierOnly {
+		c.runAsync(limit)
+		return
+	}
 	if len(c.shards) > 1 {
 		// One persistent worker goroutine per shard for the whole run:
 		// barrier rounds are frequent (one per exhausted lookahead), so
@@ -319,50 +412,7 @@ func (c *Coordinator) Run(limit sim.Time) {
 		// then bound each shard by its inbound frontiers. Flushing first
 		// makes Frontier's bound cover all undelivered traffic.
 		c.flushBridges(false)
-		work := 0
-		for _, s := range c.shards {
-			// The inbound bound is STRICT: a shard may only process
-			// events dated before its bridges' frontiers. An inclusive
-			// bound would let a non-blocking (method/Try) reader poll at
-			// date D before a word inserted exactly at D has crossed the
-			// barrier — a visibility miss a single-kernel Smart FIFO
-			// cannot have. (Blocking access is indifferent: a parked
-			// reader advances to the datum's exact date either way.)
-			h := sim.TimeMax
-			for _, b := range s.inbound {
-				f := b.Frontier()
-				// A bridge whose Flush was withheld by the chaos hook
-				// may still hold staged data older than its frontier;
-				// bound the reader by the staged dates so the deferral
-				// can never cause a visibility miss.
-				if c.deferred[b] {
-					if at, ok := b.(StagedBridge).StagedFrontier(); ok && at < f {
-						f = at
-					}
-				}
-				if f < h {
-					h = f
-				}
-			}
-			// The outbound bound is inclusive: never run the kernel
-			// clock PAST the date a credit-blocked writer on this shard
-			// must resume at, or its restored (decoupled) local date
-			// would clamp to the clock.
-			for _, b := range s.outbound {
-				if f := b.WriteFrontier(); f != sim.TimeMax && f+1 < h {
-					h = f + 1
-				}
-			}
-			if limit >= 0 && limit+1 > 0 && limit+1 < h {
-				h = limit + 1
-			}
-			s.horizon = h
-			s.run = false
-			if at, ok := s.k.NextEventAt(); ok && at < h {
-				s.run = true
-				work++
-			}
-		}
+		work := c.selectByFrontiers(limit)
 		if work == 0 {
 			// A deferred flush may be hiding the only deliverable work:
 			// force everything across and re-derive the horizons before
@@ -371,36 +421,97 @@ func (c *Coordinator) Run(limit sim.Time) {
 				c.flushBridges(true)
 				continue
 			}
-			// No shard can act inside its horizon. Either the model is
-			// globally quiescent, or every frontier is frozen because
-			// the processes that would advance them are themselves
-			// waiting (a conservative stall, not a model deadlock).
-			// The globally earliest pending event is always safe to
-			// process: any shard can only act at its kernel date or
-			// later, so nothing can ever be delivered with an earlier
-			// insertion date.
-			tmin := sim.TimeMax
-			for _, s := range c.shards {
-				if at, ok := s.k.NextEventAt(); ok && at < tmin {
-					tmin = at
-				}
-			}
-			if tmin == sim.TimeMax || (limit >= 0 && tmin > limit) {
+			if work = c.fallback(limit); work == 0 {
 				return
 			}
-			for _, s := range c.shards {
-				if at, ok := s.k.NextEventAt(); ok && at <= tmin {
-					s.horizon = tmin + 1 // exclusive, like the frontier bound
-					s.run = true
-					work++
-				}
-			}
-			c.stats.Fallbacks++
+			c.ctr.fallbacks.Add(1)
 		}
-		c.stats.Rounds++
-		c.stats.Steps += uint64(work)
+		c.ctr.rounds.Add(1)
+		c.ctr.advances.Add(uint64(work))
 		c.runRound()
 	}
+}
+
+// selectByFrontiers recomputes every shard's horizon from its bridges'
+// published bounds and marks the shards holding an event inside it,
+// returning how many there are. Called only at global safe points, after
+// the bridges were flushed (or, for deferred ones, with their staged
+// frontier folded in).
+func (c *Coordinator) selectByFrontiers(limit sim.Time) int {
+	work := 0
+	for _, s := range c.shards {
+		// The inbound bound is STRICT: a shard may only process
+		// events dated before its bridges' frontiers. An inclusive
+		// bound would let a non-blocking (method/Try) reader poll at
+		// date D before a word inserted exactly at D has crossed the
+		// barrier — a visibility miss a single-kernel Smart FIFO
+		// cannot have. (Blocking access is indifferent: a parked
+		// reader advances to the datum's exact date either way.)
+		h := sim.TimeMax
+		for _, b := range s.inbound {
+			f := b.Frontier()
+			// A bridge whose Flush was withheld by the chaos hook
+			// may still hold staged data older than its frontier;
+			// bound the reader by the staged dates so the deferral
+			// can never cause a visibility miss.
+			if c.deferred[b] {
+				if at, ok := b.(StagedBridge).StagedFrontier(); ok && at < f {
+					f = at
+				}
+			}
+			if f < h {
+				h = f
+			}
+		}
+		// The outbound bound is inclusive: never run the kernel
+		// clock PAST the date a credit-blocked writer on this shard
+		// must resume at, or its restored (decoupled) local date
+		// would clamp to the clock.
+		for _, b := range s.outbound {
+			if f := b.WriteFrontier(); f != sim.TimeMax && f+1 < h {
+				h = f + 1
+			}
+		}
+		if limit >= 0 && limit+1 > 0 && limit+1 < h {
+			h = limit + 1
+		}
+		s.horizon = h
+		s.run = false
+		if at, ok := s.k.NextEventAt(); ok && at < h {
+			s.run = true
+			work++
+		}
+	}
+	return work
+}
+
+// fallback applies the global-minimum rule after selectByFrontiers found
+// no runnable shard: either the model is globally quiescent (returns 0 —
+// nothing pending inside the limit), or every frontier is frozen because
+// the processes that would advance them are themselves waiting (a
+// conservative stall, not a model deadlock). The globally earliest
+// pending event is always safe to process: any shard can only act at its
+// kernel date or later, so nothing can ever be delivered with an earlier
+// insertion date.
+func (c *Coordinator) fallback(limit sim.Time) int {
+	tmin := sim.TimeMax
+	for _, s := range c.shards {
+		if at, ok := s.k.NextEventAt(); ok && at < tmin {
+			tmin = at
+		}
+	}
+	if tmin == sim.TimeMax || (limit >= 0 && tmin > limit) {
+		return 0
+	}
+	work := 0
+	for _, s := range c.shards {
+		if at, ok := s.k.NextEventAt(); ok && at <= tmin {
+			s.horizon = tmin + 1 // exclusive, like the frontier bound
+			s.run = true
+			work++
+		}
+	}
+	return work
 }
 
 // flushBridges flushes every bridge, honouring the DeferFlush injection
@@ -410,7 +521,7 @@ func (c *Coordinator) Run(limit sim.Time) {
 func (c *Coordinator) flushBridges(force bool) {
 	for _, b := range c.bridges {
 		if !force && c.hooks != nil && c.hooks.DeferFlush != nil {
-			if _, ok := b.(StagedBridge); ok && c.hooks.DeferFlush(b, c.stats.Rounds) {
+			if _, ok := b.(StagedBridge); ok && c.hooks.DeferFlush(b, c.ctr.rounds.Load()) {
 				if c.deferred == nil {
 					c.deferred = make(map[Bridge]bool)
 				}
@@ -420,7 +531,7 @@ func (c *Coordinator) flushBridges(force bool) {
 		}
 		delete(c.deferred, b)
 		if b.Flush() {
-			c.stats.Flushes++
+			c.ctr.flushes.Add(1)
 		}
 	}
 }
@@ -461,11 +572,8 @@ func (c *Coordinator) stepShard(s *shard, h sim.Time) {
 			c.panicMu.Unlock()
 		}
 	}()
-	// Reading stats.Rounds here is race-free: Run wrote it before the
-	// channel send that started this round, and writes it again only
-	// after the round's wg.Wait.
 	if c.hooks != nil && c.hooks.BeforeStep != nil {
-		c.hooks.BeforeStep(s.idx, s.k, c.stats.Rounds)
+		c.hooks.BeforeStep(s.idx, s.k, c.ctr.rounds.Load())
 	}
 	s.k.Step(stepLimit(h))
 }
@@ -485,7 +593,7 @@ func (c *Coordinator) runRound() {
 		// The injection hook still fires — a chaos-induced panic here
 		// propagates directly, like any single-kernel model panic.
 		if c.hooks != nil && c.hooks.BeforeStep != nil {
-			c.hooks.BeforeStep(single.idx, single.k, c.stats.Rounds)
+			c.hooks.BeforeStep(single.idx, single.k, c.ctr.rounds.Load())
 		}
 		single.k.Step(stepLimit(single.horizon))
 		return

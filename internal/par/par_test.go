@@ -178,7 +178,7 @@ func TestShardedChain(t *testing.T) {
 	if d := trace.Diff(ref, got); d != "" {
 		t.Fatalf("3-shard chain differs from 1-kernel reference:\n%s", d)
 	}
-	if st := c.Stats(); st.Rounds == 0 || st.Flushes == 0 {
+	if st := c.Stats(); st.Advances == 0 || st.Flushes == 0 {
 		t.Fatalf("coordinator did no sharded work: %+v", st)
 	}
 }
@@ -227,11 +227,11 @@ func TestCoordinatorHorizonThrottlesFreeRunner(t *testing.T) {
 		t.Fatalf("consumer saw %d/%d values", got, n)
 	}
 	// The poller runs at 1ns; the producer commits 10ns at a time with a
-	// 4-deep credit window, so the reader shard needs many rounds to
-	// cover the stream — a single-round blast would mean the horizon did
-	// not throttle it.
-	if st := c.Stats(); st.Rounds < n/4 {
-		t.Errorf("only %d rounds for %d credit-limited writes: horizon not throttling", st.Rounds, n)
+	// 4-deep credit window, so the reader shard needs many separate
+	// advances to cover the stream — a single blast to quiescence would
+	// mean the horizon did not throttle it.
+	if st := c.Stats(); st.Advances < uint64(n)/4 {
+		t.Errorf("only %d advances for %d credit-limited writes: horizon not throttling", st.Advances, n)
 	}
 	if polls == 0 {
 		t.Error("poller never ran")

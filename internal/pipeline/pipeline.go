@@ -157,11 +157,12 @@ type Result struct {
 	// summed over the shards.
 	Stats sim.Stats
 	// Shards echoes the partitioning (1 for the single-kernel build);
-	// Rounds is the number of coordinator barrier rounds (0 when
-	// unsharded); Crossings counts the channels the netlist elaborated
-	// as cross-shard bridges.
+	// Advances is the number of coordinator kernel advances (0 when
+	// unsharded — interleaving-dependent telemetry, not model output);
+	// Crossings counts the channels the netlist elaborated as
+	// cross-shard bridges.
 	Shards    int
-	Rounds    uint64
+	Advances  uint64
 	Crossings int
 }
 
@@ -379,7 +380,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	res.Wall = time.Since(start)
 	res.Stats = b.Stats()
 	res.Shards = b.Shards()
-	res.Rounds = b.Rounds()
+	res.Advances = b.Advances()
 	res.Crossings = b.Crossings
 	if timed {
 		for _, e := range ends {

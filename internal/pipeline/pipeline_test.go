@@ -183,8 +183,8 @@ func TestShardedRunMatchesSingleKernel(t *testing.T) {
 			if d := trace.Diff(refTrace, blockTrace(r)); d != "" {
 				t.Errorf("depth %d, %d shards: trace differs from single kernel:\n%s", depth, shards, d)
 			}
-			if r.Rounds == 0 {
-				t.Errorf("depth %d, %d shards: no coordinator rounds recorded", depth, shards)
+			if r.Advances == 0 {
+				t.Errorf("depth %d, %d shards: no coordinator advances recorded", depth, shards)
 			}
 		}
 	}

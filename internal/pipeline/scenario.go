@@ -80,16 +80,21 @@ func runScenario(ctx context.Context, p scenario.Params) (scenario.Outcome, erro
 	}
 	d := scenario.NewDigest()
 	d.Times(res.BlockDates)
+	// Kernel-stat counters are schedule-dependent for sharded runs
+	// (see scenario.Outcome.CtxSwitches); report them single-kernel only.
+	ctxSw := res.Stats.ContextSwitches
+	if res.Shards > 1 {
+		ctxSw = 0
+	}
 	return scenario.Outcome{
 		SimEndNS:    int64(res.SimEnd / sim.NS),
-		CtxSwitches: res.Stats.ContextSwitches,
+		CtxSwitches: ctxSw,
 		Checksums:   []uint64{res.Checksum},
 		DatesHash:   d.Sum(),
 		Counters: map[string]uint64{
 			"words":  uint64(res.Words),
 			"blocks": uint64(len(res.BlockDates)),
 			"shards": uint64(res.Shards),
-			"rounds": res.Rounds,
 		},
 	}, nil
 }

@@ -182,7 +182,7 @@ func RunClusteredCtx(ctx context.Context, cfg Config, shards int) (Result, error
 	}
 	res.Wall = time.Since(start)
 	res.Stats = built.Stats()
-	res.Rounds = built.Rounds()
+	res.Advances = built.Advances()
 	res.Crossings = built.Crossings
 	for i := 0; i < nClusters; i++ {
 		res.Checksums = append(res.Checksums, sinks[i].Checksum())

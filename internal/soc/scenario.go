@@ -93,15 +93,20 @@ func outcome(res Result) scenario.Outcome {
 	counters := map[string]uint64{
 		"bus_accesses": res.BusAccesses,
 		"shards":       uint64(res.Shards),
-		"rounds":       res.Rounds,
 	}
 	if res.NoC.PacketsInjected != 0 || res.NoC.FlitsForwarded != 0 {
 		counters["noc_packets"] = res.NoC.PacketsDelivered
 		counters["noc_flits"] = res.NoC.FlitsForwarded
 	}
+	// Kernel-stat counters are schedule-dependent for sharded runs
+	// (see scenario.Outcome.CtxSwitches); report them single-kernel only.
+	ctxSw := res.Stats.ContextSwitches
+	if res.Shards > 1 {
+		ctxSw = 0
+	}
 	return scenario.Outcome{
 		SimEndNS:    int64(res.SimEnd / sim.NS),
-		CtxSwitches: res.Stats.ContextSwitches,
+		CtxSwitches: ctxSw,
 		Checksums:   append([]uint64(nil), res.Checksums...),
 		DatesHash:   d.Sum(),
 		Counters:    counters,

@@ -145,11 +145,12 @@ type Result struct {
 	// NoC reports mesh activity (zero when !UseNoC).
 	NoC noc.Stats
 	// Shards is the number of kernels the run was partitioned over (1
-	// for Run); Rounds is the number of coordinator barrier rounds (0
-	// for Run); Crossings counts the channels elaborated as cross-shard
-	// bridges (0 for Run). See RunClustered.
+	// for Run); Advances is the number of coordinator kernel advances
+	// (0 for Run — interleaving-dependent telemetry, not model output);
+	// Crossings counts the channels elaborated as cross-shard bridges
+	// (0 for Run). See RunClustered.
 	Shards    int
-	Rounds    uint64
+	Advances  uint64
 	Crossings int
 }
 
