@@ -33,7 +33,11 @@ import (
 	"os"
 
 	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -55,9 +59,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout    = fs.Duration("timeout", 0, "per-point wall-clock deadline (0 = none)")
 		stall      = fs.Duration("stall", 0, "stall watchdog window: no simulated-time progress for this long fails the attempt (0 = off)")
 		retries    = fs.Int("retries", 0, "attempts per transiently-failing point before degradation (0 = 1, no retry)")
+		metricsOut = fs.String("metrics", "", "write a final Prometheus exposition of the run's metrics to this file")
+		simtrace   = fs.String("simtrace", "", "write the last sharded point's scheduler timeline as Chrome trace JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *simtrace != "" {
+		par.SetTraceCapture(4096)
 	}
 
 	if *models {
@@ -93,17 +102,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	res, err := campaign.Run(context.Background(), set, campaign.Options{
+	opts := campaign.Options{
 		Workers:       *workers,
 		CheckEvery:    *checkEvery,
 		MaxPoints:     *maxPoints,
 		PointDeadline: *timeout,
 		StallWindow:   *stall,
 		MaxAttempts:   *retries,
-	})
+	}
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		sim.EnableMetrics(reg)
+		core.EnableBridgeMetrics(reg)
+		par.EnableMetrics(reg)
+		opts.Metrics = campaign.NewMetrics(reg)
+	}
+	res, err := campaign.Run(context.Background(), set, opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "campaign: %v\n", err)
 		return 2
+	}
+	if reg != nil {
+		if err := writeFile(*metricsOut, reg.WritePrometheus); err != nil {
+			fmt.Fprintf(stderr, "campaign: metrics: %v\n", err)
+			return 2
+		}
+	}
+	if *simtrace != "" {
+		tl := par.LastTrace()
+		if tl == nil {
+			fmt.Fprintln(stderr, "campaign: simtrace: no timeline captured (no multi-shard point ran)")
+			return 2
+		}
+		if err := writeFile(*simtrace, tl.WriteChromeTrace); err != nil {
+			fmt.Fprintf(stderr, "campaign: simtrace: %v\n", err)
+			return 2
+		}
 	}
 
 	out := io.Writer(stdout)
@@ -149,4 +184,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stderr, "campaign: %d points (%d unique, %d checked) across %v\n",
 		res.Aggregate.Points, res.Aggregate.Unique, res.Aggregate.Checked, res.Aggregate.Models)
 	return 0
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

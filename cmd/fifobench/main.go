@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
@@ -83,10 +84,40 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit a single JSON document (for BENCH_*.json trajectories)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
+		simtrace    = flag.String("simtrace", "", "write the last sharded run's scheduler timeline as Chrome trace JSON to this file (needs -shards > 1)")
 	)
 	flag.Parse()
-	os.Exit(run(*blocks, *words, *depths, *reps, *quantum, *shards, *burst, *partitioner,
-		*csv, *jsonOut, *cpuprofile, *memprofile))
+	if *simtrace != "" {
+		par.SetTraceCapture(4096)
+	}
+	code := run(*blocks, *words, *depths, *reps, *quantum, *shards, *burst, *partitioner,
+		*csv, *jsonOut, *cpuprofile, *memprofile)
+	if code == 0 && *simtrace != "" {
+		if err := dumpTrace(*simtrace); err != nil {
+			fmt.Fprintf(os.Stderr, "fifobench: simtrace: %v\n", err)
+			code = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "fifobench: scheduler timeline written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *simtrace)
+		}
+	}
+	os.Exit(code)
+}
+
+// dumpTrace writes the most recent captured scheduler timeline to path.
+func dumpTrace(path string) error {
+	tl := par.LastTrace()
+	if tl == nil {
+		return fmt.Errorf("no timeline captured (multi-shard run required)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // run does the whole sweep and returns the exit code, so profile teardown

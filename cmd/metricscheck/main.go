@@ -1,0 +1,113 @@
+// Command metricscheck validates a Prometheus text exposition and diffs
+// its metric family names against a checked-in catalog. CI scrapes a
+// live simd /metrics into a file and runs
+//
+//	metricscheck -catalog metrics.catalog -in /tmp/metrics.txt
+//
+// exit 0 means the exposition parsed (TYPE/HELP lines, sample grammar,
+// histogram suffixes) and the family set matches the catalog exactly;
+// any malformed line, missing family or unlisted family is reported and
+// exits 1. That turns "someone renamed a metric" from a silent dashboard
+// breakage into a red CI check.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("metricscheck", flag.ExitOnError)
+	catalog := fs.String("catalog", "metrics.catalog", "checked-in metric family catalog (one name per line, # comments)")
+	in := fs.String("in", "-", "exposition to validate (- = stdin)")
+	fs.Parse(args)
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		r = f
+	}
+	got, err := metrics.ParseExposition(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: exposition invalid: %v\n", err)
+		return 1
+	}
+	want, err := readCatalog(*catalog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+		return 2
+	}
+
+	missing, extra := diff(want, got)
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "metricscheck: MISSING from exposition: %s\n", name)
+	}
+	for _, name := range extra {
+		fmt.Fprintf(os.Stderr, "metricscheck: NOT IN CATALOG: %s (update metrics.catalog)\n", name)
+	}
+	if len(missing)+len(extra) > 0 {
+		return 1
+	}
+	fmt.Printf("metricscheck: exposition valid, %d families match %s\n", len(got), *catalog)
+	return 0
+}
+
+// readCatalog loads the sorted family list, skipping blanks and #
+// comments.
+func readCatalog(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var names []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		names = append(names, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// diff returns catalog names absent from the exposition and exposition
+// names absent from the catalog; both inputs are sorted.
+func diff(want, got []string) (missing, extra []string) {
+	w := map[string]bool{}
+	for _, n := range want {
+		w[n] = true
+	}
+	g := map[string]bool{}
+	for _, n := range got {
+		g[n] = true
+		if !w[n] {
+			extra = append(extra, n)
+		}
+	}
+	for _, n := range want {
+		if !g[n] {
+			missing = append(missing, n)
+		}
+	}
+	return missing, extra
+}

@@ -27,11 +27,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -141,18 +141,17 @@ func run(n, load, pairs int, barrier bool) (lat []time.Duration, dates []sim.Tim
 }
 
 // stats reduces round-trip samples (after warmup discard) to the report
-// quantiles.
+// quantiles via the shared nearest-rank helper.
 func stats(lat []time.Duration, warmup int) (p50, p99, max float64) {
 	if warmup >= len(lat) {
 		warmup = 0
 	}
-	s := append([]time.Duration(nil), lat[warmup:]...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
-	p50 = us(s[len(s)/2])
-	p99 = us(s[len(s)*99/100])
-	max = us(s[len(s)-1])
-	return
+	us := make([]float64, 0, len(lat)-warmup)
+	for _, d := range lat[warmup:] {
+		us = append(us, float64(d.Nanoseconds())/1e3)
+	}
+	q := metrics.Quantiles(us, 0.5, 0.99, 1.0)
+	return q[0], q[1], q[2]
 }
 
 func datesEqual(a, b []sim.Time) bool {
@@ -176,10 +175,14 @@ func run1(args []string) int {
 		load    = fs.Int("load", 100000, "background words per load stream (sized so the load spans the whole measured run)")
 		pairs   = fs.Int("pairs", 4, "background load shard pairs (system size beyond the measured pair)")
 		warmup  = fs.Int("warmup", 50, "leading round trips discarded from the stats")
-		best    = fs.Int("best", 3, "runs per scheduler; the lowest-p99 run is reported")
-		jsonOut = fs.Bool("json", false, "emit one JSON document on stdout")
+		best     = fs.Int("best", 3, "runs per scheduler; the lowest-p99 run is reported")
+		jsonOut  = fs.Bool("json", false, "emit one JSON document on stdout")
+		simtrace = fs.String("simtrace", "", "write the final run's scheduler timeline as Chrome trace JSON to this file")
 	)
 	fs.Parse(args)
+	if *simtrace != "" {
+		par.SetTraceCapture(4096)
+	}
 
 	// One discarded warm-up run per scheduler before any measurement: the
 	// first run in a fresh process absorbs allocator growth, and whichever
@@ -235,5 +238,29 @@ func run1(args []string) int {
 		fmt.Fprintln(os.Stderr, "parlat: ACCURACY VIOLATION: schedulers disagree on dates")
 		return 1
 	}
+	if *simtrace != "" {
+		if err := dumpTrace(*simtrace); err != nil {
+			fmt.Fprintf(os.Stderr, "parlat: simtrace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "parlat: scheduler timeline written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *simtrace)
+	}
 	return 0
+}
+
+// dumpTrace writes the most recent captured scheduler timeline to path.
+func dumpTrace(path string) error {
+	tl := par.LastTrace()
+	if tl == nil {
+		return fmt.Errorf("no timeline captured")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -8,8 +8,12 @@
 //	GET    /campaigns/{id}     status and progress
 //	DELETE /campaigns/{id}     cancel (partial results are kept)
 //	GET  /campaigns/{id}/results[?format=csv][&wall=1]
+//	GET  /campaigns/{id}/stats  live counters while a campaign runs
 //	GET  /models             registered workload models and their keys
-//	GET  /healthz            liveness
+//	GET  /healthz            liveness, uptime, build info
+//	GET  /metrics            Prometheus text exposition (0.0.4)
+//	GET  /debug/trace        scheduler timeline as Chrome trace JSON
+//	                         (arm capture with -simtrace N)
 //
 // The server uses only net/http; it shuts down gracefully on SIGINT or
 // SIGTERM: in-flight requests drain, and running campaigns are cancelled
@@ -44,6 +48,10 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -58,8 +66,18 @@ func main() {
 		retries    = flag.Int("retries", 2, "attempts per transiently-failing point before degradation")
 		maxActive  = flag.Int("max-active", 4, "concurrently running campaigns before 429 (0 = unbounded)")
 		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling the live service)")
+		simtrace   = flag.Int("simtrace", 0, "retain N scheduler timeline events per shard worker, served at /debug/trace (0 = off)")
 	)
 	flag.Parse()
+
+	// One registry backs GET /metrics; every subsystem publishes into it.
+	reg := metrics.NewRegistry()
+	sim.EnableMetrics(reg)
+	core.EnableBridgeMetrics(reg)
+	par.EnableMetrics(reg)
+	if *simtrace > 0 {
+		par.SetTraceCapture(*simtrace)
+	}
 
 	eng := campaign.NewEngine(campaign.Options{
 		Workers:       *workers,
@@ -69,8 +87,9 @@ func main() {
 		StallWindow:   *stall,
 		MaxAttempts:   *retries,
 		MaxActive:     *maxActive,
+		Metrics:       campaign.NewMetrics(reg),
 	})
-	var handler http.Handler = newServer(eng)
+	var handler http.Handler = newServer(eng, reg)
 	if *pprofOn {
 		app := handler
 		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -20,7 +20,7 @@ import (
 // leakcheck defer fires (t.Cleanup would run after it).
 func newRobustServer(opts campaign.Options) (*httptest.Server, *campaign.Engine, func()) {
 	eng := campaign.NewEngine(opts)
-	ts := httptest.NewServer(newServer(eng))
+	ts := httptest.NewServer(newServer(eng, nil))
 	return ts, eng, func() {
 		ts.Close()
 		eng.Close()
@@ -138,7 +138,7 @@ func TestBusyQueue(t *testing.T) {
 func TestPanicRecovery(t *testing.T) {
 	defer leakcheck.Check(t)()
 	eng := campaign.NewEngine(campaign.Options{Workers: 1})
-	s := newServer(eng)
+	s := newServer(eng, nil)
 	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
 		panic("kaboom")
 	})

@@ -6,8 +6,11 @@ import (
 	"io"
 	"net/http"
 	"runtime/debug"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/scenario"
 )
 
@@ -17,19 +20,32 @@ const maxSpecBytes = 1 << 20
 // server routes the campaign API onto an engine. It is an http.Handler so
 // tests drive it through httptest.
 type server struct {
-	eng *campaign.Engine
-	mux *http.ServeMux
+	eng   *campaign.Engine
+	reg   *metrics.Registry
+	mux   *http.ServeMux
+	start time.Time
 }
 
-func newServer(eng *campaign.Engine) *server {
-	s := &server{eng: eng, mux: http.NewServeMux()}
+// newServer mounts the campaign API plus the observability surface:
+// /metrics scrapes reg (a nil reg gets a fresh empty registry, so the
+// endpoint is always a valid exposition), /campaigns/{id}/stats serves
+// live counters, /debug/trace dumps the last captured scheduler
+// timeline.
+func newServer(eng *campaign.Engine, reg *metrics.Registry) *server {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &server{eng: eng, reg: reg, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("GET /healthz", s.health)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /models", s.models)
 	s.mux.HandleFunc("POST /campaigns", s.submit)
 	s.mux.HandleFunc("GET /campaigns", s.list)
 	s.mux.HandleFunc("GET /campaigns/{id}", s.status)
 	s.mux.HandleFunc("DELETE /campaigns/{id}", s.cancel)
 	s.mux.HandleFunc("GET /campaigns/{id}/results", s.results)
+	s.mux.HandleFunc("GET /campaigns/{id}/stats", s.stats)
+	s.mux.HandleFunc("GET /debug/trace", s.trace)
 	return s
 }
 
@@ -58,7 +74,51 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "campaigns": len(s.eng.Jobs())})
+	doc := map[string]any{
+		"ok":        true,
+		"campaigns": len(s.eng.Jobs()),
+		"uptime_s":  time.Since(s.start).Seconds(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		doc["go"] = bi.GoVersion
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				doc["revision"] = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// metrics serves the registry in Prometheus text exposition format.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	s.reg.WritePrometheus(w)
+}
+
+// stats serves a campaign's live counters — unlike /results this works
+// (and moves) while the campaign runs.
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.eng.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Live())
+}
+
+// trace serves the most recent scheduler timeline as Chrome trace_event
+// JSON (loadable in chrome://tracing or ui.perfetto.dev). Capture is
+// armed by the -simtrace flag; until a multi-shard run completes there
+// is nothing to serve and the endpoint answers 404.
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	tl := par.LastTrace()
+	if tl == nil {
+		writeError(w, http.StatusNotFound, "no timeline captured (start simd with -simtrace and run a multi-shard campaign)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tl.WriteChromeTrace(w)
 }
 
 func (s *server) models(w http.ResponseWriter, r *http.Request) {

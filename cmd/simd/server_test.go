@@ -59,7 +59,7 @@ func init() {
 func newTestServer(t *testing.T) (*httptest.Server, *campaign.Engine) {
 	t.Helper()
 	eng := campaign.NewEngine(campaign.Options{Workers: 2, CheckEvery: 2})
-	ts := httptest.NewServer(newServer(eng))
+	ts := httptest.NewServer(newServer(eng, nil))
 	t.Cleanup(func() {
 		ts.Close()
 		eng.Close()

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/soc"
 )
@@ -98,8 +99,12 @@ func run() int {
 		jsonOut     = flag.Bool("json", false, "emit a single JSON document")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the runs to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile after the runs to this file")
+		simtrace    = flag.String("simtrace", "", "write the last sharded run's scheduler timeline as Chrome trace JSON to this file (needs -shards > 1)")
 	)
 	flag.Parse()
+	if *simtrace != "" {
+		par.SetTraceCapture(4096)
+	}
 	if _, err := netlist.PartitionerByName(*partitioner); err != nil {
 		fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
 		return 2
@@ -248,5 +253,29 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "socbench: ACCURACY VIOLATION: the two builds disagree")
 		return 1
 	}
+	if *simtrace != "" {
+		if err := dumpTrace(*simtrace); err != nil {
+			fmt.Fprintf(os.Stderr, "socbench: simtrace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "socbench: scheduler timeline written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *simtrace)
+	}
 	return 0
+}
+
+// dumpTrace writes the most recent captured scheduler timeline to path.
+func dumpTrace(path string) error {
+	tl := par.LastTrace()
+	if tl == nil {
+		return fmt.Errorf("no timeline captured (multi-shard run required)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -147,4 +147,26 @@
 // serves the engine over HTTP (submit/status/results, graceful shutdown);
 // cmd/campaign drives it from a spec file (the CI determinism smoke pins
 // a golden results document).
+//
+// # Metrics and scheduler timelines
+//
+// internal/metrics is a dependency-free observability layer: a registry
+// of atomically updated counters, gauges and fixed-bucket histograms
+// with a Prometheus text-format (0.0.4) encoder. Updates are
+// zero-allocation and safe from shard workers. Each subsystem publishes
+// into a registry handed over at startup — sim.EnableMetrics (kernels
+// fold Stats deltas in at interrupt-poll safe points, never per
+// dispatch), core.EnableBridgeMetrics (bridge words/credits counted per
+// flush, never per word; ShardedFIFO.Traffic is the always-on
+// per-channel raw feed), par.EnableMetrics (parks, graded wakes,
+// rendezvous, exchange-latency histogram) and campaign.NewMetrics
+// (point lifecycle, cache hits, active workers/campaigns). Everything
+// no-ops at a nil check when disabled; AllocsPerRun regressions pin the
+// hot paths at 0 allocs both ways. The async coordinator can also
+// record a scheduler timeline — per-worker ring buffers of
+// park/wake/exchange/rendezvous/step records — dumped as Chrome
+// trace_event JSON for chrome://tracing or ui.perfetto.dev via the
+// -simtrace flags on fifobench/socbench/parlat or simd's /debug/trace
+// endpoint; simd serves the registry at GET /metrics and per-campaign
+// live counters at /campaigns/{id}/stats.
 package repro

@@ -92,6 +92,13 @@ type Options struct {
 	// Submit returns ErrBusy beyond it. 0 means unbounded. Ignored by
 	// the synchronous Run.
 	MaxActive int
+	// Metrics, when non-nil, receives per-point execution counters
+	// (see NewMetrics); a nil sink costs nothing.
+	Metrics *Metrics
+
+	// live receives a running job's counters for the stats endpoint;
+	// installed by Engine.Submit, nil for synchronous Run.
+	live *liveStats
 }
 
 func (o *Options) fill() {
@@ -268,7 +275,13 @@ func runPoints(ctx context.Context, name string, points []scenario.Point, opt Op
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
+				if opt.Metrics != nil {
+					opt.Metrics.ActiveWorkers.Add(1)
+				}
 				runOne(ctx, &res.Points[idx], points[idx], opt, &cacheHits)
+				if opt.Metrics != nil {
+					opt.Metrics.ActiveWorkers.Add(-1)
+				}
 				n := int(done.Add(1))
 				if opt.OnProgress != nil {
 					opt.OnProgress(n, len(uniques))
@@ -406,10 +419,18 @@ func runOne(ctx context.Context, pr *PointResult, pt scenario.Point, opt Options
 		pr.Err = fmt.Sprintf("cancelled: %v", err)
 		return
 	}
+	if opt.Metrics != nil {
+		opt.Metrics.PointsStarted.Inc()
+	}
+	if opt.live != nil {
+		opt.live.started.Add(1)
+	}
 	start := time.Now()
+	fromCache := false
 	if out, hit := opt.Cache.Get(pt.Hash); hit {
 		pr.Outcome = &out
 		cacheHits.Add(1)
+		fromCache = true
 	} else {
 		out, err := runPoint(ctx, model, pt.Params, opt, pr)
 		if err != nil {
@@ -433,6 +454,7 @@ func runOne(ctx context.Context, pr *PointResult, pt scenario.Point, opt Options
 		}
 	}
 	pr.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	observePoint(opt.Metrics, opt.live, pr, fromCache)
 }
 
 // runPoint drives the attempt loop for one canonical point, recording

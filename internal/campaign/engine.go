@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/scenario"
 )
@@ -68,6 +69,7 @@ type Job struct {
 	done     chan struct{}
 	cancel   context.CancelFunc
 	progress func() int
+	live     *liveStats
 
 	mu      sync.Mutex
 	state   JobState
@@ -129,7 +131,9 @@ func (e *Engine) Submit(set scenario.Set) (*Job, error) {
 			defer pmu.Unlock()
 			return finished
 		},
+		live: &liveStats{startedAt: time.Now()},
 	}
+	opts.live = j.live
 
 	e.mu.Lock()
 	if e.closed {
@@ -148,12 +152,18 @@ func (e *Engine) Submit(set scenario.Set) (*Job, error) {
 	e.wg.Add(1)
 	e.mu.Unlock()
 
+	if opts.Metrics != nil {
+		opts.Metrics.ActiveCampaigns.Add(1)
+	}
 	jctx, jcancel := context.WithCancel(e.ctx)
 	j.cancel = jcancel
 	go func() {
 		defer e.wg.Done()
 		defer jcancel()
 		res := runPoints(jctx, set.Name, points, opts)
+		if opts.Metrics != nil {
+			opts.Metrics.ActiveCampaigns.Add(-1)
+		}
 		e.mu.Lock()
 		e.active--
 		e.mu.Unlock()

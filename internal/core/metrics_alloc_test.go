@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Instrumented Smart FIFO paths must stay allocation-free: the bridge
+// counters are bumped only on the staging/credit exchange paths (one
+// atomic add + one histogram observe per FLUSH, never per word), so the
+// steady-state streaming cost is identical with metrics enabled,
+// disabled, and never configured.
+
+func smartOpsAllocs() float64 {
+	k := sim.NewKernel("alloc-metrics")
+	defer k.Shutdown()
+	f := core.NewSmart[int](k, "f", 64)
+	k.Thread("writer", func(p *sim.Process) {
+		for i := 0; ; i++ {
+			f.Write(i)
+			p.Inc(sim.NS)
+		}
+	})
+	k.Thread("reader", func(p *sim.Process) {
+		for {
+			f.Read()
+			p.Inc(sim.NS)
+		}
+	})
+	var end sim.Time
+	step := func() { end += 2 * sim.US; k.Run(end) }
+	step()
+	return testing.AllocsPerRun(50, step)
+}
+
+func shardedFlushAllocs() float64 {
+	k := sim.NewKernel("alloc-metrics")
+	defer k.Shutdown()
+	f := core.NewSharded[int](k, k, "f", 64)
+	wbuf := make([]int, 32)
+	rbuf := make([]int, 32)
+	k.Thread("writer", func(p *sim.Process) {
+		w := f.Writer()
+		for {
+			w.WriteBurst(wbuf, sim.NS)
+			p.Inc(3 * sim.NS)
+		}
+	})
+	k.Thread("reader", func(p *sim.Process) {
+		r := f.Reader()
+		for {
+			r.ReadBurst(rbuf, sim.NS)
+			p.Inc(2 * sim.NS)
+		}
+	})
+	var end sim.Time
+	step := func() {
+		end += 2 * sim.US
+		for i := 0; i < 40; i++ {
+			k.Run(end)
+			f.Flush()
+		}
+	}
+	step()
+	return testing.AllocsPerRun(20, step)
+}
+
+func TestSmartFIFOZeroAllocMetricsEnabled(t *testing.T) {
+	reg := metrics.NewRegistry()
+	core.EnableBridgeMetrics(reg)
+	sim.EnableMetrics(reg)
+	defer core.EnableBridgeMetrics(nil)
+	defer sim.EnableMetrics(nil)
+	if n := smartOpsAllocs(); n != 0 {
+		t.Errorf("SmartFIFO ops with metrics enabled: %v allocs per step, want 0", n)
+	}
+	if n := shardedFlushAllocs(); n != 0 {
+		t.Errorf("sharded flush with metrics enabled: %v allocs per step, want 0", n)
+	}
+	// The bridge counters must actually have moved.
+	var words float64
+	for _, f := range reg.Snapshot() {
+		if f.Name == "core_bridge_words_total" {
+			for _, s := range f.Series {
+				words += s.Value
+			}
+		}
+	}
+	if words == 0 {
+		t.Error("metrics enabled but core_bridge_words_total stayed 0")
+	}
+}
+
+func TestSmartFIFOZeroAllocMetricsDisabled(t *testing.T) {
+	core.EnableBridgeMetrics(nil)
+	sim.EnableMetrics(nil)
+	if n := smartOpsAllocs(); n != 0 {
+		t.Errorf("SmartFIFO ops with metrics disabled: %v allocs per step, want 0", n)
+	}
+	if n := shardedFlushAllocs(); n != 0 {
+		t.Errorf("sharded flush with metrics disabled: %v allocs per step, want 0", n)
+	}
+}

@@ -93,6 +93,12 @@ type xfer[T any] struct {
 	baseA   atomic.Int64
 	rFloorA atomic.Int64
 	wfA     atomic.Int64
+
+	// traffic accumulates this bridge's cross-boundary activity (under
+	// mu, on the flush paths only); m, captured at construction, is the
+	// optional shared metrics sink (see metrics.go).
+	traffic Traffic
+	m       *BridgeMetrics
 }
 
 // ShardedWriter is the writer-side endpoint, owned by the writer kernel.
@@ -167,6 +173,7 @@ func NewSharded[T any](wk, rk *sim.Kernel, name string, depth int) *ShardedFIFO[
 		panic(fmt.Sprintf("core: %s: non-positive depth %d", name, depth))
 	}
 	f := &ShardedFIFO[T]{name: name}
+	f.x.m = defaultBridgeMetrics.Load()
 	f.w = ShardedWriter[T]{
 		f:         f,
 		k:         wk,
@@ -247,6 +254,13 @@ func (f *ShardedFIFO[T]) stageOutboxLocked() bool {
 	}
 	x.data = append(x.data, w.outData...)
 	x.ins = append(x.ins, w.outIns...)
+	n := uint64(len(w.outData))
+	x.traffic.WordsCrossed += n
+	x.traffic.Flushes++
+	if x.m != nil {
+		x.m.WordsCrossed.Add(n)
+		x.m.FlushBatchWords.Observe(float64(n))
+	}
 	clear(w.outData) // release payload references to the GC
 	w.outData = w.outData[:0]
 	w.outIns = w.outIns[:0]
@@ -307,6 +321,10 @@ func (f *ShardedFIFO[T]) deliverFreesLocked() bool {
 	copyIn(wc.free, q0, x.frees)
 	wc.firstBusy = wrap(q0+k, wc.depth())
 	wc.nBusy -= k
+	x.traffic.CreditReturns += uint64(k)
+	if x.m != nil {
+		x.m.CreditReturns.Add(uint64(k))
+	}
 	x.frees = x.frees[:0]
 	w.cellFreed.NotifyDelta()
 	if wasFull {

@@ -1,0 +1,345 @@
+// Package metrics is the dependency-free observability substrate: a
+// registry of atomically-updated counters, gauges and fixed-bucket
+// histograms, encoded on demand in the Prometheus text exposition
+// format (0.0.4, prometheus.go) and reduced to report quantiles by the
+// shared nearest-rank helpers (quantile.go).
+//
+// The update path is built for simulation hot loops: every metric
+// method is allocation-free and safe from any goroutine (shard workers
+// bump the same counter concurrently), and every method is a no-op on
+// a nil receiver — instrumented code holds plain *Counter fields and
+// never branches on "metrics enabled", because a disabled registry
+// simply hands out nil metrics. Reads are snapshot-consistent: Snapshot
+// and WritePrometheus take the registry lock, so a scrape never
+// observes a half-registered family.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind names a metric family's type.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution.
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one name="value" pair on a series. Labels are fixed at
+// registration: acquire the labeled series once, at setup, and the
+// update path stays zero-alloc.
+type Label struct {
+	Name, Value string
+}
+
+// Counter is a monotonically increasing, atomically updated value. All
+// methods are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically updated value that can go up and down. All
+// methods are no-ops on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution: upper bounds chosen at
+// registration, one atomic counter per bucket plus a float-bits sum.
+// The observation count is the sum of the buckets, so a scrape's
+// _count always equals its +Inf bucket. Observe is allocation-free and
+// safe from any goroutine; all methods are no-ops on a nil receiver.
+type Histogram struct {
+	bounds  []float64 // sorted inclusive upper bounds; +Inf is implicit
+	buckets []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records v in the first bucket whose upper bound is >= v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.buckets[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// series is one registered time series: a metric plus its label set.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	bounds []float64 // histogram families only
+	// series is keyed by the joined label values (registration returns
+	// the existing series, so re-enabling metrics is idempotent).
+	series map[string]*series
+}
+
+// Registry holds metric families and hands out their series. A nil
+// *Registry is the disabled state: every registration method returns a
+// nil metric, whose updates are no-ops — instrumented packages never
+// special-case "metrics off".
+type Registry struct {
+	mu  sync.Mutex
+	fam map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fam: map[string]*family{}}
+}
+
+// validName reports whether name is a legal Prometheus metric or label
+// name: [a-zA-Z_:][a-zA-Z0-9_:]* (labels additionally may not use ':',
+// but the registry is not the place to split that hair).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// seriesKey joins label values; label NAMES are fixed per family, so
+// values alone identify the series.
+func seriesKey(labels []Label) string {
+	k := ""
+	for _, l := range labels {
+		k += l.Value + "\x00"
+	}
+	return k
+}
+
+// register returns the series for (name, labels), creating family and
+// series as needed. Registration is idempotent; a kind or label-name
+// mismatch against an existing family panics (a programming error, like
+// a duplicate flag).
+func (r *Registry) register(name, help string, kind Kind, bounds []float64, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Name) {
+			panic(fmt.Sprintf("metrics: %s: invalid label name %q", name, l.Name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fam[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: map[string]*series{}}
+		r.fam[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s re-registered as %v (was %v)", name, kind, f.kind))
+	}
+	key := seriesKey(labels)
+	s, ok := f.series[key]
+	if ok {
+		return s
+	}
+	s = &series{labels: append([]Label(nil), labels...)}
+	switch kind {
+	case KindCounter:
+		s.c = &Counter{}
+	case KindGauge:
+		s.g = &Gauge{}
+	case KindHistogram:
+		s.h = &Histogram{
+			bounds:  f.bounds,
+			buckets: make([]atomic.Uint64, len(f.bounds)+1),
+		}
+	}
+	f.series[key] = s
+	return s
+}
+
+// Counter registers (or finds) the counter named name with the given
+// labels. Nil registry returns nil (a no-op counter).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, KindCounter, nil, labels).c
+}
+
+// Gauge registers (or finds) the gauge named name with the given
+// labels. Nil registry returns nil (a no-op gauge).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, KindGauge, nil, labels).g
+}
+
+// Histogram registers (or finds) the histogram named name with the
+// given inclusive upper bucket bounds (sorted ascending; the +Inf
+// bucket is implicit). Nil registry returns nil (a no-op histogram).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("metrics: %s: histogram needs at least one bound", name))
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("metrics: %s: histogram bounds not sorted", name))
+	}
+	b := append([]float64(nil), bounds...)
+	return r.register(name, help, KindHistogram, b, labels).h
+}
+
+// SeriesSnap is one series in a snapshot.
+type SeriesSnap struct {
+	Labels []Label
+	// Value carries counters (as a float) and gauges.
+	Value float64
+	// Histogram payload: per-bucket (non-cumulative) counts aligned
+	// with Bounds, plus the +Inf bucket at the end.
+	Bounds  []float64
+	Buckets []uint64
+	Count   uint64
+	Sum     float64
+}
+
+// FamilySnap is one metric family in a snapshot.
+type FamilySnap struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Series []SeriesSnap
+}
+
+// Snapshot returns every family, sorted by name (series sorted by label
+// values), under the registry lock — a scrape-consistent view. The
+// individual atomic loads are not a global atomic cut (writers keep
+// running), but each counter value is monotone across snapshots.
+func (r *Registry) Snapshot() []FamilySnap {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FamilySnap, 0, len(r.fam))
+	for _, f := range r.fam {
+		fs := FamilySnap{Name: f.name, Help: f.help, Kind: f.kind}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			ss := SeriesSnap{Labels: s.labels}
+			switch f.kind {
+			case KindCounter:
+				ss.Value = float64(s.c.Value())
+			case KindGauge:
+				ss.Value = float64(s.g.Value())
+			case KindHistogram:
+				ss.Bounds = f.bounds
+				ss.Buckets = make([]uint64, len(s.h.buckets))
+				for i := range s.h.buckets {
+					ss.Buckets[i] = s.h.buckets[i].Load()
+					ss.Count += ss.Buckets[i]
+				}
+				ss.Sum = math.Float64frombits(s.h.sumBits.Load())
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", []float64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil metrics")
+	}
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("nil metrics must read zero")
+	}
+	if snap := r.Snapshot(); snap != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", snap)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("steps_total", "steps")
+	b := r.Counter("steps_total", "steps")
+	if a != b {
+		t.Fatalf("same name must return the same counter")
+	}
+	la := r.Counter("wakes_total", "", Label{"grade", "hard"})
+	lb := r.Counter("wakes_total", "", Label{"grade", "soft"})
+	lc := r.Counter("wakes_total", "", Label{"grade", "hard"})
+	if la == lb {
+		t.Fatalf("distinct label values must be distinct series")
+	}
+	if la != lc {
+		t.Fatalf("same label values must return the same series")
+	}
+	la.Add(2)
+	lb.Inc()
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("want 2 families, got %d", len(snap))
+	}
+	if got := len(snap[1].Series); got != 2 {
+		t.Fatalf("wakes_total: want 2 series, got %d", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("thing_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("thing_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "2fast", "has-dash", "has space"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q must panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.001, 0.005, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()[0].Series[0]
+	// 0.0005 and 0.001 land in le=0.001 (inclusive), 0.005 in le=0.01,
+	// 0.05 in le=0.1, 0.5 and 2 in +Inf.
+	want := []uint64{2, 1, 1, 2}
+	for i, w := range want {
+		if snap.Buckets[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, snap.Buckets[i], w, snap.Buckets)
+		}
+	}
+	if snap.Count != 6 {
+		t.Fatalf("count = %d, want 6", snap.Count)
+	}
+	if snap.Sum < 2.5564 || snap.Sum > 2.5566 {
+		t.Fatalf("sum = %v, want ~2.5565", snap.Sum)
+	}
+}
+
+// TestConcurrentWritersAndScrapers is the -race regression: N writer
+// goroutines hammer every metric kind while M scrapers snapshot and
+// encode, and every counter must be monotone across the snapshots each
+// scraper takes.
+func TestConcurrentWritersAndScrapers(t *testing.T) {
+	const (
+		writers = 8
+		scrapes = 40
+		perG    = 5000
+	)
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	lc := r.Counter("graded_total", "", Label{"grade", "hard"})
+	g := r.Gauge("active", "")
+	h := r.Histogram("lat_seconds", "", []float64{1e-6, 1e-5, 1e-4, 1e-3})
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				lc.Add(2)
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(seed*perG+i) * 1e-8)
+			}
+		}(w)
+	}
+	errc := make(chan error, 4)
+	for m := 0; m < 4; m++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastOps, lastGraded, lastHist uint64
+			for i := 0; i < scrapes; i++ {
+				for _, f := range r.Snapshot() {
+					for _, s := range f.Series {
+						switch f.Name {
+						case "ops_total":
+							if v := uint64(s.Value); v < lastOps {
+								t.Errorf("ops_total went backwards: %d -> %d", lastOps, v)
+							} else {
+								lastOps = v
+							}
+						case "graded_total":
+							if v := uint64(s.Value); v < lastGraded {
+								t.Errorf("graded_total went backwards: %d -> %d", lastGraded, v)
+							} else {
+								lastGraded = v
+							}
+						case "lat_seconds":
+							if s.Count < lastHist {
+								t.Errorf("histogram count went backwards: %d -> %d", lastHist, s.Count)
+							} else {
+								lastHist = s.Count
+							}
+						}
+					}
+				}
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if got := c.Value(); got != writers*perG {
+		t.Fatalf("ops_total = %d, want %d", got, writers*perG)
+	}
+	if got := lc.Value(); got != 2*writers*perG {
+		t.Fatalf("graded_total = %d, want %d", got, 2*writers*perG)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != writers*perG {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perG)
+	}
+}
+
+// TestUpdatePathAllocs pins the zero-allocation guarantee of the hot
+// update methods, enabled and disabled (nil) alike.
+func TestUpdatePathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total", "")
+	g := r.Gauge("b", "")
+	h := r.Histogram("c_seconds", "", []float64{1e-6, 1e-3, 1})
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	for name, fn := range map[string]func(){
+		"counter":        func() { c.Add(1) },
+		"gauge":          func() { g.Set(42) },
+		"histogram":      func() { h.Observe(0.5) },
+		"nil-counter":    func() { nc.Add(1) },
+		"nil-gauge":      func() { ng.Set(42) },
+		"nil-histogram":  func() { nh.Observe(0.5) },
+		"counter-read":   func() { _ = c.Value() },
+		"histogram-read": func() { _ = h.Count() },
+	} {
+		if avg := testing.AllocsPerRun(200, fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, avg)
+		}
+	}
+}

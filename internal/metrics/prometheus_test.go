@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition byte-for-byte: family
+// ordering (sorted by name), HELP/TYPE lines, label rendering and
+// escaping, and the histogram expansion into cumulative _bucket series
+// plus _sum/_count.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "sorts last").Add(7)
+	r.Gauge("active_workers", "currently running").Set(3)
+	c := r.Counter("points_total", "points by state", Label{"state", "ok"})
+	c.Add(12)
+	r.Counter("points_total", "points by state", Label{"state", "failed"}).Inc()
+	r.Counter("escaped_total", `a "quoted\" help`+"\nsecond line",
+		Label{"path", `C:\tmp` + "\n" + `"x"`}).Inc()
+	h := r.Histogram("lat_seconds", "exchange latency", []float64{0.001, 0.25})
+	h.Observe(0.0001)
+	h.Observe(0.0001)
+	h.Observe(0.1)
+	h.Observe(9)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP active_workers currently running
+# TYPE active_workers gauge
+active_workers 3
+# HELP escaped_total a "quoted\\" help\nsecond line
+# TYPE escaped_total counter
+escaped_total{path="C:\\tmp\n\"x\""} 1
+# HELP lat_seconds exchange latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.001"} 2
+lat_seconds_bucket{le="0.25"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 9.1002
+lat_seconds_count 4
+# HELP points_total points by state
+# TYPE points_total counter
+points_total{state="failed"} 1
+points_total{state="ok"} 12
+# HELP zz_last_total sorts last
+# TYPE zz_last_total counter
+zz_last_total 7
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The golden output must round-trip through the shared validator.
+	names, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("golden output does not parse: %v", err)
+	}
+	wantNames := []string{"active_workers", "escaped_total", "lat_seconds", "points_total", "zz_last_total"}
+	if len(names) != len(wantNames) {
+		t.Fatalf("names = %v, want %v", names, wantNames)
+	}
+	for i := range names {
+		if names[i] != wantNames[i] {
+			t.Fatalf("names = %v, want %v", names, wantNames)
+		}
+	}
+}
+
+func TestParseExpositionRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"undeclared sample": "foo_total 3\n",
+		"bad value":         "# TYPE foo_total counter\nfoo_total three\n",
+		"bad type":          "# TYPE foo_total weird\n",
+		"malformed TYPE":    "# TYPE foo_total\n",
+		"unterminated":      "# TYPE foo_total counter\nfoo_total{a=\"x 3\n",
+		"duplicate TYPE":    "# TYPE a counter\n# TYPE a counter\n",
+		"bad name":          "# TYPE 2fast counter\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestParseExpositionHistogramSuffixes(t *testing.T) {
+	in := `# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="+Inf"} 2
+lat_seconds_sum 0.3
+lat_seconds_count 2
+`
+	names, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "lat_seconds" {
+		t.Fatalf("names = %v, want [lat_seconds]", names)
+	}
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestNearestRankOracle pins NearestRank against the integer-arithmetic
+// sorted-slice indexing the latency reports have always used: n/2 for
+// p50 and n*99/100 for p99 — including the sizes where a naive
+// float64 floor(q*n) would land one rank low (0.99*300 is
+// 296.999... in binary floating point).
+func TestNearestRankOracle(t *testing.T) {
+	for n := 1; n <= 2048; n++ {
+		if got, want := NearestRank(n, 0.5), n/2; got != want {
+			t.Fatalf("n=%d p50: got %d, want %d", n, got, want)
+		}
+		if got, want := NearestRank(n, 0.99), n*99/100; got != want {
+			t.Fatalf("n=%d p99: got %d, want %d", n, got, want)
+		}
+		if got, want := NearestRank(n, 1.0), n-1; got != want {
+			t.Fatalf("n=%d p100: got %d, want %d", n, got, want)
+		}
+		if got := NearestRank(n, 0); got != 0 {
+			t.Fatalf("n=%d p0: got %d, want 0", n, got)
+		}
+	}
+	// n-1 clamping: p50 of a 1-sample set is that sample.
+	if got := NearestRank(1, 0.5); got != 0 {
+		t.Fatalf("n=1 p50: got %d, want 0", got)
+	}
+}
+
+// TestQuantilesOracle compares Quantiles against direct sorted-slice
+// indexing on random samples.
+func TestQuantilesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 17, 100, 300, 1950} {
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.Float64() * 1e4
+		}
+		got := Quantiles(samples, 0.5, 0.99, 1.0)
+		s := append([]float64(nil), samples...)
+		sort.Float64s(s)
+		want := []float64{s[n/2], s[n*99/100], s[n-1]}
+		if n*99/100 > n-1 {
+			want[1] = s[n-1]
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d q[%d]: got %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+	// The input sample must not be reordered.
+	in := []float64{3, 1, 2}
+	Quantiles(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("Quantiles reordered its input: %v", in)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	bounds := []float64{10, 20, 40}
+	// 10 observations <=10, 10 in (10,20], none in (20,40], 5 beyond.
+	buckets := []uint64{10, 10, 0, 5}
+	if got := HistogramQuantile(bounds, buckets, 0.0); got != 1 {
+		// rank 1 of 25 → first bucket, 1/10 through (0,10].
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := HistogramQuantile(bounds, buckets, 0.5); math.Abs(got-13) > 1e-9 {
+		// rank floor(0.5*25)+1 = 13 → 3rd observation of the (10,20]
+		// bucket → 10 + 10*3/10 = 13.
+		t.Fatalf("p50 = %v, want 13", got)
+	}
+	if got := HistogramQuantile(bounds, buckets, 1.0); got != 40 {
+		// +Inf bucket answers the last finite bound.
+		t.Fatalf("p100 = %v, want 40", got)
+	}
+	if got := HistogramQuantile(bounds, []uint64{0, 0, 0, 0}, 0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram = %v, want NaN", got)
+	}
+}

@@ -8,6 +8,7 @@ package par
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -88,7 +89,8 @@ func (sc *sched) readyLocked() bool {
 
 // poke marks shard i's inputs as changed and wakes it if parked. Always
 // called after the publication it reports, so a peer that re-derives its
-// horizon on this wake observes the new bound.
+// horizon on this wake observes the new bound. from is the poking
+// shard's index (for the timeline trace).
 //
 // hard marks a publication that can make one of the peer's processes
 // runnable (delivered data, credits against a full window). A soft poke —
@@ -98,7 +100,14 @@ func (sc *sched) readyLocked() bool {
 // no pending event: no bound can conjure an event, its next exchange
 // re-reads every published value anyway, and the rendezvous recomputes
 // all frontiers with full knowledge should everyone end up parked.
-func (c *Coordinator) poke(sc *sched, i int, hard bool) {
+func (c *Coordinator) poke(sc *sched, from, i int, hard bool) {
+	if tl := c.tl; tl != nil {
+		k := tlPokeSoft
+		if hard {
+			k = tlPokeHard
+		}
+		tl.mark(from, k, int64(i))
+	}
 	sc.mu.Lock()
 	if !sc.dead[i] {
 		if !sc.parked[i] {
@@ -106,6 +115,13 @@ func (c *Coordinator) poke(sc *sched, i int, hard bool) {
 		} else if hard || sc.capped[i] {
 			sc.poke[i] = true
 			sc.workers[i].Signal()
+			if m := c.m; m != nil {
+				if hard {
+					m.WakesHard.Inc()
+				} else {
+					m.WakesSoft.Inc()
+				}
+			}
 		}
 	}
 	sc.mu.Unlock()
@@ -120,6 +136,21 @@ func (c *Coordinator) poke(sc *sched, i int, hard bool) {
 // sets it under, so a bound published between this shard's horizon
 // derivation and its park is never missed.
 func (c *Coordinator) park(s *shard, sc *sched, capped bool) (grant sim.Time, ok bool) {
+	m, tl := c.m, c.tl
+	var t0 time.Time
+	waited := false
+	if tl != nil {
+		t0 = time.Now()
+		defer func() {
+			if waited {
+				var a int64
+				if capped {
+					a = 1
+				}
+				tl.span(s.idx, tlPark, t0, time.Now(), a)
+			}
+		}()
+	}
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	for {
@@ -135,15 +166,27 @@ func (c *Coordinator) park(s *shard, sc *sched, capped bool) (grant sim.Time, ok
 			sc.poke[s.idx] = false
 			return 0, true
 		}
+		if !waited {
+			waited = true
+			if m != nil {
+				m.Parks.Inc()
+			}
+		}
 		sc.capped[s.idx] = capped
 		sc.parked[s.idx] = true
 		sc.nParked++
+		if m != nil {
+			m.ParkedWorkers.Set(int64(sc.nParked))
+		}
 		if sc.readyLocked() {
 			sc.rendez.Signal()
 		}
 		sc.workers[s.idx].Wait()
 		sc.parked[s.idx] = false
 		sc.nParked--
+		if m != nil {
+			m.ParkedWorkers.Set(int64(sc.nParked))
+		}
 	}
 }
 
@@ -156,6 +199,15 @@ func (c *Coordinator) asyncStep(s *shard) {
 		c.hooks.BeforeStep(s.idx, s.k, s.advs)
 	}
 	c.ctr.advances.Add(1)
+	if m := c.m; m != nil {
+		m.Advances.Inc()
+	}
+	if tl := c.tl; tl != nil {
+		t0 := time.Now()
+		s.k.Step(stepLimit(s.horizon))
+		tl.span(s.idx, tlStep, t0, time.Now(), int64(s.advs))
+		return
+	}
 	s.k.Step(stepLimit(s.horizon))
 }
 
@@ -179,6 +231,7 @@ func (c *Coordinator) asyncWorker(s *shard, sc *sched, limit sim.Time, wg *sync.
 			sc.mu.Unlock()
 		}
 	}()
+	m, tl := c.m, c.tl
 	for {
 		if c.intr.Load() {
 			// Interrupted: park. In-flight peers return at their own
@@ -195,12 +248,16 @@ func (c *Coordinator) asyncWorker(s *shard, sc *sched, limit sim.Time, wg *sync.
 		// for bare bound raises — see poke), and derive the horizon:
 		// the inbound effective frontiers taken STRICTLY, the outbound
 		// write frontiers inclusively (see selectByFrontiers for why).
+		var tx time.Time
+		if m != nil || tl != nil {
+			tx = time.Now()
+		}
 		h := sim.TimeMax
 		for i, ab := range s.aIn {
 			f, credit, bound := ab.FlushReaderSide()
 			if credit || bound {
 				c.ctr.flushes.Add(1)
-				c.poke(sc, s.inPeer[i], credit)
+				c.poke(sc, s.idx, s.inPeer[i], credit)
 			}
 			if f < h {
 				h = f
@@ -216,7 +273,7 @@ func (c *Coordinator) asyncWorker(s *shard, sc *sched, limit sim.Time, wg *sync.
 			wf, data, bound := ab.FlushWriterSide(deferData)
 			if data || bound {
 				c.ctr.flushes.Add(1)
-				c.poke(sc, s.outPeer[i], data)
+				c.poke(sc, s.idx, s.outPeer[i], data)
 			}
 			if wf != sim.TimeMax && wf+1 < h {
 				h = wf + 1
@@ -226,6 +283,12 @@ func (c *Coordinator) asyncWorker(s *shard, sc *sched, limit sim.Time, wg *sync.
 			h = limit + 1
 		}
 		s.horizon = h
+		if m != nil {
+			m.obsExchange(tx)
+		}
+		if tl != nil {
+			tl.span(s.idx, tlExchange, tx, time.Now(), int64(h))
+		}
 		hasEvent := false
 		if at, ok := s.k.NextEventAt(); ok {
 			if at < h {
@@ -287,6 +350,7 @@ func (c *Coordinator) runAsync(limit sim.Time) {
 		wg.Wait()
 	}()
 
+	m, tl := c.m, c.tl
 	for {
 		sc.mu.Lock()
 		for !sc.readyLocked() {
@@ -295,6 +359,13 @@ func (c *Coordinator) runAsync(limit sim.Time) {
 		panics := sc.panics
 		sc.panics = nil
 		sc.mu.Unlock()
+		var tr time.Time
+		if tl != nil {
+			tr = time.Now()
+		}
+		if m != nil {
+			m.Rendezvous.Inc()
+		}
 		if len(panics) > 0 {
 			if len(panics) == 1 {
 				panic(panics[0])
@@ -316,15 +387,26 @@ func (c *Coordinator) runAsync(limit sim.Time) {
 				return // globally quiescent within the limit
 			}
 			c.ctr.fallbacks.Add(1)
+			if m != nil {
+				m.Fallbacks.Inc()
+			}
+			if tl != nil {
+				tl.mark(tl.coordRow(), tlFallback, 0)
+			}
 		}
 		c.ctr.rounds.Add(1)
+		granted := 0
 		sc.mu.Lock()
 		for _, s := range c.shards {
 			if s.run && !sc.dead[s.idx] {
 				sc.grant[s.idx] = s.horizon
 				sc.workers[s.idx].Signal()
+				granted++
 			}
 		}
 		sc.mu.Unlock()
+		if tl != nil {
+			tl.span(tl.coordRow(), tlRendezvous, tr, time.Now(), int64(granted))
+		}
 	}
 }

@@ -98,10 +98,11 @@ type BridgeDiag struct {
 	WriteFrontier sim.Time `json:"write_frontier"`
 }
 
-// fmtTime renders a date, folding the unbounded sentinel.
+// fmtTime renders a date, naming the unbounded sentinel explicitly —
+// "TimeMax", never a fold that could read as a real (huge) date.
 func fmtTime(t sim.Time) string {
 	if t == sim.TimeMax {
-		return "max"
+		return "TimeMax"
 	}
 	return fmt.Sprintf("%d", int64(t))
 }
@@ -123,8 +124,14 @@ func (d StallDiagnostic) String() string {
 		}
 	}
 	for _, br := range d.Bridges {
+		// A terminated writer publishes WriteFrontier = TimeMax; print
+		// it explicitly (with the reason) so a stall dump never leaves
+		// a bridge's write side ambiguous.
 		fmt.Fprintf(&b, "\n  bridge %s (%s->%s): frontier=%s write_frontier=%s",
 			br.Name, br.Writer, br.Reader, fmtTime(br.Frontier), fmtTime(br.WriteFrontier))
+		if br.WriteFrontier == sim.TimeMax {
+			b.WriteString(" (writer terminated)")
+		}
 	}
 	return b.String()
 }

@@ -3,6 +3,7 @@ package par_test
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -102,5 +103,33 @@ func TestGuardHealthyRun(t *testing.T) {
 	}
 	if k.Now() != 50*sim.NS {
 		t.Errorf("now = %v, want 50ns", k.Now())
+	}
+}
+
+// TestStallDiagnosticStringTimeMax: a bridge whose writer has
+// terminated publishes WriteFrontier = TimeMax; the rendered dump must
+// name the sentinel explicitly and mark the terminated writer, so the
+// write side of every bridge is unambiguous.
+func TestStallDiagnosticStringTimeMax(t *testing.T) {
+	d := par.StallDiagnostic{
+		GlobalNow: 100,
+		Shards:    []par.ShardDiag{{Name: "s0", Now: 100, Horizon: sim.TimeMax}},
+		Bridges: []par.BridgeDiag{
+			{Name: "b0", Writer: "s0", Reader: "s1", Frontier: 150, WriteFrontier: sim.TimeMax},
+			{Name: "b1", Writer: "s1", Reader: "s0", Frontier: 150, WriteFrontier: 200},
+		},
+	}
+	out := d.String()
+	if !strings.Contains(out, "write_frontier=TimeMax (writer terminated)") {
+		t.Errorf("terminated-writer bridge not marked explicitly:\n%s", out)
+	}
+	if !strings.Contains(out, "write_frontier=200") || strings.Contains(out, "200 (writer terminated)") {
+		t.Errorf("live-writer bridge misrendered:\n%s", out)
+	}
+	if !strings.Contains(out, "horizon=TimeMax") {
+		t.Errorf("unbounded horizon should render as TimeMax:\n%s", out)
+	}
+	if strings.Contains(out, "=max") {
+		t.Errorf("ambiguous 'max' fold still present:\n%s", out)
 	}
 }

@@ -1,0 +1,75 @@
+package par
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Scheduler instrumentation. The async frontier-driven scheduler made
+// coordination behaviour — parks, graded pokes, rendezvous fallbacks,
+// exchange latency — the dominant performance variable; these metrics
+// expose it live. Counters are bumped at the scheduling edges (park,
+// wake, rendezvous), never inside Kernel.Step, and the exchange-loop
+// histogram samples time.Now only when a sink is attached, so an
+// uninstrumented coordinator pays a nil check per loop and nothing
+// else.
+
+// SchedMetrics is the shared sink for coordinator scheduling activity.
+// All fields may be nil (updates no-op).
+type SchedMetrics struct {
+	// Parks counts worker park entries (a worker out of safe work);
+	// ParkedWorkers is the live frontier-stall gauge: how many workers
+	// are parked right now, waiting for a peer's frontier to move.
+	Parks         *metrics.Counter
+	ParkedWorkers *metrics.Gauge
+	// WakesHard counts pokes delivered to a parked worker for a
+	// publication that can make a process runnable (data, credits);
+	// WakesSoft counts bound-only pokes delivered to a horizon-capped
+	// parked worker.
+	WakesHard *metrics.Counter
+	WakesSoft *metrics.Counter
+	// Rendezvous counts all-parked global safe points; Fallbacks the
+	// subset resolved by the global-minimum rule; Advances the kernel
+	// Step dispatches (Stats.Advances, live).
+	Rendezvous *metrics.Counter
+	Fallbacks  *metrics.Counter
+	Advances   *metrics.Counter
+	// ExchangeSeconds is the latency distribution of one worker
+	// exchange+horizon pass over its adjacent bridges.
+	ExchangeSeconds *metrics.Histogram
+}
+
+// defaultSchedMetrics is captured by NewCoordinator; atomic so enabling
+// can race coordinator construction in tests.
+var defaultSchedMetrics atomic.Pointer[SchedMetrics]
+
+// EnableMetrics registers the scheduler metric family on r and makes
+// every subsequently created Coordinator publish into it. A nil
+// registry disables publication for new coordinators.
+func EnableMetrics(r *metrics.Registry) {
+	if r == nil {
+		defaultSchedMetrics.Store(nil)
+		return
+	}
+	defaultSchedMetrics.Store(&SchedMetrics{
+		Parks:         r.Counter("par_parks_total", "Shard-worker park entries (worker out of safe work)."),
+		ParkedWorkers: r.Gauge("par_parked_workers", "Workers currently parked on a frontier stall."),
+		WakesHard:     r.Counter("par_wakes_total", "Pokes delivered to parked workers, by publication grade.", metrics.Label{Name: "grade", Value: "hard"}),
+		WakesSoft:     r.Counter("par_wakes_total", "Pokes delivered to parked workers, by publication grade.", metrics.Label{Name: "grade", Value: "soft"}),
+		Rendezvous:    r.Counter("par_rendezvous_total", "All-parked rendezvous (global safe points) entered."),
+		Fallbacks:     r.Counter("par_fallbacks_total", "Rendezvous resolved by the global-minimum rule."),
+		Advances:      r.Counter("par_advances_total", "Kernel Step dispatches that found work, across coordinators."),
+		ExchangeSeconds: r.Histogram("par_exchange_seconds", "Latency of one worker exchange+horizon pass over its bridges.",
+			[]float64{1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1e-2}),
+	})
+}
+
+// obsExchange folds one exchange+horizon pass into the sink; t0 is
+// non-zero only when the caller decided instrumentation is on.
+func (m *SchedMetrics) obsExchange(t0 time.Time) {
+	if m != nil {
+		m.ExchangeSeconds.Observe(time.Since(t0).Seconds())
+	}
+}

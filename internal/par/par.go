@@ -58,6 +58,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -175,6 +176,14 @@ type Coordinator struct {
 	// exchange instead).
 	hooks    *Hooks
 	deferred map[Bridge]bool
+
+	// m is the optional shared metrics sink, captured at construction
+	// (metrics.go); tl is the scheduler timeline recording the next Run
+	// (timeline.go) — attached explicitly (SetTimeline, tlOwned) or
+	// auto-created per Run while SetTraceCapture is armed.
+	m       *SchedMetrics
+	tl      *Timeline
+	tlOwned bool
 }
 
 // Hooks is the coordinator's fault-injection surface, used by the chaos
@@ -275,7 +284,11 @@ func (p PanicSet) Error() string {
 
 // NewCoordinator returns an empty coordinator.
 func NewCoordinator() *Coordinator {
-	return &Coordinator{byKernel: make(map[*sim.Kernel]*shard), asyncOK: true}
+	return &Coordinator{
+		byKernel: make(map[*sim.Kernel]*shard),
+		asyncOK:  true,
+		m:        defaultSchedMetrics.Load(),
+	}
 }
 
 // SetBarrier forces (or, with false, releases) the legacy all-shard
@@ -387,6 +400,25 @@ func (c *Coordinator) Run(limit sim.Time) {
 	}
 	c.running = true
 	defer func() { c.running = false }()
+	// Arm the scheduler timeline: an explicitly attached one keeps
+	// accumulating; otherwise a fresh per-Run capture while
+	// SetTraceCapture is on. Either way the finished trace is published
+	// through LastTrace when the run returns.
+	if !c.tlOwned && len(c.shards) > 1 {
+		if n := traceCapacity.Load(); n > 0 {
+			c.tl = c.newTimeline(int(n))
+		} else {
+			c.tl = nil
+		}
+	}
+	if c.tl != nil {
+		defer func() {
+			lastTrace.Store(c.tl)
+			if !c.tlOwned {
+				c.tl = nil
+			}
+		}()
+	}
 	if len(c.shards) > 1 && c.asyncOK && !c.barrierOnly {
 		c.runAsync(limit)
 		return
@@ -425,9 +457,25 @@ func (c *Coordinator) Run(limit sim.Time) {
 				return
 			}
 			c.ctr.fallbacks.Add(1)
+			if c.m != nil {
+				c.m.Fallbacks.Inc()
+			}
+			if c.tl != nil {
+				c.tl.mark(c.tl.coordRow(), tlFallback, 0)
+			}
 		}
 		c.ctr.rounds.Add(1)
 		c.ctr.advances.Add(uint64(work))
+		if c.m != nil {
+			c.m.Rendezvous.Inc()
+			c.m.Advances.Add(uint64(work))
+		}
+		if tl := c.tl; tl != nil {
+			t0 := time.Now()
+			c.runRound()
+			tl.span(tl.coordRow(), tlRound, t0, time.Now(), int64(work))
+			continue
+		}
 		c.runRound()
 	}
 }
@@ -574,6 +622,12 @@ func (c *Coordinator) stepShard(s *shard, h sim.Time) {
 	}()
 	if c.hooks != nil && c.hooks.BeforeStep != nil {
 		c.hooks.BeforeStep(s.idx, s.k, c.ctr.rounds.Load())
+	}
+	if tl := c.tl; tl != nil {
+		t0 := time.Now()
+		s.k.Step(stepLimit(h))
+		tl.span(s.idx, tlStep, t0, time.Now(), int64(c.ctr.rounds.Load()))
+		return
 	}
 	s.k.Step(stepLimit(h))
 }

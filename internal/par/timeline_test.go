@@ -1,0 +1,135 @@
+package par_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/leakcheck"
+	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// chromeTrace mirrors the trace_event JSON object form for decoding.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestTimelineChromeTrace: an explicitly attached timeline records the
+// async run and encodes as valid Chrome trace_event JSON — one
+// thread_name row per shard plus the coordinator, and at least
+// exchange/step spans with sane timestamps.
+func TestTimelineChromeTrace(t *testing.T) {
+	defer leakcheck.Check(t)()
+	c, _ := buildChain(500)
+	defer c.Shutdown()
+	tl := c.NewTimeline(1024)
+	c.SetTimeline(tl)
+	c.Run(sim.RunForever)
+
+	if tl.Events() == 0 {
+		t.Fatal("attached timeline recorded no events")
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	threads := map[int]string{}
+	kinds := map[string]int{}
+	for _, e := range ct.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				threads[e.Tid] = e.Args["name"].(string)
+			}
+		case "X":
+			if e.Dur < 0 || e.Ts < 0 {
+				t.Fatalf("negative ts/dur in %+v", e)
+			}
+			kinds[e.Name]++
+		case "i":
+			kinds[e.Name]++
+		default:
+			t.Fatalf("unexpected phase %q in %+v", e.Ph, e)
+		}
+	}
+	// 3 shards + the coordinator row, each named.
+	if len(threads) != 4 {
+		t.Fatalf("thread_name rows = %v, want 4", threads)
+	}
+	if threads[3] != "coordinator" {
+		t.Errorf("last row named %q, want coordinator", threads[3])
+	}
+	for _, want := range []string{"exchange", "step"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q events in trace; kinds=%v", want, kinds)
+		}
+	}
+}
+
+// TestTraceCaptureAuto: arming SetTraceCapture makes a multi-shard Run
+// publish a timeline through LastTrace without any explicit attachment
+// (the -simtrace / simd /debug/trace path).
+func TestTraceCaptureAuto(t *testing.T) {
+	defer leakcheck.Check(t)()
+	par.SetTraceCapture(256)
+	defer par.SetTraceCapture(0)
+	c, _ := buildChain(200)
+	defer c.Shutdown()
+	c.Run(sim.RunForever)
+	tl := par.LastTrace()
+	if tl == nil {
+		t.Fatal("SetTraceCapture armed but LastTrace is nil after a multi-shard run")
+	}
+	if tl.Events() == 0 {
+		t.Fatal("auto-captured timeline is empty")
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("auto-captured trace is not valid JSON")
+	}
+}
+
+// TestSchedMetricsCount: with the scheduler sink enabled, an async run
+// moves the advance/rendezvous counters and the exchange histogram.
+func TestSchedMetricsCount(t *testing.T) {
+	defer leakcheck.Check(t)()
+	reg := metrics.NewRegistry()
+	par.EnableMetrics(reg)
+	defer par.EnableMetrics(nil)
+	c, _ := buildChain(500)
+	defer c.Shutdown()
+	c.Run(sim.RunForever)
+
+	vals := map[string]float64{}
+	counts := map[string]uint64{}
+	for _, f := range reg.Snapshot() {
+		for _, s := range f.Series {
+			vals[f.Name] += s.Value
+			counts[f.Name] += s.Count
+		}
+	}
+	if vals["par_advances_total"] == 0 {
+		t.Error("par_advances_total stayed 0 across an async run")
+	}
+	if counts["par_exchange_seconds"] == 0 {
+		t.Error("par_exchange_seconds histogram observed nothing")
+	}
+}

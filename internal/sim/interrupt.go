@@ -95,6 +95,9 @@ func (k *Kernel) SetInterruptHook(fn func() bool) {
 func (k *Kernel) poll() bool {
 	k.is.beat.Add(1)
 	k.is.now.Store(int64(k.now))
+	if k.msink != nil {
+		k.publishMetrics()
+	}
 	if k.is.hook != nil && k.is.hook() {
 		k.is.intr.Store(true)
 	}

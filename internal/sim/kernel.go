@@ -78,11 +78,17 @@ type Kernel struct {
 	is interruptState
 
 	stats Stats
+
+	// msink, when non-nil, receives deltas of stats at poll safe points
+	// (metrics.go); mpub is the last published snapshot. Captured at
+	// construction, so EnableMetrics never races a running kernel.
+	msink *MetricSink
+	mpub  Stats
 }
 
 // NewKernel returns an empty kernel.
 func NewKernel(name string) *Kernel {
-	return &Kernel{name: name}
+	return &Kernel{name: name, msink: defaultSink.Load()}
 }
 
 // Name returns the kernel's name.
@@ -235,7 +241,14 @@ func (k *Kernel) Step(limit Time) bool {
 		panic("sim: kernel already running (re-entrant Run or Step)")
 	}
 	k.running = true
-	defer func() { k.running = false }()
+	defer func() {
+		k.running = false
+		// Flush the counter deltas accumulated since the last poll, so
+		// a returned Step leaves the shared metrics exact.
+		if k.msink != nil {
+			k.publishMetrics()
+		}
+	}()
 	did := false
 	for {
 		if k.poll() {

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Kernel instrumentation. The kernel already maintains its activity
+// counters (Stats) as plain single-threaded fields; publishing them as
+// shared metrics per dispatch would put an atomic RMW on the hottest
+// path in the repository. Instead the kernel publishes DELTAS of its
+// own Stats into the shared counters at the same spaced safe points
+// that already pay for two atomic stores (the interrupt poll,
+// interrupt.go) — so a fleet of campaign workers feeds one registry
+// with bounded lag and the dispatch loop stays allocation- and
+// contention-free. Everything no-ops when EnableMetrics was never
+// called: a kernel built under a nil sink carries nil metric pointers
+// and the poll-point hook is a single nil check.
+
+// MetricSink is the set of kernel-level metrics a kernel publishes
+// into. All fields may be nil (updates no-op).
+type MetricSink struct {
+	// Dispatches counts process dispatches (thread context switches
+	// plus method activations) — the paper's simulation-cost unit.
+	Dispatches *metrics.Counter
+	// DeltaCycles counts evaluate phases; TimedSteps counts simulated
+	// time advances; Notifications counts event notifications.
+	DeltaCycles   *metrics.Counter
+	TimedSteps    *metrics.Counter
+	Notifications *metrics.Counter
+	// BeaconNS tracks the last published simulated date (ns) across
+	// the kernels feeding this sink — last writer wins, so with many
+	// concurrent kernels it is a liveness beacon, not a global clock.
+	BeaconNS *metrics.Gauge
+}
+
+// defaultSink is the process-wide sink captured by NewKernel. Atomic so
+// EnableMetrics can race with kernel construction in tests.
+var defaultSink atomic.Pointer[MetricSink]
+
+// EnableMetrics registers the kernel metric family on r and makes every
+// subsequently created kernel publish into it. A nil registry disables
+// publication for new kernels. Existing kernels are unaffected.
+func EnableMetrics(r *metrics.Registry) {
+	if r == nil {
+		defaultSink.Store(nil)
+		return
+	}
+	defaultSink.Store(&MetricSink{
+		Dispatches:    r.Counter("sim_dispatches_total", "Process dispatches (thread context switches + method activations) across all kernels."),
+		DeltaCycles:   r.Counter("sim_delta_cycles_total", "Evaluate phases across all kernels."),
+		TimedSteps:    r.Counter("sim_timed_steps_total", "Simulated-time advances across all kernels."),
+		Notifications: r.Counter("sim_notifications_total", "Event notifications fired across all kernels."),
+		BeaconNS:      r.Gauge("sim_beacon_ns", "Simulated date (ns) last published by any kernel poll point (liveness beacon, last writer wins)."),
+	})
+}
+
+// publishMetrics folds the growth of k.stats since the last publish
+// into the shared sink. Called at interrupt-poll safe points and at
+// Step exit; k.msink is non-nil.
+func (k *Kernel) publishMetrics() {
+	m := k.msink
+	s, p := &k.stats, &k.mpub
+	if d := (s.ContextSwitches + s.MethodActivations) - (p.ContextSwitches + p.MethodActivations); d > 0 {
+		m.Dispatches.Add(d)
+	}
+	if d := s.DeltaCycles - p.DeltaCycles; d > 0 {
+		m.DeltaCycles.Add(d)
+	}
+	if d := s.TimedSteps - p.TimedSteps; d > 0 {
+		m.TimedSteps.Add(d)
+	}
+	if d := s.Notifications - p.Notifications; d > 0 {
+		m.Notifications.Add(d)
+	}
+	*p = *s
+	m.BeaconNS.Set(int64(k.now))
+}
