@@ -11,7 +11,18 @@
 //
 //	campaign -spec sweep.json [-workers N] [-check-every K] [-format json|csv] [-wall] [-o out]
 //	campaign -spec sweep.json [-timeout D] [-stall D] [-retries N]
+//	campaign -spec sweep.json -store dir    journal the run to a durable WAL
+//	campaign -store dir -resume             finish what a crash interrupted
 //	campaign -models
+//
+// With -store the run is journaled to a crash-safe log (see
+// internal/store): the submission, every completed point outcome and the
+// final completion each become a record, and outcomes already in the log
+// are reused instead of recomputed. -resume replays the log, re-runs
+// every campaign a previous crash or interrupt left unfinished —
+// journaled points come from the rebuilt cache, only the remainder
+// executes — and emits the most recent interrupted campaign's document,
+// byte-identical to what an uninterrupted run would have produced.
 //
 // -timeout bounds each point's wall-clock attempt, -stall arms the
 // no-simulated-time-progress watchdog, and -retries bounds the attempts
@@ -38,6 +49,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 func main() {
@@ -61,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		retries    = fs.Int("retries", 0, "attempts per transiently-failing point before degradation (0 = 1, no retry)")
 		metricsOut = fs.String("metrics", "", "write a final Prometheus exposition of the run's metrics to this file")
 		simtrace   = fs.String("simtrace", "", "write the last sharded point's scheduler timeline as Chrome trace JSON to this file")
+		storeDir   = fs.String("store", "", "durable campaign store directory: journal the run to a crash-safe WAL and reuse outcomes already in the log")
+		resume     = fs.Bool("resume", false, "resume the campaigns a previous crash or interrupt left unfinished in -store and emit the most recent one's document")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,8 +90,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *specPath == "" || fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "usage: campaign -spec <file> [-workers N] [-check-every K] [-format json|csv] [-wall] [-o out]")
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(stderr, "campaign: -resume requires -store")
+		return 2
+	}
+	if (*specPath == "" && !*resume) || fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: campaign -spec <file> [-store dir] [-workers N] [-check-every K] [-format json|csv] [-wall] [-o out]")
+		fmt.Fprintln(stderr, "       campaign -store <dir> -resume")
 		return 2
 	}
 	if *format != "json" && *format != "csv" {
@@ -85,21 +104,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var data []byte
-	var err error
-	if *specPath == "-" {
-		data, err = io.ReadAll(os.Stdin)
-	} else {
-		data, err = os.ReadFile(*specPath)
-	}
-	if err != nil {
-		fmt.Fprintf(stderr, "campaign: %v\n", err)
-		return 2
-	}
-	set, err := scenario.ParseSet(data)
-	if err != nil {
-		fmt.Fprintf(stderr, "campaign: %v\n", err)
-		return 2
+	var set scenario.Set
+	if *specPath != "" {
+		var data []byte
+		var err error
+		if *specPath == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(*specPath)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "campaign: %v\n", err)
+			return 2
+		}
+		set, err = scenario.ParseSet(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "campaign: %v\n", err)
+			return 2
+		}
 	}
 
 	opts := campaign.Options{
@@ -111,17 +133,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxAttempts:   *retries,
 	}
 	var reg *metrics.Registry
+	var storeMetrics *store.Metrics
 	if *metricsOut != "" {
 		reg = metrics.NewRegistry()
 		sim.EnableMetrics(reg)
 		core.EnableBridgeMetrics(reg)
 		par.EnableMetrics(reg)
 		opts.Metrics = campaign.NewMetrics(reg)
+		storeMetrics = store.NewMetrics(reg)
 	}
-	res, err := campaign.Run(context.Background(), set, opts)
-	if err != nil {
-		fmt.Fprintf(stderr, "campaign: %v\n", err)
-		return 2
+
+	var res *campaign.Results
+	if *storeDir != "" {
+		st, rec, err := store.Open(*storeDir, store.Options{Metrics: storeMetrics})
+		if err != nil {
+			fmt.Fprintf(stderr, "campaign: %v\n", err)
+			return 2
+		}
+		defer st.Close()
+		opts.Store = st
+		eng := campaign.NewEngine(opts)
+		defer eng.Close()
+		if *resume {
+			res, err = resumeInterrupted(eng, rec, stderr)
+		} else {
+			// Reuse every outcome already journaled: a re-run of an
+			// overlapping spec serves those points from the log.
+			for hash, out := range rec.Points {
+				eng.Cache().Put(hash, out)
+			}
+			var job *campaign.Job
+			job, err = eng.Submit(set)
+			if err == nil {
+				res, err = job.Wait(context.Background())
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "campaign: %v\n", err)
+			return 2
+		}
+		if res == nil {
+			fmt.Fprintf(stderr, "campaign: no interrupted campaigns in %s\n", *storeDir)
+			return 0
+		}
+	} else {
+		var err error
+		res, err = campaign.Run(context.Background(), set, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "campaign: %v\n", err)
+			return 2
+		}
 	}
 	if reg != nil {
 		if err := writeFile(*metricsOut, reg.WritePrometheus); err != nil {
@@ -151,6 +212,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		out = f
 	}
+	var err error
 	switch *format {
 	case "json":
 		err = res.JSON(out, *wall)
@@ -184,6 +246,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stderr, "campaign: %d points (%d unique, %d checked) across %v\n",
 		res.Aggregate.Points, res.Aggregate.Unique, res.Aggregate.Checked, res.Aggregate.Models)
 	return 0
+}
+
+// resumeInterrupted replays the journal into the engine, waits for every
+// resumed campaign to settle, and returns the document of the most
+// recently submitted campaign the crash had cut short — or nil when the
+// log holds no interrupted work.
+func resumeInterrupted(eng *campaign.Engine, rec *store.Recovered, stderr io.Writer) (*campaign.Results, error) {
+	jobs, err := eng.Recover(rec)
+	if err != nil {
+		return nil, err
+	}
+	interrupted := map[string]bool{}
+	for _, jr := range rec.Jobs {
+		if jr.State == store.JobRunning {
+			interrupted[jr.ID] = true
+		}
+	}
+	var target *campaign.Job
+	for _, j := range jobs {
+		// Settle everything before the store closes, so every resumed
+		// campaign's completion lands in the journal.
+		if _, err := j.Wait(context.Background()); err != nil && interrupted[j.ID()] {
+			return nil, fmt.Errorf("resuming %s: %w", j.ID(), err)
+		}
+		if interrupted[j.ID()] {
+			target = j
+		}
+	}
+	if target == nil {
+		return nil, nil
+	}
+	fmt.Fprintf(stderr, "campaign: resumed %s (%d journaled points reused)\n", target.ID(), len(rec.Points))
+	res, err := target.Wait(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // writeFile creates path and streams write into it.

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestStoreFlagJournalsRun: -store journals the batch run and a second
+// invocation against the same directory reuses every outcome from the
+// log while reproducing the golden bytes.
+func TestStoreFlagJournalsRun(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-spec", "testdata/smoke.json", "-check-every", "5", "-store", dir}
+
+	var out1, err1 bytes.Buffer
+	if code := run(args, &out1, &err1); code != 0 {
+		t.Fatalf("first run: exit %d, stderr: %s", code, err1.String())
+	}
+	_, rec, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Jobs) != 1 || rec.Jobs[0].State != store.JobFinished {
+		t.Fatalf("journal after run: %+v", rec.Jobs)
+	}
+	if len(rec.Points) == 0 {
+		t.Fatal("no point outcomes journaled")
+	}
+
+	var out2, err2 bytes.Buffer
+	if code := run(args, &out2, &err2); code != 0 {
+		t.Fatalf("second run: exit %d, stderr: %s", code, err2.String())
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Error("journal-warmed rerun produced different bytes")
+	}
+}
+
+// TestResumeFlag finishes an interrupted journal: a hand-written log
+// holding a submission without a terminal record resumes, completes and
+// emits the same document a clean run produces.
+func TestResumeFlag(t *testing.T) {
+	// The clean document, produced without any store.
+	var clean, cleanErr bytes.Buffer
+	if code := run([]string{"-spec", "testdata/smoke.json", "-check-every", "5"}, &clean, &cleanErr); code != 0 {
+		t.Fatalf("clean run: exit %d, stderr: %s", code, cleanErr.String())
+	}
+
+	// An interrupted journal: submission only, as if the process died
+	// before any completion landed.
+	dir := t.TempDir()
+	st, _, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specDoc, err := os.ReadFile("testdata/smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.JobSubmitted("c1", "ci-smoke", 20, 20, specDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-store", dir, "-resume", "-check-every", "5"}, &out, &errBuf); code != 0 {
+		t.Fatalf("resume: exit %d, stderr: %s", code, errBuf.String())
+	}
+	if !bytes.Equal(out.Bytes(), clean.Bytes()) {
+		t.Errorf("resumed document differs from clean run\nstderr: %s", errBuf.String())
+	}
+
+	// The journal now records the completion; a second -resume finds
+	// nothing interrupted.
+	var out2, err2 bytes.Buffer
+	if code := run([]string{"-store", dir, "-resume"}, &out2, &err2); code != 0 {
+		t.Fatalf("second resume: exit %d, stderr: %s", code, err2.String())
+	}
+	if out2.Len() != 0 || !bytes.Contains(err2.Bytes(), []byte("no interrupted campaigns")) {
+		t.Errorf("second resume: stdout %q, stderr %q", out2.String(), err2.String())
+	}
+}
+
+// TestResumeRequiresStore pins the flag validation.
+func TestResumeRequiresStore(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-resume"}, &out, &errBuf); code != 2 {
+		t.Errorf("-resume without -store: exit %d, want 2", code)
+	}
+}

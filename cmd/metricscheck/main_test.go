@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // TestCatalogMatchesCode registers every subsystem on a fresh registry
@@ -22,6 +23,7 @@ func TestCatalogMatchesCode(t *testing.T) {
 	core.EnableBridgeMetrics(reg)
 	par.EnableMetrics(reg)
 	campaign.NewMetrics(reg)
+	store.NewMetrics(reg)
 	defer sim.EnableMetrics(nil)
 	defer core.EnableBridgeMetrics(nil)
 	defer par.EnableMetrics(nil)

@@ -4,10 +4,11 @@
 // sim.Kernel instances per point), and serves progress and results:
 //
 //	POST   /campaigns          submit a Spec or Set JSON document
-//	GET    /campaigns          list campaigns
+//	GET    /campaigns          list campaigns (resumed ones are marked)
 //	GET    /campaigns/{id}     status and progress
-//	DELETE /campaigns/{id}     cancel (partial results are kept)
-//	GET  /campaigns/{id}/results[?format=csv][&wall=1]
+//	DELETE /campaigns/{id}     cancel (partial results are kept; 409 if
+//	                           the campaign already settled)
+//	GET  /campaigns/{id}/results[?format=csv][&wall=1][&stream=1]
 //	GET  /campaigns/{id}/stats  live counters while a campaign runs
 //	GET  /models             registered workload models and their keys
 //	GET  /healthz            liveness, uptime, build info
@@ -25,6 +26,16 @@
 // cancels one campaign the same way. Results stay deterministic: the
 // default document carries no wall-clock fields, so identical specs
 // return identical bytes.
+//
+// With -store DIR every campaign is journaled to the crash-safe log in
+// internal/store, and a restart resumes whatever a crash cut short:
+// journaled point outcomes feed the cross-restart cache (so nothing is
+// recomputed) and the finished document is byte-identical to an
+// uninterrupted run's. Explicitly-cancelled campaigns are not resumed —
+// they reappear as settled tombstones whose results answer 410. While a
+// campaign runs, ?stream=1 on the results endpoint serves completed
+// points incrementally (chunked CSV, or NDJSON closing with the
+// aggregate) instead of the buffered endpoint's 409.
 //
 // Example:
 //
@@ -52,23 +63,30 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:])) }
+
+// run is main minus the process exit, so the crash-recovery harness can
+// re-exec the service from the test binary.
+func run(args []string) int {
+	fs := flag.NewFlagSet("simd", flag.ExitOnError)
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS)")
-		checkEvery = flag.Int("check-every", 16, "trace-equivalence spot check every k-th point (0 = off)")
-		maxPoints  = flag.Int("max-points", 10000, "largest accepted expansion")
-		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
-		deadline   = flag.Duration("deadline", 2*time.Minute, "per-point wall-clock deadline (0 = none)")
-		stall      = flag.Duration("stall", 10*time.Second, "per-point no-progress stall window (0 = off)")
-		retries    = flag.Int("retries", 2, "attempts per transiently-failing point before degradation")
-		maxActive  = flag.Int("max-active", 4, "concurrently running campaigns before 429 (0 = unbounded)")
-		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling the live service)")
-		simtrace   = flag.Int("simtrace", 0, "retain N scheduler timeline events per shard worker, served at /debug/trace (0 = off)")
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS)")
+		checkEvery = fs.Int("check-every", 16, "trace-equivalence spot check every k-th point (0 = off)")
+		maxPoints  = fs.Int("max-points", 10000, "largest accepted expansion")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		deadline   = fs.Duration("deadline", 2*time.Minute, "per-point wall-clock deadline (0 = none)")
+		stall      = fs.Duration("stall", 10*time.Second, "per-point no-progress stall window (0 = off)")
+		retries    = fs.Int("retries", 2, "attempts per transiently-failing point before degradation")
+		maxActive  = fs.Int("max-active", 4, "concurrently running campaigns before 429 (0 = unbounded)")
+		pprofOn    = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling the live service)")
+		simtrace   = fs.Int("simtrace", 0, "retain N scheduler timeline events per shard worker, served at /debug/trace (0 = off)")
+		storeDir   = fs.String("store", "", "durable campaign store directory: journal every campaign to a crash-safe WAL and resume interrupted ones on boot (empty = in-memory only)")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	// One registry backs GET /metrics; every subsystem publishes into it.
 	reg := metrics.NewRegistry()
@@ -77,6 +95,21 @@ func main() {
 	par.EnableMetrics(reg)
 	if *simtrace > 0 {
 		par.SetTraceCapture(*simtrace)
+	}
+
+	// The store metric family registers unconditionally (the catalog gate
+	// diffs the full family set); without -store the counters just stay 0.
+	storeMetrics := store.NewMetrics(reg)
+	var st *store.Store
+	var recovered *store.Recovered
+	if *storeDir != "" {
+		var err error
+		st, recovered, err = store.Open(*storeDir, store.Options{Metrics: storeMetrics})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+			return 1
+		}
+		defer st.Close()
 	}
 
 	eng := campaign.NewEngine(campaign.Options{
@@ -88,7 +121,20 @@ func main() {
 		MaxAttempts:   *retries,
 		MaxActive:     *maxActive,
 		Metrics:       campaign.NewMetrics(reg),
+		Store:         st,
 	})
+	if recovered != nil {
+		resumed, err := eng.Recover(recovered)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+			eng.Close()
+			return 1
+		}
+		if len(resumed) > 0 || recovered.TornTails > 0 {
+			fmt.Fprintf(os.Stderr, "simd: store %s: recovered %d cached points, resumed %d campaigns (%d torn tail records truncated)\n",
+				*storeDir, len(recovered.Points), len(resumed), recovered.TornTails)
+		}
+	}
 	var handler http.Handler = newServer(eng, reg)
 	if *pprofOn {
 		app := handler
@@ -121,7 +167,7 @@ func main() {
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 		eng.Close()
-		os.Exit(1)
+		return 1
 	case <-ctx.Done():
 	}
 
@@ -131,5 +177,10 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "simd: shutdown: %v\n", err)
 	}
+	// Engine first (jobs settle and stop journaling), then the deferred
+	// store Close commits the tail. Shutdown does NOT journal
+	// cancellations: interrupted jobs stay "running" in the log and
+	// resume on the next boot.
 	eng.Close()
+	return 0
 }

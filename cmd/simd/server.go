@@ -184,15 +184,26 @@ func (s *server) list(w http.ResponseWriter, r *http.Request) {
 }
 
 // cancel interrupts a running campaign cooperatively; the partial
-// results stay available. Cancelling a settled campaign is a no-op.
+// results stay available. A campaign that already settled answers 409
+// with its (unchanged) status — distinct from the 202 a live
+// cancellation gets — and no cancellation is journaled, so a finished
+// job keeps its real terminal state across restarts.
 func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.eng.Cancel(id) {
+	switch s.eng.Cancel(id) {
+	case campaign.CancelUnknown:
 		writeError(w, http.StatusNotFound, "no campaign %q", id)
-		return
+	case campaign.CancelAlreadySettled:
+		job, _ := s.eng.Job(id)
+		st := job.Status()
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":  fmt.Sprintf("campaign %q already complete (state %s): nothing to cancel", id, st.State),
+			"status": st,
+		})
+	default: // CancelRequested
+		job, _ := s.eng.Job(id)
+		writeJSON(w, http.StatusAccepted, job.Status())
 	}
-	job, _ := s.eng.Job(id)
-	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
 func (s *server) status(w http.ResponseWriter, r *http.Request) {
@@ -207,11 +218,22 @@ func (s *server) status(w http.ResponseWriter, r *http.Request) {
 // results serves the finished document as JSON (default) or CSV
 // (?format=csv). Wall-clock timing is included only with ?wall=1, keeping
 // the default document deterministic. A still-running campaign answers
-// 409 with the progress snapshot.
+// 409 with the progress snapshot — unless ?stream=1 is set, which serves
+// completed points incrementally instead of waiting (see stream).
 func (s *server) results(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.eng.Job(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "json" && format != "csv" {
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json or csv)", format)
+		return
+	}
+	includeWall := r.URL.Query().Get("wall") == "1"
+	if r.URL.Query().Get("stream") == "1" {
+		s.stream200(w, r, job, format, includeWall)
 		return
 	}
 	res, jobErr, done := job.Results()
@@ -220,18 +242,79 @@ func (s *server) results(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if jobErr != nil && res == nil {
+		if job.Status().State == campaign.JobCancelled {
+			writeError(w, http.StatusGone, "campaign %q was cancelled before a restart; its partial results were not retained", job.ID())
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "campaign failed: %v", jobErr)
 		return
 	}
-	includeWall := r.URL.Query().Get("wall") == "1"
-	switch format := r.URL.Query().Get("format"); format {
+	switch format {
 	case "", "json":
 		w.Header().Set("Content-Type", "application/json")
 		res.JSON(w, includeWall)
 	case "csv":
 		w.Header().Set("Content-Type", "text/csv")
 		res.WriteCSV(w, includeWall)
-	default:
-		writeError(w, http.StatusBadRequest, "unknown format %q (want json or csv)", format)
 	}
+}
+
+// stream200 serves the results incrementally: rows are written (and
+// flushed) as points complete, in expansion order, instead of answering
+// 409 until the campaign settles. CSV output is the exact buffered
+// document — same header, same column order, same bytes once complete.
+// JSON output is newline-delimited: one compact PointResult object per
+// line in the buffered document's field order, then one final line
+// carrying the aggregate (or the job status, if the campaign was cut
+// short). A client disconnect just abandons the walk; the campaign is
+// unaffected.
+func (s *server) stream200(w http.ResponseWriter, r *http.Request, job *campaign.Job, format string, includeWall bool) {
+	n := job.NumPoints()
+	if n == 0 {
+		writeError(w, http.StatusGone, "campaign %q retained no streamable points", job.ID())
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emitJSON := format == "" || format == "json"
+	var csvw *campaign.CSV
+	if emitJSON {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/csv")
+		csvw = campaign.NewCSV(w, campaign.CSVColumns...)
+	}
+	w.WriteHeader(http.StatusOK)
+	flush()
+	for i := 0; i < n; i++ {
+		pr, err := job.StreamPoint(r.Context(), i)
+		if err != nil {
+			return // client went away (or the job retained nothing)
+		}
+		if emitJSON {
+			if err := campaign.StreamPointJSON(w, &pr, includeWall); err != nil {
+				return
+			}
+		} else {
+			if err := campaign.StreamPointCSV(csvw, &pr, includeWall); err != nil {
+				return
+			}
+		}
+		flush()
+	}
+	if emitJSON {
+		// All points settled, so Results is immediate now.
+		if res, _, done := job.Results(); done && res != nil {
+			campaign.StreamAggregateJSON(w, res)
+		} else {
+			campaign.WriteJSON(w, map[string]any{"status": job.Status()})
+		}
+	} else if csvw != nil {
+		csvw.Flush()
+	}
+	flush()
 }

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func submitAndWait(t *testing.T, url, spec string) string {
+	t.Helper()
+	code, body := post(t, url+"/campaigns", spec)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body = get(t, url+"/campaigns/"+created.ID)
+		if code != http.StatusOK {
+			t.Fatalf("status: %d %s", code, body)
+		}
+		var st campaign.Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == campaign.JobDone {
+			return created.ID
+		}
+		if st.State != campaign.JobRunning || time.Now().After(deadline) {
+			t.Fatalf("campaign state %s: %s", st.State, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStreamMatchesBuffered pins the streaming satellite's core contract:
+// the streamed CSV is byte-identical to the buffered document, and the
+// NDJSON rows carry the same objects in the same order.
+func TestStreamMatchesBuffered(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := submitAndWait(t, ts.URL, `{
+		"name": "st",
+		"model": "kpn",
+		"params": {"tokens": 6},
+		"matrix": {"depth": [1, 2], "stages": [2, 3]}
+	}`)
+	base := ts.URL + "/campaigns/" + id + "/results"
+
+	_, bufCSV := get(t, base+"?format=csv")
+	code, streamCSV := get(t, base+"?format=csv&stream=1")
+	if code != http.StatusOK {
+		t.Fatalf("stream csv: %d %s", code, streamCSV)
+	}
+	if !bytes.Equal(bufCSV, streamCSV) {
+		t.Errorf("streamed CSV differs from buffered:\n--- buffered\n%s\n--- streamed\n%s", bufCSV, streamCSV)
+	}
+
+	_, bufJSON := get(t, base)
+	var doc campaign.Results
+	if err := json.Unmarshal(bufJSON, &doc); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(base + "?stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type = %q", ct)
+	}
+	nd, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(nd)), "\n")
+	if len(lines) != len(doc.Points)+1 {
+		t.Fatalf("stream has %d lines, want %d points + aggregate", len(lines), len(doc.Points))
+	}
+	for i, line := range lines[:len(lines)-1] {
+		var pr campaign.PointResult
+		if err := json.Unmarshal([]byte(line), &pr); err != nil {
+			t.Fatalf("line %d: %v (%s)", i, err, line)
+		}
+		a, _ := json.Marshal(pr)
+		b, _ := json.Marshal(doc.Points[i])
+		if !bytes.Equal(a, b) {
+			t.Errorf("stream row %d differs from document:\n%s\n%s", i, a, b)
+		}
+	}
+	var agg struct {
+		Aggregate *campaign.Aggregate `json:"aggregate"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &agg); err != nil || agg.Aggregate == nil {
+		t.Fatalf("trailing line is not the aggregate: %s (%v)", lines[len(lines)-1], err)
+	}
+	if agg.Aggregate.Points != doc.Aggregate.Points {
+		t.Errorf("stream aggregate = %+v, document = %+v", agg.Aggregate, doc.Aggregate)
+	}
+}
+
+// TestStreamWhileRunning: the streaming endpoint answers 200 and holds
+// the connection while the campaign still runs — where the buffered
+// endpoint answers 409 — then completes the exact buffered bytes.
+func TestStreamWhileRunning(t *testing.T) {
+	release := armSlowGate()
+	defer release()
+	ts, _ := newTestServer(t)
+	code, body := post(t, ts.URL+"/campaigns", `{"model": "slow-test", "matrix": {"id": [1, 2]}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	json.Unmarshal(body, &created)
+	base := ts.URL + "/campaigns/" + created.ID + "/results"
+
+	// Buffered: still 409.
+	if code, _ := get(t, base); code != http.StatusConflict {
+		t.Fatalf("buffered results while running: %d, want 409", code)
+	}
+	// Streaming: 200 immediately, body pending.
+	resp, err := http.Get(base + "?stream=1&format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream while running: %d, want 200", resp.StatusCode)
+	}
+	// The campaign really is still running while the stream is open.
+	code, body = get(t, ts.URL+"/campaigns/"+created.ID)
+	var st campaign.Status
+	json.Unmarshal(body, &st)
+	if code != http.StatusOK || st.State != campaign.JobRunning {
+		t.Fatalf("status while stream open: %d %s", code, body)
+	}
+
+	release()
+	streamed, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	// Settle, then compare against the buffered document.
+	deadline := time.Now().Add(30 * time.Second)
+	var buffered []byte
+	for {
+		code, buffered = get(t, base+"?format=csv")
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("results never settled: %d %s", code, buffered)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !bytes.Equal(streamed, buffered) {
+		t.Errorf("mid-run stream differs from buffered document:\n--- streamed\n%s\n--- buffered\n%s", streamed, buffered)
+	}
+}
+
+// TestCancelFinishedCampaign: cancelling a campaign that already
+// completed answers 409 with a distinct "already complete" message and
+// the unchanged status — not the 202 a live cancellation gets, and not
+// a 404.
+func TestCancelFinishedCampaign(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := submitAndWait(t, ts.URL, `{"model": "kpn", "params": {"tokens": 4}}`)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/campaigns/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE finished campaign: %d %s, want 409", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "already complete") {
+		t.Errorf("409 body misses the already-complete message: %s", body)
+	}
+	var doc struct {
+		Status campaign.Status `json:"status"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil || doc.Status.State != campaign.JobDone {
+		t.Errorf("409 body status = %+v (%v), want done", doc.Status, err)
+	}
+}
+
+// TestStreamBadFormat: format validation happens before streaming starts.
+func TestStreamBadFormat(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := submitAndWait(t, ts.URL, `{"model": "kpn", "params": {"tokens": 4}}`)
+	if code, _ := get(t, ts.URL+"/campaigns/"+id+"/results?stream=1&format=yaml"); code != http.StatusBadRequest {
+		t.Errorf("stream with unknown format: %d, want 400", code)
+	}
+}

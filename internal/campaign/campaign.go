@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/par"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // Options tunes one campaign run.
@@ -95,10 +96,21 @@ type Options struct {
 	// Metrics, when non-nil, receives per-point execution counters
 	// (see NewMetrics); a nil sink costs nothing.
 	Metrics *Metrics
+	// Store, when non-nil, is the durable campaign journal: Engine
+	// submissions, deterministic point outcomes and terminal states are
+	// appended to it, and Engine.Recover rebuilds the job table and the
+	// cross-restart cache from it after a crash or restart. Ignored by
+	// the synchronous Run (which has no job identity to journal).
+	Store *store.Store
 
 	// live receives a running job's counters for the stats endpoint;
 	// installed by Engine.Submit, nil for synchronous Run.
 	live *liveStats
+	// onPoint, when non-nil, receives a snapshot of each canonical
+	// point result right after its worker finishes it (calls come from
+	// worker goroutines, one per unique hash, in completion order).
+	// Installed by Engine.Submit for journaling and result streaming.
+	onPoint func(pr PointResult)
 }
 
 func (o *Options) fill() {
@@ -136,6 +148,13 @@ type PointResult struct {
 	// Dedup marks a point whose hash already appeared at a lower index;
 	// its outcome is copied from that canonical point.
 	Dedup bool `json:"dedup,omitempty"`
+	// Cached marks a point whose outcome was served from the shared
+	// cache (in-memory or rebuilt from the durable store) instead of
+	// executing. Like WallMS it depends on what ran before, so it is
+	// zeroed in the canonical results document; the crash-recovery
+	// tests read it (with ?wall=1) to prove resumed points were not
+	// recomputed.
+	Cached bool `json:"cached,omitempty"`
 	// Checked marks a point that ran the trace-equivalence spot check;
 	// CheckDiff holds the first difference ("" = traces identical).
 	Checked   bool   `json:"checked,omitempty"`
@@ -282,6 +301,9 @@ func runPoints(ctx context.Context, name string, points []scenario.Point, opt Op
 				if opt.Metrics != nil {
 					opt.Metrics.ActiveWorkers.Add(-1)
 				}
+				if opt.onPoint != nil {
+					opt.onPoint(res.Points[idx])
+				}
 				n := int(done.Add(1))
 				if opt.OnProgress != nil {
 					opt.OnProgress(n, len(uniques))
@@ -426,11 +448,10 @@ func runOne(ctx context.Context, pr *PointResult, pt scenario.Point, opt Options
 		opt.live.started.Add(1)
 	}
 	start := time.Now()
-	fromCache := false
 	if out, hit := opt.Cache.Get(pt.Hash); hit {
 		pr.Outcome = &out
 		cacheHits.Add(1)
-		fromCache = true
+		pr.Cached = true
 	} else {
 		out, err := runPoint(ctx, model, pt.Params, opt, pr)
 		if err != nil {
@@ -454,7 +475,7 @@ func runOne(ctx context.Context, pr *PointResult, pt scenario.Point, opt Options
 		}
 	}
 	pr.WallMS = float64(time.Since(start).Microseconds()) / 1000
-	observePoint(opt.Metrics, opt.live, pr, fromCache)
+	observePoint(opt.Metrics, opt.live, pr, pr.Cached)
 }
 
 // runPoint drives the attempt loop for one canonical point, recording

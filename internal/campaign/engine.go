@@ -2,11 +2,15 @@ package campaign
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // Engine runs campaigns asynchronously and tracks them by id — the
@@ -61,15 +65,17 @@ const (
 
 // Job is one submitted campaign.
 type Job struct {
-	id     string
-	name   string
-	points int // expanded
-	total  int // unique
+	id      string
+	name    string
+	points  int // expanded
+	total   int // unique
+	resumed bool
 
 	done     chan struct{}
 	cancel   context.CancelFunc
 	progress func() int
 	live     *liveStats
+	stream   *pointStream
 
 	mu      sync.Mutex
 	state   JobState
@@ -92,14 +98,29 @@ type Status struct {
 	Done   int `json:"done"`
 	// Error reports a failed job's cause.
 	Error string `json:"error,omitempty"`
+	// Resumed marks a job recovered from the durable store after a
+	// restart: its journaled points were served from the rebuilt cache
+	// instead of recomputed.
+	Resumed bool `json:"resumed,omitempty"`
 	// Aggregate is present once the job is done.
 	Aggregate *Aggregate `json:"aggregate,omitempty"`
 }
 
 // Submit validates, sizes and expands the set synchronously — malformed
 // or oversize submissions fail here, before an id is allocated — then
-// starts the campaign in the background.
+// starts the campaign in the background. With a store configured the
+// submission is journaled (id, sizes and the full spec document) before
+// the first point runs, so a crash at any later moment leaves a
+// resumable record.
 func (e *Engine) Submit(set scenario.Set) (*Job, error) {
+	return e.submit(set, "", false)
+}
+
+// submit is the Submit core. A non-empty id resumes a recovered job: the
+// id is reused, the MaxActive gate is bypassed (a restart must never
+// refuse its own backlog) and the submission is not re-journaled — the
+// original record is already in the log.
+func (e *Engine) submit(set scenario.Set, id string, resumed bool) (*Job, error) {
 	opts := e.opts
 	opts.fill()
 	points, err := expandChecked(set, opts.MaxPoints)
@@ -121,32 +142,61 @@ func (e *Engine) Submit(set scenario.Set) (*Job, error) {
 		pmu.Unlock()
 	}
 	j := &Job{
-		name:   set.Name,
-		points: len(points),
-		total:  len(unique),
-		state:  JobRunning,
-		done:   make(chan struct{}),
+		name:    set.Name,
+		points:  len(points),
+		total:   len(unique),
+		resumed: resumed,
+		state:   JobRunning,
+		done:    make(chan struct{}),
 		progress: func() int {
 			pmu.Lock()
 			defer pmu.Unlock()
 			return finished
 		},
-		live: &liveStats{startedAt: time.Now()},
+		live:   &liveStats{startedAt: time.Now()},
+		stream: newPointStream(points),
 	}
 	opts.live = j.live
+	st := opts.Store
+	opts.onPoint = func(pr PointResult) {
+		// Journal deterministic outcomes only: errors carry no outcome,
+		// degraded outcomes are not cacheable (the hash names the
+		// sharded point), and cache hits are already in the log.
+		if st != nil && pr.Err == "" && pr.Outcome != nil && !pr.Degraded && !pr.Cached {
+			st.PointCompleted(pr.Hash, pr.Outcome)
+		}
+		j.stream.publish(pr)
+	}
 
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("campaign: engine is shut down")
 	}
-	if opts.MaxActive > 0 && e.active >= opts.MaxActive {
-		e.mu.Unlock()
-		return nil, ErrBusy
+	if id == "" {
+		if opts.MaxActive > 0 && e.active >= opts.MaxActive {
+			e.mu.Unlock()
+			return nil, ErrBusy
+		}
+		e.seq++
+		j.id = fmt.Sprintf("c%d", e.seq)
+		if st != nil {
+			spec, err := json.Marshal(set)
+			if err == nil {
+				err = st.JobSubmitted(j.id, set.Name, len(points), len(unique), spec)
+			}
+			if err != nil {
+				// A journal that cannot record the submission cannot
+				// resume it either: refuse loudly rather than accept
+				// silently-undurable work. (The id gap is harmless.)
+				e.mu.Unlock()
+				return nil, fmt.Errorf("campaign: journaling submission: %w", err)
+			}
+		}
+	} else {
+		j.id = id
 	}
-	e.seq++
 	e.active++
-	j.id = fmt.Sprintf("c%d", e.seq)
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
 	e.wg.Add(1)
@@ -168,32 +218,126 @@ func (e *Engine) Submit(set scenario.Set) (*Job, error) {
 		e.active--
 		e.mu.Unlock()
 		j.mu.Lock()
-		defer j.mu.Unlock()
 		if err := jctx.Err(); err != nil {
 			// Keep the partial document: every point that finished
 			// before the cancellation carries its real outcome.
 			j.state, j.err, j.results = JobCancelled, err, res
 		} else {
 			j.state, j.results = JobDone, res
+			// Journal completion — not cancellation: a job cut short by
+			// engine shutdown stays "running" in the log on purpose, so
+			// the next boot resumes it. Only an explicit Cancel writes
+			// the cancelled record (see Engine.Cancel).
+			st.JobFinished(j.id)
 		}
+		j.mu.Unlock()
+		j.stream.finish()
 		close(j.done)
 	}()
 	return j, nil
 }
 
+// CancelStatus reports what Engine.Cancel found.
+type CancelStatus int
+
+const (
+	// CancelUnknown means no job has the id.
+	CancelUnknown CancelStatus = iota
+	// CancelRequested means the job was running: the cooperative
+	// interrupt was delivered and the cancellation journaled.
+	CancelRequested
+	// CancelAlreadySettled means the job had already finished (done,
+	// cancelled or failed) — there was nothing to cancel, and no
+	// cancellation record is journaled (the job keeps its real
+	// terminal state across restarts).
+	CancelAlreadySettled
+)
+
 // Cancel interrupts a running job cooperatively: in-flight points are
 // aborted through the par guard and the job settles as JobCancelled
-// with its partial results. Cancelling a settled job is a no-op.
-// Returns false if no job has this id.
-func (e *Engine) Cancel(id string) bool {
+// with its partial results. The cancellation is journaled immediately —
+// before the job settles — so a crash right after the request still
+// refuses to resume the job on the next boot. Cancelling an
+// already-settled job reports CancelAlreadySettled, distinct from
+// cancelling a live one.
+func (e *Engine) Cancel(id string) CancelStatus {
 	e.mu.Lock()
 	j, ok := e.jobs[id]
 	e.mu.Unlock()
 	if !ok {
-		return false
+		return CancelUnknown
 	}
+	j.mu.Lock()
+	settled := j.state != JobRunning
+	j.mu.Unlock()
+	if settled {
+		return CancelAlreadySettled
+	}
+	e.opts.Store.JobCancelled(id)
 	j.cancel()
-	return true
+	return CancelRequested
+}
+
+// Recover seeds the engine from a journal scan: every recovered point
+// outcome enters the shared cache (so no journaled point is ever
+// recomputed), the id sequence resumes past the highest journaled id,
+// and every job the crash cut short — or that finished, whose document
+// is rebuilt instantly from cache — is resubmitted under its original
+// id with the resumed flag set. Explicitly-cancelled jobs are NOT
+// resumed; they reappear as settled tombstones. Returns the jobs that
+// were resubmitted.
+func (e *Engine) Recover(rec *store.Recovered) ([]*Job, error) {
+	if rec == nil {
+		return nil, nil
+	}
+	for hash, out := range rec.Points {
+		e.opts.Cache.Put(hash, out)
+	}
+	e.mu.Lock()
+	for _, jr := range rec.Jobs {
+		if n, err := strconv.Atoi(strings.TrimPrefix(jr.ID, "c")); err == nil && n > e.seq {
+			e.seq = n
+		}
+	}
+	e.mu.Unlock()
+
+	var resumed []*Job
+	for _, jr := range rec.Jobs {
+		switch jr.State {
+		case store.JobCancelled:
+			e.addTombstone(jr)
+		default: // running or finished: resubmit; cached points are free
+			set, err := scenario.ParseSet(jr.Spec)
+			if err != nil {
+				return resumed, fmt.Errorf("campaign: recovering job %s: %w", jr.ID, err)
+			}
+			j, err := e.submit(set, jr.ID, true)
+			if err != nil {
+				return resumed, fmt.Errorf("campaign: resuming job %s: %w", jr.ID, err)
+			}
+			resumed = append(resumed, j)
+		}
+	}
+	return resumed, nil
+}
+
+// addTombstone registers a recovered, explicitly-cancelled job as a
+// settled entry: listed with its terminal state, but its partial results
+// document was not retained across the restart.
+func (e *Engine) addTombstone(jr *store.JobRecord) {
+	j := &Job{
+		id: jr.ID, name: jr.Name, points: jr.Points, total: jr.Total,
+		resumed: true,
+		state:   JobCancelled,
+		err:     fmt.Errorf("campaign: cancelled before restart; partial results not retained"),
+		done:    make(chan struct{}),
+		cancel:  func() {},
+	}
+	close(j.done)
+	e.mu.Lock()
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
+	e.mu.Unlock()
 }
 
 // Job returns the job registered under id.
@@ -237,7 +381,7 @@ func (j *Job) ID() string { return j.id }
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	s := Status{ID: j.id, Name: j.name, State: j.state, Points: j.points, Total: j.total}
+	s := Status{ID: j.id, Name: j.name, State: j.state, Points: j.points, Total: j.total, Resumed: j.resumed}
 	switch j.state {
 	case JobDone:
 		s.Done = j.total

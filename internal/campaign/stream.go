@@ -1,0 +1,134 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// pointStream publishes per-point results in expansion order while the
+// campaign still runs — the incremental feed behind the streaming
+// results endpoint. Workers publish canonical completions (via
+// Options.onPoint); the stream fans each one out to every expansion
+// index sharing its hash, mirroring exactly the dedup-copy rule the
+// buffered results document applies at the end, so a streamed row i is
+// byte-identical to row i of the final document.
+type pointStream struct {
+	mu      sync.Mutex
+	pts     []PointResult
+	ready   []bool
+	settled bool
+	changed chan struct{} // closed and replaced on every publish
+
+	byHash map[string][]int
+}
+
+// newPointStream builds the skeleton from the expanded points: identity
+// fields and the dedup flags are known up front, outcomes arrive later.
+func newPointStream(points []scenario.Point) *pointStream {
+	s := &pointStream{
+		pts:     make([]PointResult, len(points)),
+		ready:   make([]bool, len(points)),
+		changed: make(chan struct{}),
+		byHash:  map[string][]int{},
+	}
+	for i, p := range points {
+		s.pts[i] = PointResult{Index: i, Model: p.Model, Hash: p.Hash, Params: p.Params}
+		if len(s.byHash[p.Hash]) > 0 {
+			s.pts[i].Dedup = true
+		}
+		s.byHash[p.Hash] = append(s.byHash[p.Hash], i)
+	}
+	return s
+}
+
+// publish fans one canonical completion out to every index sharing its
+// hash. Called from worker goroutines.
+func (s *pointStream) publish(pr PointResult) {
+	s.mu.Lock()
+	for _, idx := range s.byHash[pr.Hash] {
+		p := &s.pts[idx]
+		if idx == pr.Index {
+			*p = pr
+		} else {
+			// The dedup-copy rule of runPoints: outcome and provenance
+			// copy, per-execution telemetry (Checked, Attempts, WallMS,
+			// Cached) does not.
+			p.Outcome = pr.Outcome
+			p.Err = pr.Err
+			p.Degraded = pr.Degraded
+			p.Stall = pr.Stall
+		}
+		s.ready[idx] = true
+	}
+	ch := s.changed
+	s.changed = make(chan struct{})
+	s.mu.Unlock()
+	close(ch)
+}
+
+// finish marks the stream settled (no more publishes will come) and
+// wakes every waiter.
+func (s *pointStream) finish() {
+	s.mu.Lock()
+	s.settled = true
+	ch := s.changed
+	s.changed = make(chan struct{})
+	s.mu.Unlock()
+	close(ch)
+}
+
+// NumPoints returns the job's expanded point count (0 for recovered
+// tombstones, which retained no expansion).
+func (j *Job) NumPoints() int {
+	if j.stream == nil {
+		return 0
+	}
+	return len(j.stream.pts)
+}
+
+// StreamPoint blocks until point i of the job is complete — or the job
+// settles, at which point the final results document answers — and
+// returns its report. Points stream in whatever order the caller asks;
+// iterating i = 0..NumPoints()-1 yields the rows of the final document
+// in order, incrementally, while the campaign still runs. The returned
+// error is ctx's when the wait was cut short.
+func (j *Job) StreamPoint(ctx context.Context, i int) (PointResult, error) {
+	s := j.stream
+	if s == nil {
+		return PointResult{}, fmt.Errorf("campaign: job %s retained no point stream", j.id)
+	}
+	if i < 0 || i >= len(s.pts) {
+		return PointResult{}, fmt.Errorf("campaign: point %d out of range (%d points)", i, len(s.pts))
+	}
+	for {
+		s.mu.Lock()
+		if s.ready[i] {
+			pr := s.pts[i]
+			s.mu.Unlock()
+			return pr, nil
+		}
+		if s.settled {
+			s.mu.Unlock()
+			// Settled with this index never published: a cancelled
+			// campaign whose remaining points were marked in the final
+			// document only. Serve that document's row.
+			j.mu.Lock()
+			res := j.results
+			j.mu.Unlock()
+			if res != nil && i < len(res.Points) {
+				return res.Points[i], nil
+			}
+			return PointResult{}, fmt.Errorf("campaign: job %s settled without results", j.id)
+		}
+		ch := s.changed
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return PointResult{}, ctx.Err()
+		}
+	}
+}

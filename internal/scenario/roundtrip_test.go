@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSetJSONRoundTripIsHashStable pins the property the durable
+// campaign store leans on: a Set that is marshalled into the journal's
+// job-submitted record and parsed back on recovery must expand to the
+// same points with the same canonical hashes — otherwise a resumed
+// campaign could not match its journaled outcomes to its points.
+func TestSetJSONRoundTripIsHashStable(t *testing.T) {
+	sets := []Set{
+		{Name: "one", Specs: []Spec{{
+			Model:  "test",
+			Params: Params{"a": 4, "b": 100},
+			Matrix: map[string][]any{"c": {1, 2, 8}},
+		}}},
+		{Name: "multi", Specs: []Spec{
+			{Model: "test", Params: Params{"a": 6},
+				Matrix: map[string][]any{"b": {1, 2}, "c": {2, 3}}},
+			{Model: "test", Params: Params{"c": 2},
+				Matrix: map[string][]any{"a": {1, 2}, "b": {50, 75}}},
+		}},
+		// Float, bool and string axes: json round-trips ints through
+		// float64, which must not perturb the canonical hash.
+		{Specs: []Spec{{
+			Model:  "test",
+			Params: Params{"a": 1.5, "b": true},
+			Matrix: map[string][]any{"mode": {"chain", "ring"}, "c": {1, 2}},
+		}}},
+	}
+	for _, set := range sets {
+		before, err := set.Expand()
+		if err != nil {
+			t.Fatalf("%s: expand: %v", set.Name, err)
+		}
+		js, err := json.Marshal(set)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", set.Name, err)
+		}
+		parsed, err := ParseSet(js)
+		if err != nil {
+			t.Fatalf("%s: ParseSet(marshal): %v", set.Name, err)
+		}
+		after, err := parsed.Expand()
+		if err != nil {
+			t.Fatalf("%s: re-expand: %v", set.Name, err)
+		}
+		if len(before) != len(after) {
+			t.Fatalf("%s: %d points before round trip, %d after", set.Name, len(before), len(after))
+		}
+		for i := range before {
+			if before[i].Hash != after[i].Hash {
+				t.Errorf("%s point %d: hash %s != %s after JSON round trip (params %v vs %v)",
+					set.Name, i, before[i].Hash, after[i].Hash, before[i].Params, after[i].Params)
+			}
+			if before[i].Model != after[i].Model {
+				t.Errorf("%s point %d: model %s != %s", set.Name, i, before[i].Model, after[i].Model)
+			}
+		}
+		// Second-generation stability: journal → recover → journal again.
+		js2, err := json.Marshal(parsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed2, err := ParseSet(js2)
+		if err != nil {
+			t.Fatalf("%s: second round trip: %v", set.Name, err)
+		}
+		again, err := parsed2.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range after {
+			if after[i].Hash != again[i].Hash {
+				t.Errorf("%s point %d: hash unstable across second round trip", set.Name, i)
+			}
+		}
+	}
+}

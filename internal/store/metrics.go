@@ -1,0 +1,62 @@
+package store
+
+import "repro/internal/metrics"
+
+// Metrics is the store's observability sink: per-type record counts,
+// fsync batches, and the recovery counters the crash tests pin (points
+// served from the journal instead of recomputed, torn tails truncated).
+// All fields may be nil (updates no-op); build one with NewMetrics.
+type Metrics struct {
+	// RecJobSubmitted..RecJobCancelled split store_records_total by the
+	// record type label.
+	RecJobSubmitted   *metrics.Counter
+	RecPointCompleted *metrics.Counter
+	RecJobFinished    *metrics.Counter
+	RecJobCancelled   *metrics.Counter
+	// Fsyncs counts group commits (one fsync may cover many records).
+	Fsyncs *metrics.Counter
+	// RecoveredPoints counts point outcomes rebuilt from the journal at
+	// Open — work a restart did NOT redo.
+	RecoveredPoints *metrics.Counter
+	// TornTails counts partial tail records truncated during recovery.
+	TornTails *metrics.Counter
+}
+
+// NewMetrics registers the store metric family on r. A nil registry
+// returns nil (a no-op sink).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	rec := func(typ string) *metrics.Counter {
+		return r.Counter("store_records_total", "Journal records appended, by record type.",
+			metrics.Label{Name: "type", Value: typ})
+	}
+	return &Metrics{
+		RecJobSubmitted:   rec("job_submitted"),
+		RecPointCompleted: rec("point_completed"),
+		RecJobFinished:    rec("job_finished"),
+		RecJobCancelled:   rec("job_cancelled"),
+		Fsyncs:            r.Counter("store_fsyncs_total", "Group commits flushed to stable storage."),
+		RecoveredPoints:   r.Counter("store_recovered_points_total", "Point outcomes rebuilt from the journal at recovery."),
+		TornTails:         r.Counter("store_torn_tail_total", "Partial tail records truncated during recovery."),
+	}
+}
+
+// countRecord increments the counter matching one appended record type;
+// nil-safe like every metrics update.
+func (m *Metrics) countRecord(typ byte) {
+	if m == nil {
+		return
+	}
+	switch typ {
+	case recJobSubmitted:
+		m.RecJobSubmitted.Inc()
+	case recPointCompleted:
+		m.RecPointCompleted.Inc()
+	case recJobFinished:
+		m.RecJobFinished.Inc()
+	case recJobCancelled:
+		m.RecJobCancelled.Inc()
+	}
+}
