@@ -8,6 +8,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/netlist"
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -22,11 +23,13 @@ func TestCatalogMatchesCode(t *testing.T) {
 	sim.EnableMetrics(reg)
 	core.EnableBridgeMetrics(reg)
 	par.EnableMetrics(reg)
+	netlist.EnableMetrics(reg)
 	campaign.NewMetrics(reg)
 	store.NewMetrics(reg)
 	defer sim.EnableMetrics(nil)
 	defer core.EnableBridgeMetrics(nil)
 	defer par.EnableMetrics(nil)
+	defer netlist.EnableMetrics(nil)
 
 	expo := filepath.Join(t.TempDir(), "metrics.txt")
 	f, err := os.Create(expo)

@@ -61,6 +61,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/netlist"
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -93,6 +94,7 @@ func run(args []string) int {
 	sim.EnableMetrics(reg)
 	core.EnableBridgeMetrics(reg)
 	par.EnableMetrics(reg)
+	netlist.EnableMetrics(reg)
 	if *simtrace > 0 {
 		par.SetTraceCapture(*simtrace)
 	}

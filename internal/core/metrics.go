@@ -69,3 +69,29 @@ func (f *ShardedFIFO[T]) Traffic() Traffic {
 	defer f.x.mu.Unlock()
 	return f.x.traffic
 }
+
+// ChanTraffic is one intra-shard channel's cumulative activity, the
+// local-channel mirror of the bridge Traffic feed. It is derived from
+// the Stats counters the hot word paths already maintain — no extra
+// work, no atomics — so it is always on.
+type ChanTraffic struct {
+	// WordsWritten and WordsRead count completed word transfers
+	// (burst transfers add their full length).
+	WordsWritten, WordsRead uint64
+	// WriterBlocks and ReaderBlocks count accesses that found the FIFO
+	// internally full (resp. empty) and had to context switch.
+	WriterBlocks, ReaderBlocks uint64
+}
+
+// Traffic returns the FIFO's cumulative traffic counters. Word and
+// block counts are dated-behaviour facts — identical under any
+// scheduler or partitioning of the same model — which is what lets a
+// profile harvested from one run re-weight the placement of another.
+func (f *SmartFIFO[T]) Traffic() ChanTraffic {
+	return ChanTraffic{
+		WordsWritten: f.stats.Writes,
+		WordsRead:    f.stats.Reads,
+		WriterBlocks: f.stats.WriterBlocks,
+		ReaderBlocks: f.stats.ReaderBlocks,
+	}
+}

@@ -1,0 +1,36 @@
+package netlist
+
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Metrics is the shared sink for partitioning activity. All fields may
+// be nil (updates no-op).
+type Metrics struct {
+	// Repartitions counts profile-guided repartitions: sharded builds
+	// that re-weighted the unit graph with a measured profile.
+	Repartitions *metrics.Counter
+	// CutWeight is the summed edge weight cut by the most recent
+	// sharded placement (measured weight for profiled builds, hint
+	// weight otherwise), truncated to an integer.
+	CutWeight *metrics.Gauge
+}
+
+// defaultNetlistMetrics is loaded by Build; atomic so enabling can race
+// concurrent builds in tests.
+var defaultNetlistMetrics atomic.Pointer[Metrics]
+
+// EnableMetrics registers the partitioning family on r and makes every
+// subsequent Build publish into it. A nil registry disables publication.
+func EnableMetrics(r *metrics.Registry) {
+	if r == nil {
+		defaultNetlistMetrics.Store(nil)
+		return
+	}
+	defaultNetlistMetrics.Store(&Metrics{
+		Repartitions: r.Counter("netlist_repartitions_total", "Profile-guided repartitions (sharded builds re-weighted by a measured profile)."),
+		CutWeight:    r.Gauge("netlist_cut_weight", "Summed edge weight cut by the most recent sharded placement."),
+	})
+}

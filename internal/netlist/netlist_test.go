@@ -193,7 +193,7 @@ func TestDoubleBindPanics(t *testing.T) {
 // TestPartitionerRegistry pins names and the default.
 func TestPartitionerRegistry(t *testing.T) {
 	names := PartitionerNames()
-	want := []string{"mincut", "roundrobin", "single"}
+	want := []string{"mincut", "profiled", "roundrobin", "single"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}

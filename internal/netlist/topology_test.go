@@ -56,7 +56,7 @@ func TestPartitionerTraceEquivalence(t *testing.T) {
 			if maxShards > 5 {
 				maxShards = 5
 			}
-			for _, part := range []Partitioner{Single, RoundRobin, MinCut} {
+			for _, part := range []Partitioner{Single, RoundRobin, MinCut, Profiled} {
 				for shards := 1; shards <= maxShards; shards++ {
 					got, b := digestOf(t, tc, shards, part)
 					if got != ref {
@@ -106,6 +106,8 @@ func TestNetlistScenarioModel(t *testing.T) {
 		{"kind": "ring", "stages": 3, "depth": 2, "words": 12, "shards": 3, "partitioner": "mincut"},
 		{"kind": "tree", "arity": 2, "levels": 2, "words": 8, "shards": 4},
 		{"kind": "mesh", "width": 2, "height": 3, "words": 8, "shards": 2, "partitioner": "mincut"},
+		{"kind": "mesh", "width": 2, "height": 2, "words": 8, "shards": 2, "partitioner": "profiled"},
+		{"kind": "chain", "stages": 5, "words": 16, "shards": 3, "partitioner": "profiled"},
 	} {
 		out, err := m.Run(context.Background(), params)
 		if err != nil {
@@ -113,6 +115,20 @@ func TestNetlistScenarioModel(t *testing.T) {
 		}
 		if out.DatesHash == "" || len(out.Checksums) == 0 {
 			t.Fatalf("%v: empty outcome %+v", params, out)
+		}
+		if params["partitioner"] == "profiled" {
+			// Profiled points report the placement cost, and the kept
+			// placement must dominate the hint placement by construction.
+			cb, ok := out.Counters["crossings_before"]
+			if !ok {
+				t.Fatalf("%v: no placement counters: %v", params, out.Counters)
+			}
+			if ca := out.Counters["crossings_after"]; ca > cb {
+				t.Fatalf("%v: crossings_after %d > crossings_before %d", params, ca, cb)
+			}
+			if wa, wb := out.Counters["cut_weight_after"], out.Counters["cut_weight_before"]; wa > wb {
+				t.Fatalf("%v: cut_weight_after %d > cut_weight_before %d", params, wa, wb)
+			}
 		}
 		// The same point at 1 shard must produce the same digest.
 		single := scenario.Params{}

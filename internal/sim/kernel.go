@@ -175,6 +175,7 @@ func (k *Kernel) dispatch(p *Process) {
 		return
 	}
 	k.current = p
+	p.dispatches++
 	if p.isMethod {
 		k.stats.MethodActivations++
 		p.dynArmed = false
